@@ -1,0 +1,134 @@
+// Command janusbench regenerates the paper's tables and figures. Each
+// experiment prints the same rows/series the paper reports; EXPERIMENTS.md
+// records the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	janusbench -experiment all                 # everything (paper scale)
+//	janusbench -experiment fig4 -quick         # one figure, reduced scale
+//	janusbench -list
+//
+// Experiments: fig1a fig1b fig1c fig2 fig4 fig5 fig6 fig7 fig8 fig9
+// table1 table2 overhead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"janus/internal/experiment"
+)
+
+type runner func(*experiment.Suite) (fmt.Stringer, error)
+
+type stringerFunc func() string
+
+func (f stringerFunc) String() string { return f() }
+
+func wrap(s string) fmt.Stringer { return stringerFunc(func() string { return s }) }
+
+var experiments = map[string]runner{
+	"fig1a": func(s *experiment.Suite) (fmt.Stringer, error) { return s.Fig1a() },
+	"fig1b": func(s *experiment.Suite) (fmt.Stringer, error) {
+		rows, err := s.Fig1b()
+		if err != nil {
+			return nil, err
+		}
+		return wrap(experiment.FormatFig1b(rows)), nil
+	},
+	"fig1c": func(s *experiment.Suite) (fmt.Stringer, error) {
+		rows, err := s.Fig1c()
+		if err != nil {
+			return nil, err
+		}
+		return wrap(experiment.FormatFig1c(rows)), nil
+	},
+	"fig2": func(s *experiment.Suite) (fmt.Stringer, error) { return s.Fig2(50) },
+	"fig4": func(s *experiment.Suite) (fmt.Stringer, error) {
+		panels, err := s.Fig4()
+		if err != nil {
+			return nil, err
+		}
+		return wrap(experiment.FormatFig4(panels)), nil
+	},
+	"fig5": func(s *experiment.Suite) (fmt.Stringer, error) {
+		panels, err := s.Fig5()
+		if err != nil {
+			return nil, err
+		}
+		return wrap(experiment.FormatFig5(panels)), nil
+	},
+	"fig6": func(s *experiment.Suite) (fmt.Stringer, error) {
+		rows, err := s.Fig6()
+		if err != nil {
+			return nil, err
+		}
+		return wrap(experiment.FormatFig6(rows)), nil
+	},
+	"fig7": func(s *experiment.Suite) (fmt.Stringer, error) { return s.Fig7() },
+	"fig8": func(s *experiment.Suite) (fmt.Stringer, error) {
+		rows, err := s.Fig8()
+		if err != nil {
+			return nil, err
+		}
+		return wrap(experiment.FormatFig8(rows)), nil
+	},
+	"fig9": func(s *experiment.Suite) (fmt.Stringer, error) {
+		rows, err := s.Fig9()
+		if err != nil {
+			return nil, err
+		}
+		return wrap(experiment.FormatFig9(rows)), nil
+	},
+	"table1":   func(s *experiment.Suite) (fmt.Stringer, error) { return s.Table1() },
+	"table2":   func(s *experiment.Suite) (fmt.Stringer, error) { return s.Table2() },
+	"overhead": func(s *experiment.Suite) (fmt.Stringer, error) { return s.Overhead() },
+}
+
+// order fixes the -experiment all sequence.
+var order = []string{
+	"fig1a", "fig1b", "fig1c", "fig2", "fig4", "fig5",
+	"fig6", "fig7", "fig8", "fig9", "table1", "table2", "overhead",
+}
+
+func main() {
+	name := flag.String("experiment", "all", "experiment to run (or 'all')")
+	quick := flag.Bool("quick", false, "reduced scale (fast sanity runs)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0, len(experiments))
+		for n := range experiments {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+	suite := experiment.NewSuite()
+	if *quick {
+		suite = experiment.QuickSuite()
+	}
+	targets := order
+	if *name != "all" {
+		if _, ok := experiments[*name]; !ok {
+			fmt.Fprintf(os.Stderr, "janusbench: unknown experiment %q (use -list)\n", *name)
+			os.Exit(2)
+		}
+		targets = []string{*name}
+	}
+	for _, n := range targets {
+		start := time.Now()
+		out, err := experiments[n](suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "janusbench: %s: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s (%v) ====\n%s\n", n, time.Since(start).Round(time.Millisecond), out)
+	}
+}

@@ -1,0 +1,261 @@
+// Command janusctl drives Janus's developer-side offline pipeline from the
+// command line: profile a workflow's functions, synthesize and condense
+// hints tables, inspect bundles, and query decisions — the workflow a
+// developer follows before submitting hints to the provider's janusd.
+//
+// Usage:
+//
+//	janusctl profile   -workflow ia|va -batch 1 -samples 2000 -seed 1 -o profiles.json
+//	janusctl synthesize -profiles profiles.json -mode janus -weight 1 -step-ms 1 -o bundle.json
+//	janusctl inspect   -bundle bundle.json
+//	janusctl decide    -bundle bundle.json -suffix 0 -remaining 2500ms
+//	janusctl submit    -bundle bundle.json -server http://127.0.0.1:8080
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"janus/internal/hints"
+	"janus/internal/httpapi"
+	"janus/internal/interfere"
+	"janus/internal/perfmodel"
+	"janus/internal/profile"
+	"janus/internal/synth"
+	"janus/internal/workflow"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "profile":
+		err = cmdProfile(os.Args[2:])
+	case "synthesize":
+		err = cmdSynthesize(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	case "decide":
+		err = cmdDecide(os.Args[2:])
+	case "submit":
+		err = cmdSubmit(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "janusctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: janusctl <profile|synthesize|inspect|decide|submit> [flags]`)
+}
+
+func builtinWorkflow(name string) (*workflow.Workflow, error) {
+	switch name {
+	case "ia":
+		return workflow.IntelligentAssistant(), nil
+	case "va":
+		return workflow.VideoAnalyze(), nil
+	default:
+		return nil, fmt.Errorf("unknown workflow %q (have: ia, va)", name)
+	}
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	wfName := fs.String("workflow", "ia", "built-in workflow (ia or va)")
+	wfFile := fs.String("workflow-file", "", "JSON workflow spec (overrides -workflow)")
+	batch := fs.Int("batch", 1, "concurrency (batch size) to profile")
+	samples := fs.Int("samples", 2000, "profiling samples per (allocation, batch) cell")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("o", "profiles.json", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var w *workflow.Workflow
+	var err error
+	if *wfFile != "" {
+		data, rerr := os.ReadFile(*wfFile)
+		if rerr != nil {
+			return rerr
+		}
+		w, err = workflow.ParseSpec(data)
+	} else {
+		w, err = builtinWorkflow(*wfName)
+	}
+	if err != nil {
+		return err
+	}
+	coloc, err := interfere.NewCountSampler([]float64{0.5, 0.35, 0.15})
+	if err != nil {
+		return err
+	}
+	prof, err := profile.NewProfiler(perfmodel.Catalog(), coloc, interfere.Default(), *seed)
+	if err != nil {
+		return err
+	}
+	prof.SamplesPerConfig = *samples
+	set, err := prof.ProfileWorkflow(w, *batch)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(set, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("profiled %s (batch %d, %d samples/cell) -> %s\n", w.Name(), *batch, *samples, *out)
+	return nil
+}
+
+func parseMode(s string) (synth.Mode, error) {
+	switch s {
+	case "janus":
+		return synth.ModeJanus, nil
+	case "janus-":
+		return synth.ModeJanusMinus, nil
+	case "janus+":
+		return synth.ModeJanusPlus, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (have: janus, janus-, janus+)", s)
+	}
+}
+
+func cmdSynthesize(args []string) error {
+	fs := flag.NewFlagSet("synthesize", flag.ExitOnError)
+	profiles := fs.String("profiles", "profiles.json", "profile set produced by janusctl profile")
+	modeStr := fs.String("mode", "janus", "exploration mode: janus, janus-, janus+")
+	weight := fs.Float64("weight", 1, "head-function weight W")
+	stepMs := fs.Int("step-ms", 1, "budget sweep granularity (ms)")
+	out := fs.String("o", "bundle.json", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(*profiles)
+	if err != nil {
+		return err
+	}
+	set, err := profile.ParseSet(data)
+	if err != nil {
+		return err
+	}
+	mode, err := parseMode(*modeStr)
+	if err != nil {
+		return err
+	}
+	sy, err := synth.New(synth.Config{
+		Profiles:     set,
+		Weight:       *weight,
+		Mode:         mode,
+		BudgetStepMs: *stepMs,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := sy.GenerateBundle()
+	if err != nil {
+		return err
+	}
+	outData, err := res.Bundle.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, outData, 0o644); err != nil {
+		return err
+	}
+	raw, condensed := 0, 0
+	for i := range res.RawCounts {
+		raw += res.RawCounts[i]
+		condensed += res.CondensedCounts[i]
+	}
+	fmt.Printf("synthesized %s (%v, weight %.1f) in %v: %d raw hints -> %d condensed (%.1f%% compression) -> %s\n",
+		set.Workflow.Name(), mode, *weight, res.Elapsed.Round(time.Millisecond),
+		raw, condensed, hints.CompressionRatio(raw, condensed)*100, *out)
+	return nil
+}
+
+func loadBundle(path string) (*hints.Bundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return hints.ParseBundle(data)
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	path := fs.String("bundle", "bundle.json", "bundle file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := loadBundle(*path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workflow %s, batch %d, weight %.1f, SLO %v, escalation ceiling %d millicores\n",
+		b.Workflow, b.Batch, b.Weight, b.SLO(), b.MaxMillicores)
+	for _, tab := range b.Tables {
+		min, _ := tab.MinBudgetMs()
+		max, _ := tab.MaxBudgetMs()
+		fmt.Printf("  suffix %d: %d ranges, budgets %d..%d ms\n", tab.Suffix, tab.Size(), min, max)
+		for _, r := range tab.Ranges {
+			fmt.Printf("    [%6d, %6d] ms -> %4d millicores (p%d)\n", r.StartMs, r.EndMs, r.Millicores, r.Percentile)
+		}
+	}
+	return nil
+}
+
+func cmdDecide(args []string) error {
+	fs := flag.NewFlagSet("decide", flag.ExitOnError)
+	path := fs.String("bundle", "bundle.json", "bundle file")
+	suffix := fs.Int("suffix", 0, "sub-workflow head stage")
+	remaining := fs.Duration("remaining", time.Second, "remaining time budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := loadBundle(*path)
+	if err != nil {
+		return err
+	}
+	if *suffix < 0 || *suffix >= b.Stages() {
+		return fmt.Errorf("suffix %d out of range [0, %d)", *suffix, b.Stages())
+	}
+	r, ok := b.Tables[*suffix].Lookup(*remaining)
+	if !ok {
+		fmt.Printf("MISS: scale to the ceiling (%d millicores)\n", b.MaxMillicores)
+		return nil
+	}
+	fmt.Printf("HIT: %d millicores (head percentile p%d, range [%d, %d] ms)\n",
+		r.Millicores, r.Percentile, r.StartMs, r.EndMs)
+	return nil
+}
+
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	path := fs.String("bundle", "bundle.json", "bundle file")
+	server := fs.String("server", "http://127.0.0.1:8080", "janusd address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := loadBundle(*path)
+	if err != nil {
+		return err
+	}
+	client := httpapi.NewClient(*server)
+	if err := client.SubmitBundle(b); err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s (%d tables, %d ranges) to %s\n", b.Workflow, b.Stages(), b.TotalRanges(), *server)
+	return nil
+}

@@ -1,0 +1,49 @@
+// Command janusd runs the provider-side adapter service: the online half
+// of Janus's bilateral engagement. Developers submit condensed hints
+// bundles over HTTP; the serving platform reports remaining time budgets
+// as functions finish and receives resize decisions for the next function.
+//
+// Usage:
+//
+//	janusd -addr :8080 [-miss-threshold 0.01]
+//
+// API:
+//
+//	POST /v1/bundles          submit a hints bundle (JSON)
+//	POST /v1/decide           {"workflow","suffix","remaining_ms"} -> decision
+//	GET  /v1/stats?workflow=  supervisor hit/miss counters
+//	GET  /v1/healthz          liveness
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"janus/internal/adapter"
+	"janus/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	missThreshold := flag.Float64("miss-threshold", adapter.DefaultMissThreshold,
+		"miss rate above which the supervisor flags hint regeneration")
+	flag.Parse()
+
+	srv := httpapi.NewServer(
+		adapter.WithMissThreshold(*missThreshold),
+		adapter.WithRegenerateCallback(func(rate float64) {
+			log.Printf("supervisor: miss rate %.3f exceeded threshold; notify the developer to regenerate hints", rate)
+		}),
+	)
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("janusd: adapter service listening on %s", *addr)
+	if err := server.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+// Adapter service: the full bilateral deployment with the provider-side
+// adapter out of process. The developer profiles and synthesizes hints
+// locally, submits the condensed bundle to a janusd-style HTTP service,
+// and the platform fetches resize decisions over the network as functions
+// finish — the architecture of §V-A (frontend functions + backend adapter
+// service).
+//
+//	go run ./examples/adapter-service
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"janus"
+)
+
+func main() {
+	// Developer side (offline): profile + synthesize.
+	w := janus.VideoAnalyze()
+	coloc, err := janus.NewColocationSampler([]float64{0.4, 0.4, 0.2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("developer: profiling VA and synthesizing hints...")
+	dep, err := janus.Deploy(w, janus.DeployOptions{
+		Functions:        janus.Catalog(),
+		Colocation:       coloc,
+		Interference:     janus.DefaultInterference(),
+		Seed:             11,
+		SamplesPerConfig: 800,
+		BudgetStepMs:     5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Provider side: the adapter service (janusd embedded in-process).
+	srv := janus.NewAdapterServer()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := httpSrv.Serve(ln); err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("provider: adapter service at %s\n", base)
+
+	// The developer submits the condensed bundle over HTTP.
+	client := janus.NewAdapterClient(base)
+	if err := client.SubmitBundle(dep.Bundle()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("developer: submitted %d tables (%d condensed ranges)\n",
+		dep.Bundle().Stages(), dep.Bundle().TotalRanges())
+
+	// The platform serves requests, fetching every per-stage decision from
+	// the remote adapter.
+	reqs, err := janus.GenerateWorkload(janus.WorkloadConfig{
+		Workflow:          w,
+		Functions:         janus.Catalog(),
+		N:                 150,
+		ArrivalRatePerSec: 2,
+		Colocation:        coloc,
+		Interference:      janus.DefaultInterference(),
+		StageCorrelation:  0.5,
+		Seed:              11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ex, err := janus.NewExecutor(janus.DefaultExecutorConfig(), janus.Catalog())
+	if err != nil {
+		log.Fatal(err)
+	}
+	remote := &janus.RemoteAllocator{
+		Client:        client,
+		Workflow:      w.Name(),
+		System:        "janus-remote",
+		MaxMillicores: dep.Bundle().MaxMillicores,
+	}
+	traces, err := ex.Run(reqs, remote)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("platform: served %d requests, mean %.0f millicores, %.1f%% SLO violations\n",
+		len(traces), janus.MeanMillicores(traces), janus.SLOViolationRate(traces)*100)
+
+	// The supervisor's counters live on the service.
+	stats, err := client.Stats(w.Name())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("supervisor: %d hits / %d misses (miss rate %.2f%%)\n",
+		stats.Hits, stats.Misses, stats.MissRate*100)
+}

@@ -1,0 +1,41 @@
+// Intelligent Assistant: the paper's primary evaluation workload, served
+// under all seven systems (§V-B): the clairvoyant Optimal bound, the
+// early-binding baselines (ORION, GrandSLAM+, GrandSLAM), and the
+// late-binding Janus family (Janus, Janus+, Janus-).
+//
+//	go run ./examples/intelligent-assistant
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"janus"
+	"janus/internal/experiment"
+)
+
+func main() {
+	suite := janus.NewQuickExperimentSuite()
+	w := janus.IntelligentAssistant()
+	fmt.Printf("serving %s (SLO %v) under all systems; identical per-request runtime conditions\n\n",
+		w.Name(), w.SLO())
+	runs, err := suite.RunPoint(w, 1, experiment.AllSystems())
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := runs[experiment.SysOptimal].MeanMillicores
+	fmt.Printf("%-11s %12s %12s %10s %10s %10s\n",
+		"system", "millicores", "vs optimal", "P50 e2e", "P99 e2e", "violations")
+	for _, sys := range experiment.AllSystems() {
+		r := runs[sys]
+		fmt.Printf("%-11s %12.0f %11.2fx %10v %10v %9.2f%%\n",
+			sys, r.MeanMillicores, r.MeanMillicores/opt,
+			r.P50E2E.Round(time.Millisecond), r.P99E2E.Round(time.Millisecond),
+			r.ViolationRate*100)
+	}
+	j := runs[experiment.SysJanus]
+	o := runs[experiment.SysORION]
+	fmt.Printf("\nJanus reduces resource consumption vs ORION by %.1f%% of Optimal (paper: 22.6%%), with SLO compliance on both sides.\n",
+		(o.MeanMillicores-j.MeanMillicores)/opt*100)
+}

@@ -1,0 +1,89 @@
+// Quickstart: deploy a serverless workflow under Janus and compare its
+// resource consumption against worst-case (early-binding) sizing.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"janus"
+)
+
+func main() {
+	// 1. The application: the paper's Intelligent Assistant chain —
+	//    object detection -> question answering -> text-to-speech — with a
+	//    3 s end-to-end P99 latency SLO.
+	w := janus.IntelligentAssistant()
+
+	// 2. Runtime dynamics: working sets vary per request and co-located
+	//    instances contend; the profiler reproduces the serving mix.
+	coloc, err := janus.NewColocationSampler([]float64{0.5, 0.35, 0.15})
+	if err != nil {
+		log.Fatal(err)
+	}
+	interference := janus.DefaultInterference()
+
+	// 3. Offline, developer side: profile every function across 1000-3000
+	//    millicores, synthesize hints (Algorithm 1), condense them
+	//    (Algorithm 2), and start the provider-side adapter.
+	fmt.Println("profiling and synthesizing hints (offline)...")
+	dep, err := janus.Deploy(w, janus.DeployOptions{
+		Functions:        janus.Catalog(),
+		Colocation:       coloc,
+		Interference:     interference,
+		Seed:             7,
+		SamplesPerConfig: 1000,
+		BudgetStepMs:     5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bundle := dep.Bundle()
+	fmt.Printf("hints bundle: %d sub-workflow tables, %d condensed ranges\n",
+		bundle.Stages(), bundle.TotalRanges())
+
+	// 4. A workload of 200 requests with realistic variability.
+	reqs, err := janus.GenerateWorkload(janus.WorkloadConfig{
+		Workflow:          w,
+		Functions:         janus.Catalog(),
+		N:                 200,
+		ArrivalRatePerSec: 2,
+		Colocation:        coloc,
+		Interference:      interference,
+		StageCorrelation:  0.5,
+		Seed:              7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ex, err := janus.NewExecutor(janus.DefaultExecutorConfig(), janus.Catalog())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Serve under Janus (late binding) ...
+	janusTraces, err := ex.Run(reqs, dep.Allocator("janus"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ... and under per-function worst-case sizing (early binding).
+	early, err := janus.GrandSLAMPlus(dep.Profiles, w.SLO())
+	if err != nil {
+		log.Fatal(err)
+	}
+	earlyTraces, err := ex.Run(reqs, early)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 6. Compare.
+	jm, em := janus.MeanMillicores(janusTraces), janus.MeanMillicores(earlyTraces)
+	fmt.Printf("\n%-22s %14s %16s\n", "system", "mean millicores", "SLO violations")
+	fmt.Printf("%-22s %14.0f %15.1f%%\n", "early binding (P99)", em, janus.SLOViolationRate(earlyTraces)*100)
+	fmt.Printf("%-22s %14.0f %15.1f%%\n", "janus (late binding)", jm, janus.SLOViolationRate(janusTraces)*100)
+	fmt.Printf("\nJanus saves %.1f%% CPU while meeting the same SLO (hints-table miss rate %.2f%%)\n",
+		(1-jm/em)*100, janus.MissRate(janusTraces)*100)
+}

@@ -1,0 +1,95 @@
+// Series-parallel: the paper's future-work extension in action. A diamond
+// workflow — object detection fanning out to concurrent question answering
+// and text-to-speech, joining into compression — reduces to an effective
+// chain that the unmodified synthesizer and adapter serve.
+//
+//	go run ./examples/series-parallel
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"janus"
+)
+
+func main() {
+	w := &janus.SPWorkflow{
+		Name: "diamond",
+		SLO:  3500 * time.Millisecond,
+		Stages: []janus.SPStage{
+			{Functions: []string{"od"}},
+			{Functions: []string{"qa", "ts"}}, // concurrent branches, join
+			{Functions: []string{"ico"}},
+		},
+	}
+	coloc, err := janus.NewColocationSampler([]float64{0.6, 0.3, 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := janus.SPProfilerConfig{
+		Functions:        janus.Catalog(),
+		Colocation:       coloc,
+		Interference:     janus.DefaultInterference(),
+		SamplesPerConfig: 1500,
+		Seed:             3,
+	}
+
+	fmt.Println("reducing the diamond to an effective chain (parallel stage -> max-of-branches profile)...")
+	set, err := janus.ReduceSP(w, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < set.Len(); i++ {
+		fmt.Printf("  stage %d: %-22s L(99, Kmin)=%v\n", i, set.At(i).Function, set.At(i).L(99, 1000))
+	}
+
+	dep, err := janus.DeployProfiled(set, janus.DeployOptions{
+		Functions:           janus.Catalog(),
+		Colocation:          coloc,
+		Interference:        janus.DefaultInterference(),
+		Seed:                5,
+		BudgetStepMs:        5,
+		DisableRegeneration: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hints: %d tables, %d condensed ranges\n", dep.Bundle().Stages(), dep.Bundle().TotalRanges())
+
+	ivs, err := janus.ServeSP(w, dep.Adapter, cfg, 500, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var worst time.Duration
+	misses := 0
+	for _, iv := range ivs {
+		if iv.E2E > worst {
+			worst = iv.E2E
+		}
+		misses += iv.Misses
+	}
+	fmt.Printf("\nserved %d requests: mean %.0f millicores (branches included), worst e2e %v (SLO %v)\n",
+		len(ivs), meanMC(ivs), worst.Round(time.Millisecond), w.SLO)
+	fmt.Printf("SLO violations: %.2f%%, hints misses: %.2f%%\n",
+		violationPct(ivs, w.SLO), float64(misses)/float64(3*len(ivs))*100)
+}
+
+func meanMC(ivs []janus.SPInvocation) float64 {
+	total := 0.0
+	for _, iv := range ivs {
+		total += float64(iv.Millicores)
+	}
+	return total / float64(len(ivs))
+}
+
+func violationPct(ivs []janus.SPInvocation, slo time.Duration) float64 {
+	v := 0
+	for _, iv := range ivs {
+		if iv.E2E > slo {
+			v++
+		}
+	}
+	return float64(v) / float64(len(ivs)) * 100
+}

@@ -1,0 +1,43 @@
+// Video Analyze: the paper's second workload — a non-batchable
+// frame-extraction -> classification -> compression chain under a tight
+// 1.5 s SLO — swept across SLOs as in Fig 9.
+//
+//	go run ./examples/video-analyze
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"janus"
+	"janus/internal/experiment"
+)
+
+func main() {
+	suite := janus.NewQuickExperimentSuite()
+	base := janus.VideoAnalyze()
+	systems := []string{
+		experiment.SysOptimal, experiment.SysORION,
+		experiment.SysGrandSLAM, experiment.SysJanus,
+	}
+	fmt.Println("VA chain: CPU consumption normalized by Optimal across SLOs (Fig 9, right)")
+	fmt.Printf("%8s %8s %10s %8s\n", "SLO", "orion", "grandslam", "janus")
+	for slo := 1500 * time.Millisecond; slo <= 2000*time.Millisecond; slo += 100 * time.Millisecond {
+		w, err := base.WithSLO(slo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runs, err := suite.RunPoint(w, 1, systems)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt := runs[experiment.SysOptimal].MeanMillicores
+		fmt.Printf("%8v %8.3f %10.3f %8.3f\n", slo,
+			runs[experiment.SysORION].MeanMillicores/opt,
+			runs[experiment.SysGrandSLAM].MeanMillicores/opt,
+			runs[experiment.SysJanus].MeanMillicores/opt)
+	}
+	fmt.Println("\nGains shrink as the SLO relaxes: every system approaches the")
+	fmt.Println("1000-millicore-per-function floor, exactly as the paper reports.")
+}

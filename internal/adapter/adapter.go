@@ -1,0 +1,189 @@
+// Package adapter implements Janus's provider-side Adapter (§III-D): the
+// online component that, each time a function in a workflow finishes,
+// derives the remaining time budget, searches the developer's condensed
+// hints table for the remaining sub-workflow, and resizes the next (head)
+// function accordingly.
+//
+// On a table miss — a budget below anything the synthesizer explored,
+// typically caused by unexpected runtime dynamics — the adapter escalates
+// the next function to the maximum available resources to protect the SLO,
+// and counts the miss. When the observed miss rate crosses a threshold
+// (default 1%), it notifies the developer (via a callback here; via a
+// message in the paper's deployment) to regenerate hints asynchronously;
+// serving continues with sub-optimal escalations meanwhile.
+package adapter
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"janus/internal/hints"
+	"janus/internal/platform"
+)
+
+// DefaultMissThreshold is the paper's regeneration trigger (1%).
+const DefaultMissThreshold = 0.01
+
+// Decision is one adaptation outcome.
+type Decision struct {
+	// Millicores is the allocation for the sub-workflow's head function.
+	Millicores int
+	// Hit reports whether the hints table covered the budget.
+	Hit bool
+	// Percentile is the head percentile of the matched hint (99 on miss).
+	Percentile int
+}
+
+// Adapter serves adaptation decisions for one deployed bundle. It is safe
+// for concurrent use.
+type Adapter struct {
+	mu     sync.Mutex
+	bundle *hints.Bundle
+
+	hits   int64
+	misses int64
+
+	missThreshold float64
+	minDecisions  int64
+	onRegenerate  func(missRate float64)
+	notified      bool
+}
+
+// Option customizes an Adapter.
+type Option func(*Adapter)
+
+// WithMissThreshold overrides the regeneration threshold.
+func WithMissThreshold(th float64) Option {
+	return func(a *Adapter) { a.missThreshold = th }
+}
+
+// WithRegenerateCallback installs the developer-notification hook fired
+// (once) when the miss rate crosses the threshold. The callback runs on
+// its own goroutine: regeneration is asynchronous by design.
+func WithRegenerateCallback(fn func(missRate float64)) Option {
+	return func(a *Adapter) { a.onRegenerate = fn }
+}
+
+// WithMinDecisions sets how many decisions must accumulate before the miss
+// rate is trusted (avoids firing on the first lone miss).
+func WithMinDecisions(n int64) Option {
+	return func(a *Adapter) { a.minDecisions = n }
+}
+
+// New validates the bundle and builds an adapter.
+func New(b *hints.Bundle, opts ...Option) (*Adapter, error) {
+	if b == nil {
+		return nil, fmt.Errorf("adapter: nil bundle")
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Adapter{
+		bundle:        b,
+		missThreshold: DefaultMissThreshold,
+		minDecisions:  100,
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	if a.missThreshold <= 0 || a.missThreshold >= 1 {
+		return nil, fmt.Errorf("adapter: miss threshold %v outside (0, 1)", a.missThreshold)
+	}
+	return a, nil
+}
+
+// Bundle returns the deployed hints bundle.
+func (a *Adapter) Bundle() *hints.Bundle { return a.bundle }
+
+// Decide returns the allocation for the head of the sub-workflow starting
+// at stage `suffix`, given the remaining budget until the SLO deadline.
+func (a *Adapter) Decide(suffix int, remaining time.Duration) (Decision, error) {
+	if suffix < 0 || suffix >= a.bundle.Stages() {
+		return Decision{}, fmt.Errorf("adapter: suffix %d out of range [0, %d)", suffix, a.bundle.Stages())
+	}
+	r, ok := a.bundle.Tables[suffix].Lookup(remaining)
+	a.record(ok)
+	if !ok {
+		// Miss: scale to the ceiling to protect the SLO (§III-D).
+		return Decision{Millicores: a.bundle.MaxMillicores, Hit: false, Percentile: 99}, nil
+	}
+	return Decision{Millicores: r.Millicores, Hit: true, Percentile: r.Percentile}, nil
+}
+
+func (a *Adapter) record(hit bool) {
+	a.mu.Lock()
+	if hit {
+		a.hits++
+	} else {
+		a.misses++
+	}
+	total := a.hits + a.misses
+	shouldNotify := !a.notified &&
+		a.onRegenerate != nil &&
+		total >= a.minDecisions &&
+		a.missRateLocked() > a.missThreshold
+	var rate float64
+	if shouldNotify {
+		a.notified = true
+		rate = a.missRateLocked()
+	}
+	cb := a.onRegenerate
+	a.mu.Unlock()
+	if shouldNotify {
+		go cb(rate)
+	}
+}
+
+func (a *Adapter) missRateLocked() float64 {
+	total := a.hits + a.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(a.misses) / float64(total)
+}
+
+// Stats reports cumulative hits, misses, and the miss rate.
+func (a *Adapter) Stats() (hits, misses int64, missRate float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.hits, a.misses, a.missRateLocked()
+}
+
+// Replace swaps in a regenerated bundle (the asynchronous regeneration
+// completing) and re-arms the notification, keeping counters.
+func (a *Adapter) Replace(b *hints.Bundle) error {
+	if b == nil {
+		return fmt.Errorf("adapter: nil bundle")
+	}
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.bundle = b
+	a.notified = false
+	return nil
+}
+
+// Allocator adapts an Adapter to the platform's Allocator interface so the
+// executor can serve requests under Janus. The display name distinguishes
+// Janus variants (the tables differ, the adapter logic does not).
+type Allocator struct {
+	*Adapter
+	System string
+}
+
+// Name implements platform.Allocator.
+func (al *Allocator) Name() string { return al.System }
+
+// Allocate implements platform.Allocator.
+func (al *Allocator) Allocate(req *platform.Request, stage int, remaining time.Duration) (int, bool) {
+	d, err := al.Decide(stage, remaining)
+	if err != nil {
+		// Stage indices come from the executor and bundles are validated
+		// against the workflow at deployment; a mismatch is a bug.
+		panic(err)
+	}
+	return d.Millicores, d.Hit
+}

@@ -1,0 +1,242 @@
+package adapter
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"janus/internal/hints"
+)
+
+func bundle(t *testing.T) *hints.Bundle {
+	t.Helper()
+	t0, err := hints.Condense(&hints.RawTable{Suffix: 0, Weight: 1, Hints: []hints.Hint{
+		{BudgetMs: 2000, HeadMillicores: 3000, HeadPercentile: 99},
+		{BudgetMs: 2001, HeadMillicores: 2000, HeadPercentile: 90},
+		{BudgetMs: 2002, HeadMillicores: 2000, HeadPercentile: 85},
+		{BudgetMs: 2003, HeadMillicores: 1000, HeadPercentile: 80},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := hints.Condense(&hints.RawTable{Suffix: 1, Weight: 1, Hints: []hints.Hint{
+		{BudgetMs: 1000, HeadMillicores: 1500, HeadPercentile: 99},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &hints.Bundle{
+		Workflow: "w", Batch: 1, Weight: 1, SLOMs: 3000, MaxMillicores: 3000,
+		Tables: []*hints.Table{t0, t1},
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("nil bundle accepted")
+	}
+	b := bundle(t)
+	if _, err := New(b, WithMissThreshold(0)); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := New(b, WithMissThreshold(1)); err == nil {
+		t.Error("threshold 1 accepted")
+	}
+	bad := bundle(t)
+	bad.Workflow = ""
+	if _, err := New(bad); err == nil {
+		t.Error("invalid bundle accepted")
+	}
+}
+
+func TestDecideHitAndMiss(t *testing.T) {
+	a, err := New(bundle(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hit: exact range.
+	d, err := a.Decide(0, 2001*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Hit || d.Millicores != 2000 || d.Percentile != 85 {
+		t.Fatalf("Decide = %+v", d)
+	}
+	// Above coverage: cheapest plan.
+	d, err = a.Decide(0, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Hit || d.Millicores != 1000 {
+		t.Fatalf("above-coverage Decide = %+v", d)
+	}
+	// Below coverage: escalate to the ceiling.
+	d, err = a.Decide(0, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Hit || d.Millicores != 3000 || d.Percentile != 99 {
+		t.Fatalf("miss Decide = %+v", d)
+	}
+	hits, misses, rate := a.Stats()
+	if hits != 2 || misses != 1 || rate != 1.0/3 {
+		t.Fatalf("stats = %d, %d, %v", hits, misses, rate)
+	}
+}
+
+func TestDecideSuffixRange(t *testing.T) {
+	a, err := New(bundle(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Decide(-1, time.Second); err == nil {
+		t.Error("negative suffix accepted")
+	}
+	if _, err := a.Decide(2, time.Second); err == nil {
+		t.Error("out-of-range suffix accepted")
+	}
+}
+
+func TestRegenerationCallbackFiresOnceAboveThreshold(t *testing.T) {
+	fired := make(chan float64, 10)
+	a, err := New(bundle(t),
+		WithMissThreshold(0.1),
+		WithMinDecisions(10),
+		WithRegenerateCallback(func(rate float64) { fired <- rate }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 hits then misses: rate crosses 10% at the 10th+ decision.
+	for i := 0; i < 9; i++ {
+		if _, err := a.Decide(0, 3*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := a.Decide(0, time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case rate := <-fired:
+		if rate <= 0.1 {
+			t.Fatalf("callback fired at rate %v", rate)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("callback never fired")
+	}
+	// No second notification without Replace.
+	for i := 0; i < 5; i++ {
+		if _, err := a.Decide(0, time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-fired:
+		t.Fatal("callback fired twice")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestCallbackRespectsMinDecisions(t *testing.T) {
+	fired := make(chan float64, 1)
+	a, err := New(bundle(t),
+		WithMissThreshold(0.01),
+		WithMinDecisions(100),
+		WithRegenerateCallback(func(rate float64) { fired <- rate }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A lone early miss (100% rate) must not trigger with < 100 decisions.
+	if _, err := a.Decide(0, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-fired:
+		t.Fatal("callback fired before MinDecisions")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestReplaceSwapsBundleAndRearms(t *testing.T) {
+	fired := make(chan float64, 10)
+	a, err := New(bundle(t),
+		WithMissThreshold(0.1),
+		WithMinDecisions(1),
+		WithRegenerateCallback(func(rate float64) { fired <- rate }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Decide(0, time.Millisecond); err != nil { // miss -> notify
+		t.Fatal(err)
+	}
+	<-fired
+	if err := a.Replace(bundle(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Decide(0, time.Millisecond); err != nil { // miss again -> notify again
+		t.Fatal(err)
+	}
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("callback not re-armed after Replace")
+	}
+	if err := a.Replace(nil); err == nil {
+		t.Fatal("Replace(nil) accepted")
+	}
+}
+
+func TestConcurrentDecides(t *testing.T) {
+	a, err := New(bundle(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if _, err := a.Decide(0, 2500*time.Millisecond); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	hits, misses, _ := a.Stats()
+	if hits+misses != 8000 {
+		t.Fatalf("decision count = %d, want 8000", hits+misses)
+	}
+}
+
+func TestAllocatorIntegration(t *testing.T) {
+	a, err := New(bundle(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	al := &Allocator{Adapter: a, System: "janus"}
+	if al.Name() != "janus" {
+		t.Fatal("allocator name")
+	}
+	mc, hit := al.Allocate(nil, 0, 2003*time.Millisecond)
+	if mc != 1000 || !hit {
+		t.Fatalf("Allocate = %d, %v", mc, hit)
+	}
+	mc, hit = al.Allocate(nil, 1, time.Millisecond)
+	if mc != 3000 || hit {
+		t.Fatalf("miss Allocate = %d, %v", mc, hit)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range stage did not panic")
+		}
+	}()
+	al.Allocate(nil, 9, time.Second)
+}

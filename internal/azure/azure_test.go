@@ -1,0 +1,119 @@
+package azure
+
+import (
+	"testing"
+)
+
+func generate(t *testing.T) *Trace {
+	t.Helper()
+	tr, err := Generate(DefaultTraceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTraceShape(t *testing.T) {
+	tr := generate(t)
+	if len(tr.Invocations) != 50000 {
+		t.Fatalf("%d invocations", len(tr.Invocations))
+	}
+	for i, iv := range tr.Invocations {
+		if iv.LatencyMs <= 0 || iv.SLOMs <= 0 {
+			t.Fatalf("invocation %d has non-positive times: %+v", i, iv)
+		}
+		if iv.LatencyMs > iv.SLOMs {
+			t.Fatalf("invocation %d exceeds its SLO cap", i)
+		}
+		if s := iv.Slack(); s < 0 || s > 1 {
+			t.Fatalf("invocation %d slack %v outside [0, 1]", i, s)
+		}
+	}
+}
+
+func TestPopularShareNearPaper(t *testing.T) {
+	tr := generate(t)
+	share := tr.PopularShare()
+	// The paper's dataset: top-100 functions = 81.6% of invocations.
+	if share < 0.72 || share > 0.92 {
+		t.Fatalf("popular share = %.3f, want near 0.816", share)
+	}
+}
+
+func TestSlackDistributionMatchesFig1a(t *testing.T) {
+	tr := generate(t)
+	all := tr.SlackSample(false)
+	// ">60% of invocations have slacks over 60%".
+	aboveSixty := 1 - all.FractionAtOrBelow(0.6)
+	if aboveSixty < 0.6 {
+		t.Fatalf("fraction with slack > 0.6 = %.3f, want > 0.6", aboveSixty)
+	}
+	// "only 20% of the invocations of the popular functions have slacks
+	// less than 40%".
+	popular := tr.SlackSample(true)
+	belowForty := popular.FractionAtOrBelow(0.4)
+	if belowForty < 0.08 || belowForty > 0.35 {
+		t.Fatalf("popular fraction with slack < 0.4 = %.3f, want near 0.2", belowForty)
+	}
+	// Popular functions are more regular: their median slack is lower than
+	// the long tail's (they sit closer to their P99 SLO).
+	if popular.Percentile(50) >= all.Percentile(50) {
+		t.Fatalf("popular median slack %.3f not below overall %.3f",
+			popular.Percentile(50), all.Percentile(50))
+	}
+}
+
+func TestSlackCDFMonotone(t *testing.T) {
+	tr := generate(t)
+	grid := []float64{0, 0.2, 0.4, 0.6, 0.8, 1}
+	pts := tr.SlackCDF(false, grid)
+	if len(pts) != len(grid) {
+		t.Fatalf("%d points", len(pts))
+	}
+	prev := -1.0
+	for _, p := range pts {
+		if p.F < prev {
+			t.Fatal("CDF not monotone")
+		}
+		prev = p.F
+	}
+	if pts[len(pts)-1].F != 1 {
+		t.Fatalf("CDF at slack 1 = %v, want 1", pts[len(pts)-1].F)
+	}
+}
+
+func TestZipfOrdering(t *testing.T) {
+	tr := generate(t)
+	ranks := tr.FunctionRanksByInvocations()
+	// The most-invoked function should be among the lowest-rank (most
+	// popular by construction) functions.
+	if ranks[0] > 5 {
+		t.Fatalf("most invoked function has construction rank %d", ranks[0])
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := generate(t)
+	b := generate(t)
+	for i := range a.Invocations {
+		if a.Invocations[i] != b.Invocations[i] {
+			t.Fatal("traces differ for identical seeds")
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	cfg.TopN = 1000
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("TopN > Functions accepted")
+	}
+	// Zero values fall back to defaults.
+	tr, err := Generate(TraceConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Invocations) != 50000 || tr.Config.TopN != 100 {
+		t.Fatal("defaults not applied")
+	}
+}

@@ -1,0 +1,351 @@
+// Package baseline implements the serving systems Janus is evaluated
+// against (§V-A):
+//
+//   - GrandSLAM: early binding with one identical size for every function
+//     in the chain, the cheapest size whose per-function P99 latencies sum
+//     within the SLO.
+//   - GrandSLAM+: the paper's enhanced variant that lifts the identical-
+//     size constraint — the cheapest per-function sizes whose P99s sum
+//     within the SLO.
+//   - ORION: distribution-aware early binding. Instead of summing
+//     per-function P99s (which double-counts tail mass), ORION models the
+//     end-to-end latency distribution by convolving per-function empirical
+//     distributions and sizes against the P99 of the convolution.
+//   - Optimal: the clairvoyant late-binding lower bound — for each request
+//     it knows the exact latency the request would have at every
+//     allocation and picks the cheapest plan meeting the SLO.
+//
+// Janus, Janus-, and Janus+ come from packages synth/adapter; this package
+// covers everything else.
+package baseline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"janus/internal/perfmodel"
+	"janus/internal/platform"
+	"janus/internal/profile"
+	"janus/internal/rng"
+	"janus/internal/stats"
+	"janus/internal/workflow"
+)
+
+// GrandSLAM sizes the chain with one identical allocation (its published
+// constraint) at P99.
+func GrandSLAM(set *profile.Set, slo time.Duration) (*platform.Fixed, error) {
+	sloMs := int(slo / time.Millisecond)
+	grid := set.At(0).Grid
+	for _, k := range grid.Levels() {
+		total := 0
+		for i := 0; i < set.Len(); i++ {
+			total += set.At(i).LMs(99, k)
+		}
+		if total <= sloMs {
+			sizes := make([]int, set.Len())
+			for i := range sizes {
+				sizes[i] = k
+			}
+			return &platform.Fixed{System: "grandslam", Sizes: sizes}, nil
+		}
+	}
+	return nil, fmt.Errorf("baseline: GrandSLAM cannot meet SLO %v even at Kmax", slo)
+}
+
+// GrandSLAMPlus sizes each function independently: the cheapest size vector
+// whose P99 latencies sum within the SLO.
+func GrandSLAMPlus(set *profile.Set, slo time.Duration) (*platform.Fixed, error) {
+	sizes, ok := minSumSizes(set, int(slo/time.Millisecond))
+	if !ok {
+		return nil, fmt.Errorf("baseline: GrandSLAM+ cannot meet SLO %v even at Kmax", slo)
+	}
+	return &platform.Fixed{System: "grandslam+", Sizes: sizes}, nil
+}
+
+// minSumSizes solves min sum(k_i) s.t. sum L_i(99, k_i) <= budgetMs by
+// dynamic programming over stages and budget.
+func minSumSizes(set *profile.Set, budgetMs int) ([]int, bool) {
+	if budgetMs < 0 {
+		return nil, false
+	}
+	n := set.Len()
+	levels := set.At(0).Grid.Levels()
+	width := budgetMs + 1
+	// dp[t] for the current suffix; rebuilt from the back.
+	dp := make([][]int32, n+1)
+	choice := make([][]int16, n)
+	dp[n] = make([]int32, width)
+	for j := n - 1; j >= 0; j-- {
+		fp := set.At(j)
+		dp[j] = make([]int32, width)
+		choice[j] = make([]int16, width)
+		for t := 0; t < width; t++ {
+			best := int32(-1)
+			bestKi := int16(-1)
+			for ki := len(levels) - 1; ki >= 0; ki-- {
+				lat := fp.LMs(99, levels[ki])
+				if lat > t {
+					break
+				}
+				if dp[j+1][t-lat] < 0 {
+					continue
+				}
+				cand := int32(levels[ki]) + dp[j+1][t-lat]
+				if best < 0 || cand < best {
+					best, bestKi = cand, int16(ki)
+				}
+			}
+			dp[j][t] = best
+			choice[j][t] = bestKi
+		}
+	}
+	if dp[0][budgetMs] < 0 {
+		return nil, false
+	}
+	sizes := make([]int, n)
+	t := budgetMs
+	for j := 0; j < n; j++ {
+		ki := choice[j][t]
+		sizes[j] = levels[ki]
+		t -= set.At(j).LMs(99, sizes[j])
+	}
+	return sizes, true
+}
+
+// ORIONConfig tunes the distribution-aware search.
+type ORIONConfig struct {
+	// Trials is the Monte-Carlo sample count per end-to-end distribution
+	// evaluation (common random numbers across evaluations).
+	Trials int
+	// Correlation in [0, 1] is the stage-correlation mixture weight of the
+	// end-to-end model, matching the workload's copula: with this
+	// probability a trial draws the same quantile rank at every stage.
+	// ORION's published strength is exactly that it models the workflow's
+	// end-to-end latency distribution rather than summing per-stage P99s.
+	Correlation float64
+	// Seed drives the Monte-Carlo draws.
+	Seed uint64
+}
+
+// ORION sizes the chain distribution-aware: starting from the GrandSLAM+
+// solution (feasible by construction, since the P99 sum over-estimates the
+// end-to-end P99), it greedily shrinks allocations while the P99 of the
+// convolved end-to-end distribution still meets the SLO.
+func ORION(set *profile.Set, slo time.Duration, cfg ORIONConfig) (*platform.Fixed, error) {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 4000
+	}
+	if cfg.Correlation < 0 || cfg.Correlation > 1 {
+		return nil, fmt.Errorf("baseline: ORION correlation %v outside [0, 1]", cfg.Correlation)
+	}
+	start, err := GrandSLAMPlus(set, slo)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: ORION needs a feasible starting point: %w", err)
+	}
+	n := set.Len()
+	grid := set.At(0).Grid
+	for j := 0; j < n; j++ {
+		if set.At(j).Sample(grid.Min) == nil {
+			return nil, fmt.Errorf("baseline: ORION requires profiles with raw samples (stage %d)", j)
+		}
+	}
+	// Pre-draw quantile ranks once (common random numbers): evaluation is
+	// deterministic and candidate comparisons are paired. A correlated
+	// trial uses one rank for all stages (comonotonic); an independent
+	// trial draws per-stage ranks.
+	stream := rng.New(cfg.Seed).Split("orion")
+	ranks := make([][]float64, cfg.Trials)
+	for t := range ranks {
+		ranks[t] = make([]float64, n)
+		if stream.Float64() < cfg.Correlation {
+			u := stream.Float64()
+			for j := 0; j < n; j++ {
+				ranks[t][j] = u
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				ranks[t][j] = stream.Float64()
+			}
+		}
+	}
+	sloMs := float64(slo / time.Millisecond)
+	p99 := func(sizes []int) float64 {
+		sums := make([]float64, cfg.Trials)
+		for t := 0; t < cfg.Trials; t++ {
+			total := 0.0
+			for j := 0; j < n; j++ {
+				vals := set.At(j).Sample(sizes[j]).Values()
+				idx := int(ranks[t][j] * float64(len(vals)))
+				if idx >= len(vals) {
+					idx = len(vals) - 1
+				}
+				total += vals[idx]
+			}
+			sums[t] = total
+		}
+		return stats.NewSample(sums).Percentile(99)
+	}
+	sizes := append([]int(nil), start.Sizes...)
+	if p99(sizes) > sloMs {
+		// The P99-sum start should dominate the convolved P99; if sampling
+		// noise says otherwise, fall back to the safe start.
+		return &platform.Fixed{System: "orion", Sizes: sizes}, nil
+	}
+	for improved := true; improved; {
+		improved = false
+		// Shrink the stage that keeps the most headroom after shrinking.
+		bestStage, bestP99 := -1, 0.0
+		for j := 0; j < n; j++ {
+			if sizes[j] <= grid.Min {
+				continue
+			}
+			sizes[j] -= grid.Step
+			v := p99(sizes)
+			sizes[j] += grid.Step
+			if v <= sloMs && (bestStage < 0 || v < bestP99) {
+				bestStage, bestP99 = j, v
+			}
+		}
+		if bestStage >= 0 {
+			sizes[bestStage] -= grid.Step
+			improved = true
+		}
+	}
+	return &platform.Fixed{System: "orion", Sizes: sizes}, nil
+}
+
+// Optimal is the clairvoyant late-binding oracle. For each request it reads
+// the pre-sampled draws (which make latency a pure function of allocation),
+// solves min sum(k_i) s.t. sum l_i(k_i) <= SLO by DP, and serves the plan.
+// Requests infeasible even at Kmax run entirely at Kmax.
+type Optimal struct {
+	fns      []*perfmodel.Function
+	grid     profile.Grid
+	headroom time.Duration
+
+	mu    sync.Mutex
+	plans map[int][]int
+}
+
+// NewOptimal builds the oracle for a chain workflow. headroom is subtracted
+// from the SLO before planning, covering platform costs outside function
+// execution (pod specialization, adapter decisions).
+func NewOptimal(w *workflow.Workflow, fns map[string]*perfmodel.Function, grid profile.Grid, headroom time.Duration) (*Optimal, error) {
+	chain, err := w.Chain()
+	if err != nil {
+		return nil, err
+	}
+	if err := grid.Validate(); err != nil {
+		return nil, err
+	}
+	if headroom < 0 {
+		return nil, fmt.Errorf("baseline: negative headroom %v", headroom)
+	}
+	o := &Optimal{grid: grid, headroom: headroom, plans: make(map[int][]int)}
+	for _, node := range chain {
+		f, ok := fns[node.Function]
+		if !ok {
+			return nil, fmt.Errorf("baseline: Optimal missing function %q", node.Function)
+		}
+		o.fns = append(o.fns, f)
+	}
+	return o, nil
+}
+
+// Name implements platform.Allocator.
+func (o *Optimal) Name() string { return "optimal" }
+
+// Allocate implements platform.Allocator.
+func (o *Optimal) Allocate(req *platform.Request, stage int, _ time.Duration) (int, bool) {
+	o.mu.Lock()
+	plan, ok := o.plans[req.ID]
+	o.mu.Unlock()
+	if !ok {
+		plan = o.solve(req)
+		o.mu.Lock()
+		o.plans[req.ID] = plan
+		o.mu.Unlock()
+	}
+	return plan[stage], true
+}
+
+// solve runs the per-request DP over (stage, remaining ms).
+func (o *Optimal) solve(req *platform.Request) []int {
+	n := len(o.fns)
+	levels := o.grid.Levels()
+	sloMs := int((req.Workflow.SLO() - o.headroom) / time.Millisecond)
+	if sloMs < 0 {
+		sloMs = 0
+	}
+	// latMs[j][ki]: the request's actual latency at each allocation,
+	// rounded up so the plan is never optimistic.
+	latMs := make([][]int, n)
+	minSum, maxSum := 0, 0
+	for j, f := range o.fns {
+		latMs[j] = make([]int, len(levels))
+		for ki, k := range levels {
+			latMs[j][ki] = int(f.Latency(req.Draws[j], k)/time.Millisecond) + 1
+		}
+		minSum += latMs[j][0]
+		maxSum += latMs[j][len(levels)-1]
+	}
+	// Fast paths: the all-minimum plan is the global cheapest when it
+	// fits; nothing helps when even all-Kmax misses.
+	if minSum <= sloMs {
+		plan := make([]int, n)
+		for j := range plan {
+			plan[j] = o.grid.Min
+		}
+		return plan
+	}
+	if maxSum > sloMs {
+		plan := make([]int, n)
+		for j := range plan {
+			plan[j] = o.grid.Max
+		}
+		return plan
+	}
+	width := sloMs + 1
+	dp := make([][]int32, n+1)
+	choice := make([][]int16, n)
+	dp[n] = make([]int32, width)
+	for j := n - 1; j >= 0; j-- {
+		dp[j] = make([]int32, width)
+		choice[j] = make([]int16, width)
+		for t := 0; t < width; t++ {
+			best := int32(-1)
+			bestKi := int16(-1)
+			for ki := len(levels) - 1; ki >= 0; ki-- {
+				lat := latMs[j][ki]
+				if lat > t {
+					break
+				}
+				if dp[j+1][t-lat] < 0 {
+					continue
+				}
+				cand := int32(levels[ki]) + dp[j+1][t-lat]
+				if best < 0 || cand < best {
+					best, bestKi = cand, int16(ki)
+				}
+			}
+			dp[j][t] = best
+			choice[j][t] = bestKi
+		}
+	}
+	plan := make([]int, n)
+	if dp[0][sloMs] < 0 {
+		// Infeasible request: sprint at Kmax to minimize the violation.
+		for j := range plan {
+			plan[j] = o.grid.Max
+		}
+		return plan
+	}
+	t := sloMs
+	for j := 0; j < n; j++ {
+		ki := choice[j][t]
+		plan[j] = levels[ki]
+		t -= latMs[j][ki]
+	}
+	return plan
+}

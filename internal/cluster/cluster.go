@@ -1,0 +1,269 @@
+// Package cluster simulates the serverless provider's execution substrate:
+// a set of worker nodes (VMs) hosting function pods, in the style of
+// Kubernetes with the Fission PoolManager executor the paper deploys on
+// (§V-A). The pool manager keeps a pool of warm pods per function so that
+// requests avoid cold starts; pods are specialized (a few milliseconds)
+// when taken from the pool and cold-started (hundreds of milliseconds) when
+// the pool is empty.
+//
+// The cluster owns millicore accounting per node and reports the live
+// co-location census — how many instances of the same function are busy on
+// a node — which is what drives the interference model at serving time.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config sizes the simulated cluster.
+type Config struct {
+	// Nodes is the number of worker nodes (VMs).
+	Nodes int
+	// NodeMillicores is each node's allocatable CPU (the paper's platform
+	// server has 52 physical cores).
+	NodeMillicores int
+	// PoolSize is the number of warm pods kept per function per the pool
+	// manager; 0 disables pre-warming.
+	PoolSize int
+	// IdleMillicores is the allocation a warm idle pod reserves.
+	IdleMillicores int
+}
+
+// DefaultConfig mirrors the paper's single 52-core platform server with a
+// per-function warm pool of three pods.
+func DefaultConfig() Config {
+	return Config{Nodes: 1, NodeMillicores: 52000, PoolSize: 3, IdleMillicores: 100}
+}
+
+func (c Config) validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("cluster: Nodes must be positive, got %d", c.Nodes)
+	}
+	if c.NodeMillicores <= 0 {
+		return fmt.Errorf("cluster: NodeMillicores must be positive, got %d", c.NodeMillicores)
+	}
+	if c.PoolSize < 0 {
+		return fmt.Errorf("cluster: PoolSize must be >= 0, got %d", c.PoolSize)
+	}
+	if c.IdleMillicores < 0 {
+		return fmt.Errorf("cluster: IdleMillicores must be >= 0, got %d", c.IdleMillicores)
+	}
+	return nil
+}
+
+// Pod is a function instance. Pods are created by the cluster; callers
+// resize, acquire, and release them through cluster methods.
+type Pod struct {
+	// ID is unique across the cluster's lifetime.
+	ID int
+	// Function is the deployed function this pod is specialized for.
+	Function string
+	// NodeID is the hosting node.
+	NodeID int
+
+	millicores int
+	busy       bool
+}
+
+// Millicores reports the pod's current CPU allocation.
+func (p *Pod) Millicores() int { return p.millicores }
+
+// Busy reports whether the pod is executing.
+func (p *Pod) Busy() bool { return p.busy }
+
+type node struct {
+	id        int
+	capacity  int
+	allocated int
+	pods      map[int]*Pod
+}
+
+// Cluster tracks nodes, pods, and warm pools. It is not safe for concurrent
+// use; the discrete-event executor drives it from a single goroutine.
+type Cluster struct {
+	cfg    Config
+	nodes  []*node
+	nextID int
+	// pools maps function -> idle warm pod IDs (LIFO for cache warmth).
+	pools map[string][]*Pod
+}
+
+// New builds a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, pools: make(map[string][]*Pod)}
+	for i := 0; i < cfg.Nodes; i++ {
+		c.nodes = append(c.nodes, &node{id: i, capacity: cfg.NodeMillicores, pods: make(map[int]*Pod)})
+	}
+	return c, nil
+}
+
+// Deploy pre-warms PoolSize pods for the function, spreading them across
+// nodes with the most free capacity first.
+func (c *Cluster) Deploy(function string) error {
+	if function == "" {
+		return fmt.Errorf("cluster: Deploy requires a function name")
+	}
+	if _, ok := c.pools[function]; ok {
+		return fmt.Errorf("cluster: %s already deployed", function)
+	}
+	c.pools[function] = nil
+	for i := 0; i < c.cfg.PoolSize; i++ {
+		pod, err := c.createPod(function, c.cfg.IdleMillicores)
+		if err != nil {
+			return fmt.Errorf("cluster: pre-warming %s: %w", function, err)
+		}
+		c.pools[function] = append(c.pools[function], pod)
+	}
+	return nil
+}
+
+// Deployed reports whether the function has a pool.
+func (c *Cluster) Deployed(function string) bool {
+	_, ok := c.pools[function]
+	return ok
+}
+
+func (c *Cluster) createPod(function string, millicores int) (*Pod, error) {
+	n := c.pickNode(millicores)
+	if n == nil {
+		return nil, fmt.Errorf("cluster: no node with %d free millicores for %s", millicores, function)
+	}
+	c.nextID++
+	pod := &Pod{ID: c.nextID, Function: function, NodeID: n.id, millicores: millicores}
+	n.pods[pod.ID] = pod
+	n.allocated += millicores
+	return pod, nil
+}
+
+// pickNode returns the node with the most free capacity that fits the
+// request, preferring lower IDs on ties for determinism.
+func (c *Cluster) pickNode(millicores int) *node {
+	var best *node
+	for _, n := range c.nodes {
+		free := n.capacity - n.allocated
+		if free < millicores {
+			continue
+		}
+		if best == nil || free > best.capacity-best.allocated {
+			best = n
+		}
+	}
+	return best
+}
+
+// Acquire takes a pod for one execution of the function at the given
+// allocation. It returns the pod and whether the start was cold (no warm
+// pod available). Resizing a warm pod is part of acquisition.
+func (c *Cluster) Acquire(function string, millicores int) (*Pod, bool, error) {
+	if millicores <= 0 {
+		return nil, false, fmt.Errorf("cluster: Acquire %s with non-positive millicores %d", function, millicores)
+	}
+	pool, ok := c.pools[function]
+	if !ok {
+		return nil, false, fmt.Errorf("cluster: %s not deployed", function)
+	}
+	if len(pool) > 0 {
+		pod := pool[len(pool)-1]
+		c.pools[function] = pool[:len(pool)-1]
+		if err := c.Resize(pod, millicores); err != nil {
+			// Undo the pop before reporting: the pod stays warm.
+			c.pools[function] = append(c.pools[function], pod)
+			return nil, false, err
+		}
+		pod.busy = true
+		return pod, false, nil
+	}
+	pod, err := c.createPod(function, millicores)
+	if err != nil {
+		return nil, false, err
+	}
+	pod.busy = true
+	return pod, true, nil
+}
+
+// Resize changes a pod's allocation in place (the late-binding primitive:
+// Janus resizes the next function's pod right before it runs).
+func (c *Cluster) Resize(pod *Pod, millicores int) error {
+	if millicores <= 0 {
+		return fmt.Errorf("cluster: Resize to non-positive millicores %d", millicores)
+	}
+	n := c.nodes[pod.NodeID]
+	delta := millicores - pod.millicores
+	if n.allocated+delta > n.capacity {
+		return fmt.Errorf("cluster: node %d cannot grow pod %d by %d millicores (allocated %d / %d)",
+			n.id, pod.ID, delta, n.allocated, n.capacity)
+	}
+	n.allocated += delta
+	pod.millicores = millicores
+	return nil
+}
+
+// Release returns a pod to its function's warm pool, shrinking it to the
+// idle allocation. Pools beyond PoolSize are trimmed by destroying the pod.
+func (c *Cluster) Release(pod *Pod) error {
+	if !pod.busy {
+		return fmt.Errorf("cluster: Release of idle pod %d", pod.ID)
+	}
+	pod.busy = false
+	if len(c.pools[pod.Function]) >= c.cfg.PoolSize {
+		return c.destroy(pod)
+	}
+	if err := c.Resize(pod, max(c.cfg.IdleMillicores, 1)); err != nil {
+		return err
+	}
+	c.pools[pod.Function] = append(c.pools[pod.Function], pod)
+	return nil
+}
+
+func (c *Cluster) destroy(pod *Pod) error {
+	n := c.nodes[pod.NodeID]
+	if _, ok := n.pods[pod.ID]; !ok {
+		return fmt.Errorf("cluster: destroying unknown pod %d", pod.ID)
+	}
+	n.allocated -= pod.millicores
+	delete(n.pods, pod.ID)
+	return nil
+}
+
+// Colocated reports how many busy pods of the same function share the
+// pod's node, including the pod itself — the census the interference model
+// consumes.
+func (c *Cluster) Colocated(pod *Pod) int {
+	n := c.nodes[pod.NodeID]
+	count := 0
+	for _, other := range n.pods {
+		if other.Function == pod.Function && other.busy {
+			count++
+		}
+	}
+	return count
+}
+
+// NodeAllocated reports a node's allocated millicores.
+func (c *Cluster) NodeAllocated(nodeID int) int {
+	return c.nodes[nodeID].allocated
+}
+
+// NodeCapacity reports a node's total millicores.
+func (c *Cluster) NodeCapacity(nodeID int) int {
+	return c.nodes[nodeID].capacity
+}
+
+// WarmPods reports the number of idle warm pods for the function.
+func (c *Cluster) WarmPods(function string) int {
+	return len(c.pools[function])
+}
+
+// Functions lists deployed function names, sorted.
+func (c *Cluster) Functions() []string {
+	out := make([]string, 0, len(c.pools))
+	for f := range c.pools {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,271 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func small(t *testing.T) *Cluster {
+	c := mustCluster(t, Config{Nodes: 1, NodeMillicores: 10000, PoolSize: 2, IdleMillicores: 100})
+	if err := c.Deploy("f"); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    Config
+		errHas string
+	}{
+		{"no nodes", Config{Nodes: 0, NodeMillicores: 1000}, "Nodes"},
+		{"no cores", Config{Nodes: 1, NodeMillicores: 0}, "NodeMillicores"},
+		{"negative pool", Config{Nodes: 1, NodeMillicores: 1000, PoolSize: -1}, "PoolSize"},
+		{"negative idle", Config{Nodes: 1, NodeMillicores: 1000, IdleMillicores: -1}, "IdleMillicores"},
+	}
+	for _, c := range cases {
+		if _, err := New(c.cfg); err == nil || !strings.Contains(err.Error(), c.errHas) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.errHas)
+		}
+	}
+}
+
+func TestDeployPreWarms(t *testing.T) {
+	c := small(t)
+	if got := c.WarmPods("f"); got != 2 {
+		t.Fatalf("WarmPods = %d, want 2", got)
+	}
+	if got := c.NodeAllocated(0); got != 200 {
+		t.Fatalf("idle allocation = %d, want 200", got)
+	}
+	if !c.Deployed("f") || c.Deployed("g") {
+		t.Fatal("Deployed() wrong")
+	}
+}
+
+func TestDeployValidation(t *testing.T) {
+	c := small(t)
+	if err := c.Deploy(""); err == nil {
+		t.Fatal("empty function name accepted")
+	}
+	if err := c.Deploy("f"); err == nil {
+		t.Fatal("double deploy accepted")
+	}
+}
+
+func TestAcquireWarmThenCold(t *testing.T) {
+	c := small(t)
+	p1, cold, err := c.Acquire("f", 1000)
+	if err != nil || cold {
+		t.Fatalf("first acquire: cold=%v err=%v, want warm", cold, err)
+	}
+	if p1.Millicores() != 1000 || !p1.Busy() {
+		t.Fatalf("pod state = %d mc busy=%v", p1.Millicores(), p1.Busy())
+	}
+	if _, cold, err = c.Acquire("f", 1000); err != nil || cold {
+		t.Fatalf("second acquire should still be warm: cold=%v err=%v", cold, err)
+	}
+	if _, cold, err = c.Acquire("f", 1000); err != nil || !cold {
+		t.Fatalf("third acquire should be cold: cold=%v err=%v", cold, err)
+	}
+}
+
+func TestAcquireErrors(t *testing.T) {
+	c := small(t)
+	if _, _, err := c.Acquire("g", 1000); err == nil {
+		t.Fatal("acquire of undeployed function accepted")
+	}
+	if _, _, err := c.Acquire("f", 0); err == nil {
+		t.Fatal("acquire with zero millicores accepted")
+	}
+}
+
+func TestAcquireCapacityExhaustion(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 1, NodeMillicores: 2500, PoolSize: 1, IdleMillicores: 100})
+	if err := c.Deploy("f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Acquire("f", 2000); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Acquire("f", 2000); err == nil {
+		t.Fatal("over-capacity acquire accepted")
+	}
+	// A warm pod that cannot be resized stays in the pool.
+	c2 := mustCluster(t, Config{Nodes: 1, NodeMillicores: 500, PoolSize: 1, IdleMillicores: 100})
+	if err := c2.Deploy("g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c2.Acquire("g", 1000); err == nil {
+		t.Fatal("resize beyond node capacity accepted")
+	}
+	if c2.WarmPods("g") != 1 {
+		t.Fatal("failed acquire leaked the warm pod")
+	}
+}
+
+func TestReleaseReturnsToPool(t *testing.T) {
+	c := small(t)
+	p, _, err := c.Acquire("f", 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.NodeAllocated(0)
+	if err := c.Release(p); err != nil {
+		t.Fatal(err)
+	}
+	if c.WarmPods("f") != 2 {
+		t.Fatalf("WarmPods = %d, want 2", c.WarmPods("f"))
+	}
+	if p.Busy() {
+		t.Fatal("released pod still busy")
+	}
+	if got := c.NodeAllocated(0); got >= before {
+		t.Fatalf("release did not shrink allocation: %d -> %d", before, got)
+	}
+}
+
+func TestReleaseTrimsBeyondPoolSize(t *testing.T) {
+	c := small(t)
+	// Drain the pool and cold-start one extra.
+	var pods []*Pod
+	for i := 0; i < 3; i++ {
+		p, _, err := c.Acquire("f", 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pods = append(pods, p)
+	}
+	for _, p := range pods {
+		if err := c.Release(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.WarmPods("f"); got != 2 {
+		t.Fatalf("pool grew beyond PoolSize: %d", got)
+	}
+	// All remaining allocation is idle pods only.
+	if got := c.NodeAllocated(0); got != 200 {
+		t.Fatalf("allocation after trim = %d, want 200", got)
+	}
+}
+
+func TestReleaseIdlePodFails(t *testing.T) {
+	c := small(t)
+	p, _, err := c.Acquire("f", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(p); err == nil {
+		t.Fatal("double release accepted")
+	}
+}
+
+func TestResizeAccounting(t *testing.T) {
+	c := small(t)
+	p, _, err := c.Acquire("f", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := c.NodeAllocated(0)
+	if err := c.Resize(p, 2500); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.NodeAllocated(0); got != base+1500 {
+		t.Fatalf("allocation after grow = %d, want %d", got, base+1500)
+	}
+	if err := c.Resize(p, 500); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.NodeAllocated(0); got != base-500 {
+		t.Fatalf("allocation after shrink = %d, want %d", got, base-500)
+	}
+	if err := c.Resize(p, 0); err == nil {
+		t.Fatal("resize to zero accepted")
+	}
+	if err := c.Resize(p, 100000); err == nil {
+		t.Fatal("resize beyond capacity accepted")
+	}
+}
+
+func TestColocatedCountsBusySameFunction(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 1, NodeMillicores: 20000, PoolSize: 3, IdleMillicores: 100})
+	for _, f := range []string{"f", "g"} {
+		if err := c.Deploy(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f1, _, _ := c.Acquire("f", 1000)
+	f2, _, _ := c.Acquire("f", 1000)
+	g1, _, _ := c.Acquire("g", 1000)
+	if got := c.Colocated(f1); got != 2 {
+		t.Fatalf("Colocated(f1) = %d, want 2", got)
+	}
+	if got := c.Colocated(g1); got != 1 {
+		t.Fatalf("Colocated(g1) = %d, want 1", got)
+	}
+	if err := c.Release(f2); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Colocated(f1); got != 1 {
+		t.Fatalf("Colocated(f1) after release = %d, want 1", got)
+	}
+}
+
+func TestMultiNodeSpreads(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 2, NodeMillicores: 5000, PoolSize: 0, IdleMillicores: 100})
+	if err := c.Deploy("f"); err != nil {
+		t.Fatal(err)
+	}
+	p1, cold, err := c.Acquire("f", 3000)
+	if err != nil || !cold {
+		t.Fatalf("expected cold start, got cold=%v err=%v", cold, err)
+	}
+	p2, _, err := c.Acquire("f", 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.NodeID == p2.NodeID {
+		t.Fatal("pods not spread across nodes")
+	}
+	// Combined capacity exists but no single node fits 4000 more.
+	if _, _, err := c.Acquire("f", 4000); err == nil {
+		t.Fatal("fragmented capacity should not satisfy a 4000mc pod")
+	}
+}
+
+func TestFunctionsSorted(t *testing.T) {
+	c := mustCluster(t, DefaultConfig())
+	for _, f := range []string{"zeta", "alpha", "mid"} {
+		if err := c.Deploy(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.Functions()
+	if len(got) != 3 || got[0] != "alpha" || got[2] != "zeta" {
+		t.Fatalf("Functions() = %v", got)
+	}
+}
+
+func TestDefaultConfigMatchesPaperTestbed(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.NodeMillicores != 52000 {
+		t.Errorf("platform server should model 52 cores, got %d millicores", cfg.NodeMillicores)
+	}
+	if cfg.PoolSize == 0 {
+		t.Error("pool manager should pre-warm pods (the paper picks PoolManager to avoid cold starts)")
+	}
+}

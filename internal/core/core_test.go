@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"janus/internal/interfere"
+	"janus/internal/perfmodel"
+	"janus/internal/synth"
+	"janus/internal/workflow"
+)
+
+func opts(t *testing.T) Options {
+	t.Helper()
+	coloc, err := interfere.NewCountSampler([]float64{0.5, 0.35, 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Options{
+		Functions:        perfmodel.Catalog(),
+		Colocation:       coloc,
+		Interference:     interfere.Default(),
+		Seed:             31,
+		SamplesPerConfig: 500,
+		BudgetStepMs:     20,
+	}
+}
+
+func TestDeployEndToEnd(t *testing.T) {
+	d, err := Deploy(workflow.IntelligentAssistant(), opts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Batch != 1 || d.Workflow.Name() != "ia" {
+		t.Fatalf("deployment header: batch=%d wf=%s", d.Batch, d.Workflow.Name())
+	}
+	b := d.Bundle()
+	if b.Stages() != 3 || b.TotalRanges() == 0 {
+		t.Fatalf("bundle: stages=%d ranges=%d", b.Stages(), b.TotalRanges())
+	}
+	// The adapter serves decisions immediately.
+	dec, err := d.Adapter.Decide(0, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Millicores < 1000 || dec.Millicores > 3000 {
+		t.Fatalf("decision %+v outside grid", dec)
+	}
+	al := d.Allocator("janus")
+	if al.Name() != "janus" {
+		t.Fatal("allocator name")
+	}
+}
+
+func TestDeployValidation(t *testing.T) {
+	if _, err := Deploy(nil, opts(t)); err == nil {
+		t.Error("nil workflow accepted")
+	}
+	bad := opts(t)
+	bad.Functions = nil
+	if _, err := Deploy(workflow.IntelligentAssistant(), bad); err == nil {
+		t.Error("nil functions accepted")
+	}
+	if _, err := DeployProfiled(nil, opts(t)); err == nil {
+		t.Error("nil profile set accepted")
+	}
+}
+
+func TestDeployBatchMismatch(t *testing.T) {
+	d, err := Deploy(workflow.IntelligentAssistant(), opts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opts(t)
+	o.Batch = 2
+	if _, err := DeployProfiled(d.Profiles, o); err == nil {
+		t.Error("batch mismatch accepted")
+	}
+}
+
+func TestDeployModes(t *testing.T) {
+	for _, mode := range []synth.Mode{synth.ModeJanus, synth.ModeJanusMinus} {
+		o := opts(t)
+		o.Mode = mode
+		d, err := Deploy(workflow.VideoAnalyze(), o)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if d.Bundle().TotalRanges() == 0 {
+			t.Fatalf("mode %v: empty bundle", mode)
+		}
+	}
+}
+
+func TestRegenerationSwapsBundle(t *testing.T) {
+	o := opts(t)
+	o.MissThreshold = 0.5
+	d, err := Deploy(workflow.IntelligentAssistant(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.Adapter.Bundle()
+	// Force misses past the threshold: tiny remaining budgets always miss.
+	for i := 0; i < 150; i++ {
+		if _, err := d.Adapter.Decide(0, time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Regeneration runs asynchronously; poll for the swap.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if d.Adapter.Bundle() != before {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("bundle never regenerated")
+}
+
+func TestDeployProfiledReuse(t *testing.T) {
+	d, err := Deploy(workflow.IntelligentAssistant(), opts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-synthesize with a different weight over the same profiles.
+	o := opts(t)
+	o.Weight = 3
+	d3, err := DeployProfiled(d.Profiles, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.Bundle().Weight != 3 {
+		t.Fatalf("weight = %v", d3.Bundle().Weight)
+	}
+	// Higher weight condenses to fewer or equal hints (Fig 8 trend).
+	if d3.Bundle().TotalRanges() > d.Bundle().TotalRanges() {
+		t.Fatalf("weight 3 bundle larger than weight 1: %d vs %d",
+			d3.Bundle().TotalRanges(), d.Bundle().TotalRanges())
+	}
+}

@@ -1,0 +1,376 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"janus/internal/platform"
+	"janus/internal/synth"
+	"janus/internal/workflow"
+)
+
+// Panel identifies one workload point of the evaluation (Fig 4/5).
+type Panel struct {
+	Workflow string
+	Batch    int
+	SLO      time.Duration
+}
+
+// panels returns the paper's four evaluation panels: IA and VA at
+// concurrency 1 with their default SLOs, and IA at concurrency 2 and 3
+// with SLOs relaxed to 4 s and 5 s to keep early binding feasible (§V-B).
+func panels() []Panel {
+	return []Panel{
+		{Workflow: "ia", Batch: 1, SLO: 3 * time.Second},
+		{Workflow: "va", Batch: 1, SLO: 1500 * time.Millisecond},
+		{Workflow: "ia", Batch: 2, SLO: 4 * time.Second},
+		{Workflow: "ia", Batch: 3, SLO: 5 * time.Second},
+	}
+}
+
+func (s *Suite) panelWorkflow(p Panel) (*workflow.Workflow, error) {
+	var w *workflow.Workflow
+	switch p.Workflow {
+	case "ia":
+		w = workflow.IntelligentAssistant()
+	case "va":
+		w = workflow.VideoAnalyze()
+	default:
+		return nil, fmt.Errorf("experiment: unknown workflow %q", p.Workflow)
+	}
+	return w.WithSLO(p.SLO)
+}
+
+// Fig4Dist is one system's end-to-end latency distribution in a panel.
+type Fig4Dist struct {
+	System        string
+	P50           time.Duration
+	P90           time.Duration
+	P99           time.Duration
+	P999          time.Duration
+	Max           time.Duration
+	ViolationRate float64
+}
+
+// Fig4Panel is one workload point's latency distribution comparison.
+type Fig4Panel struct {
+	Panel   Panel
+	Systems []Fig4Dist
+}
+
+// Fig4 reproduces the end-to-end latency distributions of all systems over
+// the four panels, against the SLO lines.
+func (s *Suite) Fig4() ([]Fig4Panel, error) {
+	var out []Fig4Panel
+	for _, p := range panels() {
+		w, err := s.panelWorkflow(p)
+		if err != nil {
+			return nil, err
+		}
+		runs, err := s.RunPoint(w, p.Batch, AllSystems())
+		if err != nil {
+			return nil, err
+		}
+		fp := Fig4Panel{Panel: p}
+		for _, sys := range AllSystems() {
+			r := runs[sys]
+			e2e := platform.E2ESample(r.Traces)
+			fp.Systems = append(fp.Systems, Fig4Dist{
+				System:        sys,
+				P50:           e2e.PercentileDuration(50),
+				P90:           e2e.PercentileDuration(90),
+				P99:           e2e.PercentileDuration(99),
+				P999:          e2e.PercentileDuration(99.9),
+				Max:           time.Duration(e2e.Max() * float64(time.Millisecond)),
+				ViolationRate: r.ViolationRate,
+			})
+		}
+		out = append(out, fp)
+	}
+	return out, nil
+}
+
+// FormatFig4 renders the panels.
+func FormatFig4(panels []Fig4Panel) string {
+	var b strings.Builder
+	b.WriteString("Fig 4: end-to-end latency distribution (tail percentiles vs SLO)\n")
+	for _, p := range panels {
+		fmt.Fprintf(&b, "\n%s conc=%d SLO=%v\n", strings.ToUpper(p.Panel.Workflow), p.Panel.Batch, p.Panel.SLO)
+		fmt.Fprintf(&b, "%-11s %8s %8s %8s %8s %8s %10s\n", "system", "P50", "P90", "P99", "P99.9", "max", "viol.rate")
+		for _, d := range p.Systems {
+			fmt.Fprintf(&b, "%-11s %8d %8d %8d %8d %8d %10.4f\n",
+				d.System, d.P50.Milliseconds(), d.P90.Milliseconds(), d.P99.Milliseconds(),
+				d.P999.Milliseconds(), d.Max.Milliseconds(), d.ViolationRate)
+		}
+	}
+	return b.String()
+}
+
+// Fig5Row is one system's resource consumption in a panel.
+type Fig5Row struct {
+	System     string
+	Millicores float64
+	// Normalized is consumption divided by Optimal's (Fig 5b's y axis).
+	Normalized float64
+}
+
+// Fig5Panel is one workload point's consumption comparison.
+type Fig5Panel struct {
+	Panel   Panel
+	Systems []Fig5Row
+}
+
+// Fig5 reproduces resource consumption across the four panels: Fig 5a is
+// the concurrency-1 panels in absolute millicores, Fig 5b the higher
+// concurrency panels normalized by Optimal.
+func (s *Suite) Fig5() ([]Fig5Panel, error) {
+	var out []Fig5Panel
+	for _, p := range panels() {
+		w, err := s.panelWorkflow(p)
+		if err != nil {
+			return nil, err
+		}
+		runs, err := s.RunPoint(w, p.Batch, AllSystems())
+		if err != nil {
+			return nil, err
+		}
+		opt := runs[SysOptimal].MeanMillicores
+		fp := Fig5Panel{Panel: p}
+		for _, sys := range AllSystems() {
+			fp.Systems = append(fp.Systems, Fig5Row{
+				System:     sys,
+				Millicores: runs[sys].MeanMillicores,
+				Normalized: runs[sys].MeanMillicores / opt,
+			})
+		}
+		out = append(out, fp)
+	}
+	return out, nil
+}
+
+// FormatFig5 renders the panels.
+func FormatFig5(panels []Fig5Panel) string {
+	var b strings.Builder
+	b.WriteString("Fig 5: resource consumption (CPU millicores per request; normalized by Optimal)\n")
+	for _, p := range panels {
+		fmt.Fprintf(&b, "\n%s conc=%d SLO=%v\n", strings.ToUpper(p.Panel.Workflow), p.Panel.Batch, p.Panel.SLO)
+		fmt.Fprintf(&b, "%-11s %12s %12s\n", "system", "millicores", "normalized")
+		for _, r := range p.Systems {
+			fmt.Fprintf(&b, "%-11s %12.1f %12.3f\n", r.System, r.Millicores, r.Normalized)
+		}
+	}
+	return b.String()
+}
+
+// Fig6Row is one SLO point of the moderate-percentile-exploration study.
+type Fig6Row struct {
+	SLO time.Duration
+	// JanusMillicores / JanusPlusMillicores are served consumptions
+	// (Fig 6a's "workflow sizes").
+	JanusMillicores     float64
+	JanusPlusMillicores float64
+	// JanusSynth / JanusPlusSynth are hint-synthesis wall times (Fig 6b).
+	JanusSynth     time.Duration
+	JanusPlusSynth time.Duration
+}
+
+// Fig6 compares Janus and Janus+ over IA with SLOs 3-7 s: resource
+// consumption (6a) and hint-synthesis time cost (6b). Synthesis sweeps the
+// budget range up to each SLO, which is why cost grows mildly with the SLO
+// while Janus+'s two-dimensional percentile exploration costs orders of
+// magnitude more. The result is cached: at paper scale the Janus+ sweeps
+// are by far the suite's most expensive computation, and both Fig 6a and
+// Fig 6b consume it.
+func (s *Suite) Fig6() ([]Fig6Row, error) {
+	s.mu.Lock()
+	cached := s.fig6
+	s.mu.Unlock()
+	if cached != nil {
+		return cached, nil
+	}
+	var out []Fig6Row
+	base := workflow.IntelligentAssistant()
+	set, err := s.Profiles(base, 1)
+	if err != nil {
+		return nil, err
+	}
+	for slo := 3 * time.Second; slo <= 7*time.Second; slo += time.Second {
+		w, err := base.WithSLO(slo)
+		if err != nil {
+			return nil, err
+		}
+		runs, err := s.RunPoint(w, 1, []string{SysJanus, SysJanusPlus})
+		if err != nil {
+			return nil, err
+		}
+		row := Fig6Row{
+			SLO:                 slo,
+			JanusMillicores:     runs[SysJanus].MeanMillicores,
+			JanusPlusMillicores: runs[SysJanusPlus].MeanMillicores,
+		}
+		// Synthesis cost at this SLO: sweep [Tmin, SLO].
+		tmin, _ := set.BudgetRangeMs(0)
+		for _, mode := range []synth.Mode{synth.ModeJanus, synth.ModeJanusPlus} {
+			sy, err := synth.New(synth.Config{
+				Profiles:         set,
+				Mode:             mode,
+				BudgetStepMs:     s.cfg.BudgetStepMs,
+				BudgetOverrideMs: [2]int{tmin, int(slo / time.Millisecond)},
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := sy.GenerateBundle()
+			if err != nil {
+				return nil, err
+			}
+			if mode == synth.ModeJanus {
+				row.JanusSynth = res.Elapsed
+			} else {
+				row.JanusPlusSynth = res.Elapsed
+			}
+		}
+		out = append(out, row)
+	}
+	s.mu.Lock()
+	s.fig6 = out
+	s.mu.Unlock()
+	return out, nil
+}
+
+// FormatFig6 renders the rows.
+func FormatFig6(rows []Fig6Row) string {
+	var b strings.Builder
+	b.WriteString("Fig 6: moderate percentile exploration — Janus vs Janus+ (IA)\n")
+	fmt.Fprintf(&b, "%8s %14s %14s %14s %14s %8s\n", "SLO", "janus mc", "janus+ mc", "janus synth", "janus+ synth", "ratio")
+	for _, r := range rows {
+		ratio := float64(r.JanusPlusSynth) / float64(r.JanusSynth)
+		fmt.Fprintf(&b, "%8v %14.1f %14.1f %14v %14v %7.1fx\n",
+			r.SLO, r.JanusMillicores, r.JanusPlusMillicores,
+			r.JanusSynth.Round(time.Millisecond), r.JanusPlusSynth.Round(time.Millisecond), ratio)
+	}
+	return b.String()
+}
+
+// Fig7 reports the timeout and resilience metrics of the TS function.
+type Fig7 struct {
+	Levels []int
+	// TimeoutMs[p] is D(p, k) over Levels for percentiles 25/50/75.
+	TimeoutMs map[int][]int
+	// ResilienceMs[c] is R(99, k) over Levels for concurrency 1/2/3.
+	ResilienceMs map[int][]int
+}
+
+// Fig7 reproduces the §V-D study on TS: timeout shrinking with percentile
+// and allocation (7a), resilience shrinking with allocation and growing
+// with concurrency (7b).
+func (s *Suite) Fig7() (*Fig7, error) {
+	w := workflow.IntelligentAssistant()
+	out := &Fig7{TimeoutMs: make(map[int][]int), ResilienceMs: make(map[int][]int)}
+	set1, err := s.Profiles(w, 1)
+	if err != nil {
+		return nil, err
+	}
+	ts := set1.At(2)
+	out.Levels = ts.Grid.Levels()
+	for _, p := range []int{25, 50, 75} {
+		row := make([]int, 0, len(out.Levels))
+		for _, k := range out.Levels {
+			row = append(row, ts.TimeoutMs(p, k))
+		}
+		out.TimeoutMs[p] = row
+	}
+	for _, c := range []int{1, 2, 3} {
+		set, err := s.Profiles(w, c)
+		if err != nil {
+			return nil, err
+		}
+		tsC := set.At(2)
+		row := make([]int, 0, len(out.Levels))
+		for _, k := range out.Levels {
+			row = append(row, tsC.ResilienceMs(99, k))
+		}
+		out.ResilienceMs[c] = row
+	}
+	return out, nil
+}
+
+// String renders both sub-figures.
+func (f *Fig7) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 7a: timeout D(p, k) of TS (ms)\n")
+	fmt.Fprintf(&b, "%6s %8s %8s %8s\n", "mc", "p=25", "p=50", "p=75")
+	for i, k := range f.Levels {
+		fmt.Fprintf(&b, "%6d %8d %8d %8d\n", k, f.TimeoutMs[25][i], f.TimeoutMs[50][i], f.TimeoutMs[75][i])
+	}
+	b.WriteString("\nFig 7b: resilience R(99, k) of TS (ms)\n")
+	fmt.Fprintf(&b, "%6s %8s %8s %8s\n", "mc", "conc=1", "conc=2", "conc=3")
+	for i, k := range f.Levels {
+		fmt.Fprintf(&b, "%6d %8d %8d %8d\n", k, f.ResilienceMs[1][i], f.ResilienceMs[2][i], f.ResilienceMs[3][i])
+	}
+	return b.String()
+}
+
+// Fig9Row is one SLO point of the SLO sweep.
+type Fig9Row struct {
+	Workflow string
+	SLO      time.Duration
+	// Normalized consumption (by Optimal) per system.
+	ORION     float64
+	GrandSLAM float64
+	Janus     float64
+}
+
+// Fig9 sweeps SLOs (IA 3-7 s, VA 1.5-2.0 s) and reports consumption
+// normalized by Optimal for ORION, GrandSLAM, and Janus.
+func (s *Suite) Fig9() ([]Fig9Row, error) {
+	var out []Fig9Row
+	systems := []string{SysOptimal, SysORION, SysGrandSLAM, SysJanus}
+	sweep := func(base *workflow.Workflow, slos []time.Duration) error {
+		for _, slo := range slos {
+			w, err := base.WithSLO(slo)
+			if err != nil {
+				return err
+			}
+			runs, err := s.RunPoint(w, 1, systems)
+			if err != nil {
+				return err
+			}
+			opt := runs[SysOptimal].MeanMillicores
+			out = append(out, Fig9Row{
+				Workflow:  base.Name(),
+				SLO:       slo,
+				ORION:     runs[SysORION].MeanMillicores / opt,
+				GrandSLAM: runs[SysGrandSLAM].MeanMillicores / opt,
+				Janus:     runs[SysJanus].MeanMillicores / opt,
+			})
+		}
+		return nil
+	}
+	var iaSLOs, vaSLOs []time.Duration
+	for slo := 3 * time.Second; slo <= 7*time.Second; slo += time.Second {
+		iaSLOs = append(iaSLOs, slo)
+	}
+	for slo := 1500 * time.Millisecond; slo <= 2000*time.Millisecond; slo += 100 * time.Millisecond {
+		vaSLOs = append(vaSLOs, slo)
+	}
+	if err := sweep(workflow.IntelligentAssistant(), iaSLOs); err != nil {
+		return nil, err
+	}
+	if err := sweep(workflow.VideoAnalyze(), vaSLOs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FormatFig9 renders the sweep.
+func FormatFig9(rows []Fig9Row) string {
+	var b strings.Builder
+	b.WriteString("Fig 9: normalized CPU (by Optimal) vs SLO\n")
+	fmt.Fprintf(&b, "%4s %8s %8s %10s %8s\n", "wf", "SLO", "orion", "grandslam", "janus")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%4s %8v %8.3f %10.3f %8.3f\n", r.Workflow, r.SLO, r.ORION, r.GrandSLAM, r.Janus)
+	}
+	return b.String()
+}

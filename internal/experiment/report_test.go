@@ -1,0 +1,26 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+
+	"janus/internal/workflow"
+)
+
+// TestReportNumbers prints the per-system summary used while calibrating
+// the reproduction; it doubles as an end-to-end smoke test.
+func TestReportNumbers(t *testing.T) {
+	s := quickSuite(t)
+	for _, wf := range []*workflow.Workflow{workflow.IntelligentAssistant(), workflow.VideoAnalyze()} {
+		runs, err := s.RunPoint(wf, 1, AllSystems())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("== %s ==\n", wf.Name())
+		for _, sys := range AllSystems() {
+			r := runs[sys]
+			fmt.Printf("%-11s meanMC=%6.0f p50=%6v p99=%6v viol=%.3f miss=%.3f\n",
+				sys, r.MeanMillicores, r.P50E2E.Milliseconds(), r.P99E2E.Milliseconds(), r.ViolationRate, r.MissRate)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+// Package experiment reproduces every table and figure in the paper's
+// evaluation (§II and §V). Each driver returns a typed result whose
+// String() prints the same rows/series the paper reports; cmd/janusbench
+// exposes them on the command line and the repository-root benchmarks run
+// them under `go test -bench`.
+//
+// All drivers hang off a Suite, which caches the expensive shared
+// artifacts — function profiles and Janus deployments — so that sweeps
+// (SLOs, weights, concurrency) reuse them exactly as a real developer
+// would.
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"janus/internal/baseline"
+	"janus/internal/cluster"
+	"janus/internal/core"
+	"janus/internal/interfere"
+	"janus/internal/perfmodel"
+	"janus/internal/platform"
+	"janus/internal/profile"
+	"janus/internal/synth"
+	"janus/internal/workflow"
+)
+
+// The serving systems compared throughout §V.
+const (
+	SysOptimal    = "optimal"
+	SysORION      = "orion"
+	SysGrandSLAM  = "grandslam"
+	SysGrandSLAMP = "grandslam+"
+	SysJanus      = "janus"
+	SysJanusMinus = "janus-"
+	SysJanusPlus  = "janus+"
+)
+
+// AllSystems lists every system in the paper's display order.
+func AllSystems() []string {
+	return []string{SysOptimal, SysORION, SysJanus, SysJanusPlus, SysJanusMinus, SysGrandSLAMP, SysGrandSLAM}
+}
+
+// StageCorrelation is the mixture-copula coupling of runtime conditions
+// across a request's stages used by all serving experiments (see
+// platform.WorkloadConfig.StageCorrelation). ORION's end-to-end estimator
+// uses the same value — modeling the workflow distribution is its premise.
+const StageCorrelation = 0.5
+
+// Config scales the suite. The zero value is not valid; use NewSuite or
+// QuickSuite.
+type Config struct {
+	// Seed roots every random stream in the suite.
+	Seed uint64
+	// ProfilerSamples is the per-(k, batch) profiling sample count.
+	ProfilerSamples int
+	// BudgetStepMs is the synthesis sweep granularity.
+	BudgetStepMs int
+	// Requests is the per-point request count (paper: 1000).
+	Requests int
+	// ArrivalRatePerSec is the Poisson workload rate.
+	ArrivalRatePerSec float64
+}
+
+// NewSuite returns a paper-scale suite: 1000 requests per point, 2000
+// profiling samples per cell, 1 ms budget sweeps.
+func NewSuite() *Suite {
+	return NewSuiteWith(Config{
+		Seed:              1,
+		ProfilerSamples:   2000,
+		BudgetStepMs:      1,
+		Requests:          1000,
+		ArrivalRatePerSec: 2,
+	})
+}
+
+// QuickSuite returns a reduced-scale suite for unit tests: the same code
+// paths at roughly 20x less work.
+func QuickSuite() *Suite {
+	return NewSuiteWith(Config{
+		Seed:              1,
+		ProfilerSamples:   600,
+		BudgetStepMs:      20,
+		Requests:          200,
+		ArrivalRatePerSec: 2,
+	})
+}
+
+// NewSuiteWith builds a suite from an explicit config.
+func NewSuiteWith(cfg Config) *Suite {
+	return &Suite{
+		cfg:         cfg,
+		functions:   perfmodel.Catalog(),
+		interf:      interfere.Default(),
+		profiles:    make(map[string]*profile.Set),
+		deployments: make(map[string]*core.Deployment),
+		workloads:   make(map[string][]*platform.Request),
+		runs:        make(map[string]*SystemRun),
+	}
+}
+
+// Suite carries shared state across experiment drivers.
+type Suite struct {
+	cfg       Config
+	functions map[string]*perfmodel.Function
+	interf    *interfere.Model
+
+	mu          sync.Mutex
+	profiles    map[string]*profile.Set
+	deployments map[string]*core.Deployment
+	workloads   map[string][]*platform.Request
+	runs        map[string]*SystemRun
+	fig6        []Fig6Row
+}
+
+// colocationFor returns the co-location mix each workflow's pods see: IA
+// under moderate load, VA with its per-function parallelism (§V-A).
+func (s *Suite) colocationFor(wf string) *interfere.CountSampler {
+	var weights []float64
+	switch wf {
+	case "va":
+		weights = []float64{0.4, 0.4, 0.2}
+	default:
+		weights = []float64{0.5, 0.35, 0.15}
+	}
+	cs, err := interfere.NewCountSampler(weights)
+	if err != nil {
+		panic(err) // static weights; cannot fail
+	}
+	return cs
+}
+
+// Profiles returns (cached) profiles for a workflow at a batch size.
+func (s *Suite) Profiles(w *workflow.Workflow, batch int) (*profile.Set, error) {
+	key := fmt.Sprintf("%s/b%d", w.Name(), batch)
+	s.mu.Lock()
+	set, ok := s.profiles[key]
+	s.mu.Unlock()
+	if ok {
+		return set, nil
+	}
+	prof, err := profile.NewProfiler(s.functions, s.colocationFor(w.Name()), s.interf, s.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	prof.SamplesPerConfig = s.cfg.ProfilerSamples
+	set, err = prof.ProfileWorkflow(w, batch)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.profiles[key] = set
+	s.mu.Unlock()
+	return set, nil
+}
+
+// Deployment returns a (cached) Janus deployment for a workflow, batch,
+// mode, and weight. Hints tables are keyed by remaining budget, so one
+// deployment serves every SLO in a sweep.
+func (s *Suite) Deployment(w *workflow.Workflow, batch int, mode synth.Mode, weight float64) (*core.Deployment, error) {
+	key := fmt.Sprintf("%s/b%d/%v/w%.2f", w.Name(), batch, mode, weight)
+	s.mu.Lock()
+	d, ok := s.deployments[key]
+	s.mu.Unlock()
+	if ok {
+		return d, nil
+	}
+	set, err := s.Profiles(w, batch)
+	if err != nil {
+		return nil, err
+	}
+	d, err = core.DeployProfiled(set, core.Options{
+		Functions:           s.functions,
+		Colocation:          s.colocationFor(w.Name()),
+		Interference:        s.interf,
+		Seed:                s.cfg.Seed,
+		Batch:               batch,
+		Weight:              weight,
+		Mode:                mode,
+		BudgetStepMs:        s.cfg.BudgetStepMs,
+		DisableRegeneration: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.deployments[key] = d
+	s.mu.Unlock()
+	return d, nil
+}
+
+// Workload returns the (cached) request sequence for a workflow and batch.
+// Draws are independent of SLO and serving system, so every system and
+// every SLO point faces identical runtime conditions.
+func (s *Suite) Workload(w *workflow.Workflow, batch int) ([]*platform.Request, error) {
+	key := fmt.Sprintf("%s/b%d", w.Name(), batch)
+	s.mu.Lock()
+	reqs, ok := s.workloads[key]
+	s.mu.Unlock()
+	if ok {
+		return reqs, nil
+	}
+	reqs, err := platform.GenerateWorkload(platform.WorkloadConfig{
+		Workflow:          w,
+		Functions:         s.functions,
+		N:                 s.cfg.Requests,
+		Batch:             batch,
+		ArrivalRatePerSec: s.cfg.ArrivalRatePerSec,
+		Colocation:        s.colocationFor(w.Name()),
+		Interference:      s.interf,
+		StageCorrelation:  StageCorrelation,
+		Seed:              s.cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.workloads[key] = reqs
+	s.mu.Unlock()
+	return reqs, nil
+}
+
+// executor builds the serving plane used by all experiments.
+func (s *Suite) executor() (*platform.Executor, error) {
+	cfg := platform.DefaultExecutorConfig()
+	cfg.Cluster = cluster.Config{Nodes: 1, NodeMillicores: 52000, PoolSize: 6, IdleMillicores: 100}
+	cfg.Seed = s.cfg.Seed
+	return platform.NewExecutor(cfg, s.functions)
+}
+
+// allocator materializes a serving system for (workflow, batch, slo).
+func (s *Suite) allocator(system string, w *workflow.Workflow, batch int) (platform.Allocator, error) {
+	set, err := s.Profiles(w, batch)
+	if err != nil {
+		return nil, err
+	}
+	switch system {
+	case SysOptimal:
+		// Headroom covers per-stage platform costs outside function
+		// execution: the adapter decision and warm-pod specialization.
+		chain, err := w.Chain()
+		if err != nil {
+			return nil, err
+		}
+		headroom := time.Duration(len(chain)) * 4 * time.Millisecond
+		return baseline.NewOptimal(w, s.functions, set.At(0).Grid, headroom)
+	case SysORION:
+		return baseline.ORION(set, w.SLO(), baseline.ORIONConfig{Seed: s.cfg.Seed, Correlation: StageCorrelation})
+	case SysGrandSLAM:
+		return baseline.GrandSLAM(set, w.SLO())
+	case SysGrandSLAMP:
+		return baseline.GrandSLAMPlus(set, w.SLO())
+	case SysJanus, SysJanusMinus, SysJanusPlus:
+		mode := synth.ModeJanus
+		switch system {
+		case SysJanusMinus:
+			mode = synth.ModeJanusMinus
+		case SysJanusPlus:
+			mode = synth.ModeJanusPlus
+		}
+		d, err := s.Deployment(w, batch, mode, 1)
+		if err != nil {
+			return nil, err
+		}
+		return d.Allocator(system), nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown system %q", system)
+	}
+}
+
+// SystemRun summarizes one (system, workload point) serving run.
+type SystemRun struct {
+	System         string
+	Traces         []platform.Trace
+	MeanMillicores float64
+	P50E2E         time.Duration
+	P99E2E         time.Duration
+	ViolationRate  float64
+	MissRate       float64
+	SLO            time.Duration
+}
+
+// RunPoint serves the workload under each system and summarizes. Results
+// are cached per (workflow, SLO, batch, system): figure drivers share runs.
+func (s *Suite) RunPoint(w *workflow.Workflow, batch int, systems []string) (map[string]*SystemRun, error) {
+	out := make(map[string]*SystemRun, len(systems))
+	var missing []string
+	for _, system := range systems {
+		key := fmt.Sprintf("%s/%v/b%d/%s", w.Name(), w.SLO(), batch, system)
+		s.mu.Lock()
+		run, ok := s.runs[key]
+		s.mu.Unlock()
+		if ok {
+			out[system] = run
+		} else {
+			missing = append(missing, system)
+		}
+	}
+	if len(missing) == 0 {
+		return out, nil
+	}
+	reqs, err := s.Workload(w, batch)
+	if err != nil {
+		return nil, err
+	}
+	// Requests carry the sweep SLO via their workflow reference.
+	pointReqs := make([]*platform.Request, len(reqs))
+	for i, r := range reqs {
+		cp := *r
+		cp.Workflow = w
+		pointReqs[i] = &cp
+	}
+	ex, err := s.executor()
+	if err != nil {
+		return nil, err
+	}
+	for _, system := range missing {
+		alloc, err := s.allocator(system, w, batch)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s on %s: %w", system, w.Name(), err)
+		}
+		traces, err := ex.Run(pointReqs, alloc)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: serving %s on %s: %w", system, w.Name(), err)
+		}
+		e2e := platform.E2ESample(traces)
+		run := &SystemRun{
+			System:         system,
+			Traces:         traces,
+			MeanMillicores: platform.MeanMillicores(traces),
+			P50E2E:         e2e.PercentileDuration(50),
+			P99E2E:         e2e.PercentileDuration(99),
+			ViolationRate:  platform.SLOViolationRate(traces),
+			MissRate:       platform.MissRate(traces),
+			SLO:            w.SLO(),
+		}
+		key := fmt.Sprintf("%s/%v/b%d/%s", w.Name(), w.SLO(), batch, system)
+		s.mu.Lock()
+		s.runs[key] = run
+		s.mu.Unlock()
+		out[system] = run
+	}
+	return out, nil
+}

@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"sync"
+	"testing"
+
+	"janus/internal/workflow"
+)
+
+// The quick suite is shared across the package's tests: profiles and
+// deployments dominate setup cost.
+var (
+	quickOnce sync.Once
+	quick     *Suite
+)
+
+func quickSuite(t *testing.T) *Suite {
+	t.Helper()
+	quickOnce.Do(func() { quick = QuickSuite() })
+	return quick
+}
+
+func TestRunPointProducesAllSystems(t *testing.T) {
+	s := quickSuite(t)
+	runs, err := s.RunPoint(workflow.IntelligentAssistant(), 1, AllSystems())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 7 {
+		t.Fatalf("%d systems", len(runs))
+	}
+	for name, run := range runs {
+		if len(run.Traces) != s.cfg.Requests {
+			t.Errorf("%s: %d traces", name, len(run.Traces))
+		}
+		if run.MeanMillicores < 3000 || run.MeanMillicores > 9000 {
+			t.Errorf("%s: mean millicores %.0f outside [3000, 9000]", name, run.MeanMillicores)
+		}
+	}
+}
+
+// TestSystemOrderingMatchesPaper locks the paper's headline result (Table
+// I, Fig 5a): Optimal <= Janus+ ~ Janus < Janus- < ORION < GrandSLAM+ <=
+// GrandSLAM on resource consumption, with all systems meeting the SLO at
+// P99-ish rates.
+func TestSystemOrderingMatchesPaper(t *testing.T) {
+	s := quickSuite(t)
+	for _, wf := range []*workflow.Workflow{workflow.IntelligentAssistant(), workflow.VideoAnalyze()} {
+		runs, err := s.RunPoint(wf, 1, AllSystems())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc := func(sys string) float64 { return runs[sys].MeanMillicores }
+		if mc(SysOptimal) > mc(SysJanus) {
+			t.Errorf("%s: optimal (%.0f) above janus (%.0f)", wf.Name(), mc(SysOptimal), mc(SysJanus))
+		}
+		if mc(SysJanus) >= mc(SysJanusMinus) {
+			t.Errorf("%s: janus (%.0f) not below janus- (%.0f)", wf.Name(), mc(SysJanus), mc(SysJanusMinus))
+		}
+		if mc(SysJanusMinus) >= mc(SysORION) {
+			t.Errorf("%s: janus- (%.0f) not below orion (%.0f)", wf.Name(), mc(SysJanusMinus), mc(SysORION))
+		}
+		if mc(SysORION) >= mc(SysGrandSLAMP) {
+			t.Errorf("%s: orion (%.0f) not below grandslam+ (%.0f)", wf.Name(), mc(SysORION), mc(SysGrandSLAMP))
+		}
+		if mc(SysGrandSLAMP) > mc(SysGrandSLAM) {
+			t.Errorf("%s: grandslam+ (%.0f) above grandslam (%.0f)", wf.Name(), mc(SysGrandSLAMP), mc(SysGrandSLAM))
+		}
+		// Janus+ tracks Janus (the paper reports within ~0.6%; our latency
+		// models make the second-stage exploration somewhat more valuable,
+		// so allow a wider band on the cheap side).
+		if diff := mc(SysJanusPlus)/mc(SysJanus) - 1; diff > 0.03 || diff < -0.16 {
+			t.Errorf("%s: janus+ deviates %.1f%% from janus", wf.Name(), diff*100)
+		}
+		// SLO compliance: the objective is P99, so tolerate ~2% violations
+		// in the quick suite's small sample.
+		for sys, run := range runs {
+			if run.ViolationRate > 0.02 {
+				t.Errorf("%s/%s: violation rate %.3f", wf.Name(), sys, run.ViolationRate)
+			}
+		}
+		// Janus's hints tables must not be missing all the time.
+		if runs[SysJanus].MissRate > 0.05 {
+			t.Errorf("%s: janus miss rate %.3f", wf.Name(), runs[SysJanus].MissRate)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"janus/internal/hints"
+	"janus/internal/synth"
+	"janus/internal/workflow"
+)
+
+// Table1 reports the paper's headline numbers: the average resource
+// reduction Janus achieves over each baseline, normalized by Optimal's
+// consumption — (R_baseline - R_janus) / R_optimal.
+type Table1 struct {
+	// Reduction[workflow][system] in percent.
+	Reduction map[string]map[string]float64
+}
+
+// Table1 computes the reductions for IA and VA at concurrency 1.
+func (s *Suite) Table1() (*Table1, error) {
+	out := &Table1{Reduction: make(map[string]map[string]float64)}
+	for _, base := range []*workflow.Workflow{workflow.IntelligentAssistant(), workflow.VideoAnalyze()} {
+		runs, err := s.RunPoint(base, 1, AllSystems())
+		if err != nil {
+			return nil, err
+		}
+		opt := runs[SysOptimal].MeanMillicores
+		janus := runs[SysJanus].MeanMillicores
+		row := make(map[string]float64)
+		for _, sys := range []string{SysORION, SysGrandSLAMP, SysGrandSLAM, SysJanusMinus, SysJanusPlus} {
+			row[sys] = (runs[sys].MeanMillicores - janus) / opt * 100
+		}
+		out.Reduction[base.Name()] = row
+	}
+	return out, nil
+}
+
+// String renders the table in the paper's layout.
+func (t *Table1) String() string {
+	var b strings.Builder
+	b.WriteString("Table I: overall resource reduction by Janus (normalized by Optimal, %)\n")
+	cols := []string{SysORION, SysGrandSLAMP, SysGrandSLAM, SysJanusMinus, SysJanusPlus}
+	fmt.Fprintf(&b, "%6s", "")
+	for _, c := range cols {
+		fmt.Fprintf(&b, " %12s", c)
+	}
+	b.WriteString("\n")
+	for _, wf := range []string{"ia", "va"} {
+		fmt.Fprintf(&b, "%6s", strings.ToUpper(wf)+"(%)")
+		for _, c := range cols {
+			fmt.Fprintf(&b, " %12.1f", t.Reduction[wf][c])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Table2 reports the impact of the head weight on the head function's
+// allocation and chosen percentile, averaged over the paper's §V-E SLO
+// sweep (4-10 s): for each SLO, the suffix-0 hint serving the fresh
+// workflow (remaining budget == SLO) contributes its head allocation and
+// explored percentile.
+type Table2 struct {
+	MeanMillicores map[float64]float64
+	MeanPercentile map[float64]float64
+}
+
+// Table2 synthesizes IA tables at weights 1 and 3 across budgets covering
+// the 4-10 s sweep and averages the stage-0 decisions.
+func (s *Suite) Table2() (*Table2, error) {
+	set, err := s.Profiles(workflow.IntelligentAssistant(), 1)
+	if err != nil {
+		return nil, err
+	}
+	tmin, _ := set.BudgetRangeMs(0)
+	out := &Table2{
+		MeanMillicores: make(map[float64]float64),
+		MeanPercentile: make(map[float64]float64),
+	}
+	for _, weight := range []float64{1, 3} {
+		sy, err := synth.New(synth.Config{
+			Profiles:         set,
+			Weight:           weight,
+			Mode:             synth.ModeJanus,
+			BudgetStepMs:     s.cfg.BudgetStepMs,
+			BudgetOverrideMs: [2]int{tmin, 10000},
+		})
+		if err != nil {
+			return nil, err
+		}
+		raw, err := sy.GenerateSuffix(0)
+		if err != nil {
+			return nil, err
+		}
+		if len(raw.Hints) == 0 {
+			return nil, fmt.Errorf("experiment: empty suffix-0 hints at weight %v", weight)
+		}
+		var mcSum, pctSum float64
+		n := 0
+		for sloMs := 4000; sloMs <= 10000; sloMs += 500 {
+			// The stage-0 decision for a fresh workflow is the hint at the
+			// largest budget not exceeding the SLO.
+			idx := -1
+			for i := range raw.Hints {
+				if raw.Hints[i].BudgetMs <= sloMs {
+					idx = i
+				} else {
+					break
+				}
+			}
+			if idx < 0 {
+				return nil, fmt.Errorf("experiment: SLO %dms below the weight-%v hints", sloMs, weight)
+			}
+			mcSum += float64(raw.Hints[idx].HeadMillicores)
+			pctSum += float64(raw.Hints[idx].HeadPercentile)
+			n++
+		}
+		out.MeanMillicores[weight] = mcSum / float64(n)
+		out.MeanPercentile[weight] = pctSum / float64(n)
+	}
+	return out, nil
+}
+
+// String renders the table in the paper's layout.
+func (t *Table2) String() string {
+	var b strings.Builder
+	b.WriteString("Table II: head-function allocation and percentile vs weight (IA)\n")
+	fmt.Fprintf(&b, "%18s %10s %10s\n", "", "weight=1", "weight=3")
+	fmt.Fprintf(&b, "%18s %10.1f %10.1f\n", "CPU (millicore)", t.MeanMillicores[1], t.MeanMillicores[3])
+	fmt.Fprintf(&b, "%18s %10.1f %10.1f\n", "percentile (%)", t.MeanPercentile[1], t.MeanPercentile[3])
+	return b.String()
+}
+
+// Fig8Row is one (workflow, concurrency, weight) hints-count measurement.
+type Fig8Row struct {
+	Workflow    string
+	Batch       int
+	Weight      float64
+	RawHints    int
+	Condensed   int
+	Compression float64
+}
+
+// Fig8 counts synthesized hints before and after condensing for the
+// paper's budget ranges: IA 2-7 s / 3-7 s / 4-10 s at concurrency 1/2/3 and
+// VA 1.5-2 s, at weights 1 to 3 in steps of 0.5.
+func (s *Suite) Fig8() ([]Fig8Row, error) {
+	type point struct {
+		wf    *workflow.Workflow
+		batch int
+		lo    int
+		hi    int
+	}
+	points := []point{
+		{workflow.IntelligentAssistant(), 1, 2000, 7000},
+		{workflow.IntelligentAssistant(), 2, 3000, 7000},
+		{workflow.IntelligentAssistant(), 3, 4000, 10000},
+		{workflow.VideoAnalyze(), 1, 1500, 2000},
+	}
+	var out []Fig8Row
+	for _, pt := range points {
+		set, err := s.Profiles(pt.wf, pt.batch)
+		if err != nil {
+			return nil, err
+		}
+		for weight := 1.0; weight <= 3.0; weight += 0.5 {
+			sy, err := synth.New(synth.Config{
+				Profiles:         set,
+				Weight:           weight,
+				Mode:             synth.ModeJanus,
+				BudgetStepMs:     s.cfg.BudgetStepMs,
+				BudgetOverrideMs: [2]int{pt.lo, pt.hi},
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := sy.GenerateBundle()
+			if err != nil {
+				return nil, err
+			}
+			raw, condensed := 0, 0
+			for i := range res.RawCounts {
+				raw += res.RawCounts[i]
+				condensed += res.CondensedCounts[i]
+			}
+			out = append(out, Fig8Row{
+				Workflow:    pt.wf.Name(),
+				Batch:       pt.batch,
+				Weight:      weight,
+				RawHints:    raw,
+				Condensed:   condensed,
+				Compression: hints.CompressionRatio(raw, condensed),
+			})
+		}
+	}
+	return out, nil
+}
+
+// FormatFig8 renders the rows.
+func FormatFig8(rows []Fig8Row) string {
+	var b strings.Builder
+	b.WriteString("Fig 8: total hints by weight (raw -> condensed)\n")
+	fmt.Fprintf(&b, "%4s %5s %7s %10s %10s %12s\n", "wf", "conc", "weight", "raw", "condensed", "compression")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%4s %5d %7.1f %10d %10d %11.1f%%\n",
+			r.Workflow, r.Batch, r.Weight, r.RawHints, r.Condensed, r.Compression*100)
+	}
+	return b.String()
+}
+
+// Overhead reports §V-H's system-overhead measurements: online adaptation
+// latency (paper: < 3 ms) and memory footprints.
+type Overhead struct {
+	// Decisions is the number of timed online decisions.
+	Decisions int
+	// MeanDecision / MaxDecision are wall-clock adaptation latencies.
+	MeanDecision time.Duration
+	MaxDecision  time.Duration
+	// BundleBytes is the serialized hints bundle size.
+	BundleBytes int
+	// TotalRanges is the number of condensed hints resident online.
+	TotalRanges int
+	// SynthesisAllocMB is the cumulative heap allocated while synthesizing
+	// one bundle (offline, developer side).
+	SynthesisAllocMB float64
+}
+
+// Overhead measures the IA deployment.
+func (s *Suite) Overhead() (*Overhead, error) {
+	d, err := s.Deployment(workflow.IntelligentAssistant(), 1, synth.ModeJanus, 1)
+	if err != nil {
+		return nil, err
+	}
+	out := &Overhead{Decisions: 10000}
+	// Online decision latency across the budget range.
+	var total time.Duration
+	for i := 0; i < out.Decisions; i++ {
+		budget := time.Duration(2000+i%3000) * time.Millisecond
+		suffix := i % d.Bundle().Stages()
+		start := time.Now()
+		if _, err := d.Adapter.Decide(suffix, budget); err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		total += elapsed
+		if elapsed > out.MaxDecision {
+			out.MaxDecision = elapsed
+		}
+	}
+	out.MeanDecision = total / time.Duration(out.Decisions)
+	data, err := d.Bundle().Marshal()
+	if err != nil {
+		return nil, err
+	}
+	out.BundleBytes = len(data)
+	out.TotalRanges = d.Bundle().TotalRanges()
+	// Offline synthesis allocation.
+	set, err := s.Profiles(workflow.IntelligentAssistant(), 1)
+	if err != nil {
+		return nil, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	sy, err := synth.New(synth.Config{Profiles: set, Mode: synth.ModeJanus, BudgetStepMs: s.cfg.BudgetStepMs})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sy.GenerateBundle(); err != nil {
+		return nil, err
+	}
+	runtime.ReadMemStats(&after)
+	out.SynthesisAllocMB = float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20)
+	return out, nil
+}
+
+// String renders the overhead summary.
+func (o *Overhead) String() string {
+	var b strings.Builder
+	b.WriteString("System overhead (§V-H)\n")
+	fmt.Fprintf(&b, "online adaptation: mean %v, max %v over %d decisions (paper: < 3 ms)\n",
+		o.MeanDecision, o.MaxDecision, o.Decisions)
+	fmt.Fprintf(&b, "hints bundle: %d condensed ranges, %d bytes serialized\n", o.TotalRanges, o.BundleBytes)
+	fmt.Fprintf(&b, "offline synthesis allocations: %.1f MB\n", o.SynthesisAllocMB)
+	return b.String()
+}

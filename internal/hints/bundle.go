@@ -1,0 +1,92 @@
+package hints
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Bundle is everything the developer submits to the provider's adapter for
+// one (workflow, batch, weight) deployment: a condensed table per
+// sub-workflow suffix plus the escalation ceiling for misses.
+type Bundle struct {
+	// Workflow names the application.
+	Workflow string `json:"workflow"`
+	// Batch is the concurrency level the tables cover.
+	Batch int `json:"batch"`
+	// Weight is the head weight W used at synthesis.
+	Weight float64 `json:"weight"`
+	// SLOMs is the end-to-end latency objective in milliseconds.
+	SLOMs int `json:"slo_ms"`
+	// MaxMillicores is the per-function escalation ceiling on table miss.
+	MaxMillicores int `json:"max_millicores"`
+	// Tables holds one condensed table per suffix, index == suffix.
+	Tables []*Table `json:"tables"`
+}
+
+// Validate checks bundle invariants.
+func (b *Bundle) Validate() error {
+	if b.Workflow == "" {
+		return fmt.Errorf("hints: bundle needs a workflow name")
+	}
+	if b.Batch < 1 {
+		return fmt.Errorf("hints: bundle batch %d invalid", b.Batch)
+	}
+	if b.SLOMs <= 0 {
+		return fmt.Errorf("hints: bundle SLO %dms invalid", b.SLOMs)
+	}
+	if b.MaxMillicores <= 0 {
+		return fmt.Errorf("hints: bundle needs a positive escalation ceiling")
+	}
+	if len(b.Tables) == 0 {
+		return fmt.Errorf("hints: bundle has no tables")
+	}
+	for i, t := range b.Tables {
+		if t == nil {
+			return fmt.Errorf("hints: bundle table %d missing", i)
+		}
+		if t.Suffix != i {
+			return fmt.Errorf("hints: bundle table %d has suffix %d", i, t.Suffix)
+		}
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("hints: bundle table %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Stages reports the number of chain stages covered.
+func (b *Bundle) Stages() int { return len(b.Tables) }
+
+// SLO returns the bundle's latency objective.
+func (b *Bundle) SLO() time.Duration { return time.Duration(b.SLOMs) * time.Millisecond }
+
+// TotalRanges sums condensed table sizes across suffixes — the paper's
+// "total number of hints" (Fig 8).
+func (b *Bundle) TotalRanges() int {
+	total := 0
+	for _, t := range b.Tables {
+		total += t.Size()
+	}
+	return total
+}
+
+// Marshal encodes the bundle for submission to the adapter service.
+func (b *Bundle) Marshal() ([]byte, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(b)
+}
+
+// ParseBundle decodes and validates a submitted bundle.
+func ParseBundle(data []byte) (*Bundle, error) {
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("hints: invalid bundle JSON: %w", err)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}

@@ -1,0 +1,125 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"time"
+
+	"janus/internal/adapter"
+	"janus/internal/hints"
+	"janus/internal/platform"
+)
+
+// Client talks to a remote adapter service.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for the service at baseURL (e.g.
+// "http://127.0.0.1:8080").
+func NewClient(baseURL string) *Client {
+	return &Client{base: baseURL, hc: &http.Client{Timeout: 10 * time.Second}}
+}
+
+// SubmitBundle deploys a hints bundle.
+func (c *Client) SubmitBundle(b *hints.Bundle) error {
+	data, err := b.Marshal()
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+"/v1/bundles", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return checkStatus(resp)
+}
+
+// Decide fetches the adaptation decision for a sub-workflow budget.
+func (c *Client) Decide(workflow string, suffix int, remaining time.Duration) (adapter.Decision, error) {
+	req := DecideRequest{Workflow: workflow, Suffix: suffix, RemainingMs: remaining.Milliseconds()}
+	data, err := json.Marshal(req)
+	if err != nil {
+		return adapter.Decision{}, err
+	}
+	resp, err := c.hc.Post(c.base+"/v1/decide", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return adapter.Decision{}, err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return adapter.Decision{}, err
+	}
+	var out DecideResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return adapter.Decision{}, err
+	}
+	return adapter.Decision{Millicores: out.Millicores, Hit: out.Hit, Percentile: out.Percentile}, nil
+}
+
+// Stats fetches the supervisor counters.
+func (c *Client) Stats(workflow string) (StatsResponse, error) {
+	resp, err := c.hc.Get(c.base + "/v1/stats?workflow=" + url.QueryEscape(workflow))
+	if err != nil {
+		return StatsResponse{}, err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return StatsResponse{}, err
+	}
+	var out StatsResponse
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
+// Healthy reports whether the service responds to the health check.
+func (c *Client) Healthy() bool {
+	resp, err := c.hc.Get(c.base + "/v1/healthz")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func checkStatus(resp *http.Response) error {
+	if resp.StatusCode == http.StatusOK {
+		return nil
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err == nil && eb.Error != "" {
+		return fmt.Errorf("httpapi: %s: %s", resp.Status, eb.Error)
+	}
+	return fmt.Errorf("httpapi: unexpected status %s", resp.Status)
+}
+
+// Allocator serves platform allocations over the remote adapter: the full
+// bilateral loop with the provider-side component out of process. Network
+// or service failures escalate to MaxMillicores — the same safety action a
+// hints-table miss takes.
+type Allocator struct {
+	// Client is the adapter-service connection.
+	Client *Client
+	// Workflow names the deployed bundle.
+	Workflow string
+	// System is the display name in traces.
+	System string
+	// MaxMillicores is the escalation ceiling on errors.
+	MaxMillicores int
+}
+
+// Name implements platform.Allocator.
+func (a *Allocator) Name() string { return a.System }
+
+// Allocate implements platform.Allocator.
+func (a *Allocator) Allocate(_ *platform.Request, stage int, remaining time.Duration) (int, bool) {
+	d, err := a.Client.Decide(a.Workflow, stage, remaining)
+	if err != nil {
+		return a.MaxMillicores, false
+	}
+	return d.Millicores, d.Hit
+}

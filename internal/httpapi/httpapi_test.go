@@ -1,0 +1,202 @@
+package httpapi
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"janus/internal/hints"
+)
+
+func bundle(t *testing.T) *hints.Bundle {
+	t.Helper()
+	t0, err := hints.Condense(&hints.RawTable{Suffix: 0, Weight: 1, Hints: []hints.Hint{
+		{BudgetMs: 2000, HeadMillicores: 3000, HeadPercentile: 99},
+		{BudgetMs: 2001, HeadMillicores: 1500, HeadPercentile: 90},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := hints.Condense(&hints.RawTable{Suffix: 1, Weight: 1, Hints: []hints.Hint{
+		{BudgetMs: 1000, HeadMillicores: 1200, HeadPercentile: 99},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &hints.Bundle{
+		Workflow: "ia", Batch: 1, Weight: 1, SLOMs: 3000, MaxMillicores: 3000,
+		Tables: []*hints.Table{t0, t1},
+	}
+}
+
+func serve(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, NewClient(ts.URL)
+}
+
+func TestHealthz(t *testing.T) {
+	_, c := serve(t)
+	if !c.Healthy() {
+		t.Fatal("service not healthy")
+	}
+}
+
+func TestSubmitAndDecideRoundTrip(t *testing.T) {
+	_, c := serve(t)
+	if err := c.SubmitBundle(bundle(t)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Decide("ia", 0, 2001*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Hit || d.Millicores != 1500 || d.Percentile != 90 {
+		t.Fatalf("decision = %+v", d)
+	}
+	// Miss path.
+	d, err = c.Decide("ia", 0, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Hit || d.Millicores != 3000 {
+		t.Fatalf("miss decision = %+v", d)
+	}
+	// Stats reflect both decisions.
+	st, err := c.Stats("ia")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits != 1 || st.Misses != 1 || st.MissRate != 0.5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDecideUnknownWorkflow(t *testing.T) {
+	_, c := serve(t)
+	if _, err := c.Decide("nope", 0, time.Second); err == nil {
+		t.Fatal("unknown workflow accepted")
+	}
+	if !strings.Contains(func() string {
+		_, err := c.Stats("nope")
+		return err.Error()
+	}(), "not deployed") {
+		t.Fatal("stats for unknown workflow should mention deployment")
+	}
+}
+
+func TestDecideBadSuffix(t *testing.T) {
+	_, c := serve(t)
+	if err := c.SubmitBundle(bundle(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decide("ia", 9, time.Second); err == nil {
+		t.Fatal("bad suffix accepted")
+	}
+}
+
+func TestSubmitInvalidBundle(t *testing.T) {
+	_, c := serve(t)
+	b := bundle(t)
+	b.Workflow = ""
+	if err := c.SubmitBundle(b); err == nil {
+		t.Fatal("invalid bundle accepted")
+	}
+}
+
+func TestResubmitReplacesBundle(t *testing.T) {
+	srv, c := serve(t)
+	if err := c.SubmitBundle(bundle(t)); err != nil {
+		t.Fatal(err)
+	}
+	b2 := bundle(t)
+	b2.Tables[0].Ranges[1].Millicores = 1100
+	if err := c.SubmitBundle(b2); err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Decide("ia", 0, 2001*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Millicores != 1100 {
+		t.Fatalf("replacement not applied: %+v", d)
+	}
+	if _, ok := srv.Adapter("ia"); !ok {
+		t.Fatal("adapter lost on replace")
+	}
+}
+
+func TestMethodValidation(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/v1/bundles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Fatalf("GET /v1/bundles -> %d, want 405", resp.StatusCode)
+	}
+	resp, err = ts.Client().Get(ts.URL + "/v1/decide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Fatalf("GET /v1/decide -> %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestConcurrentDecides(t *testing.T) {
+	_, c := serve(t)
+	if err := c.SubmitBundle(bundle(t)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := c.Decide("ia", 0, 2500*time.Millisecond); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st, err := c.Stats("ia")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits+st.Misses != 400 {
+		t.Fatalf("stats count = %d", st.Hits+st.Misses)
+	}
+}
+
+func TestRemoteAllocator(t *testing.T) {
+	_, c := serve(t)
+	if err := c.SubmitBundle(bundle(t)); err != nil {
+		t.Fatal(err)
+	}
+	al := &Allocator{Client: c, Workflow: "ia", System: "janus-remote", MaxMillicores: 3000}
+	if al.Name() != "janus-remote" {
+		t.Fatal("name")
+	}
+	mc, hit := al.Allocate(nil, 0, 2001*time.Millisecond)
+	if !hit || mc != 1500 {
+		t.Fatalf("Allocate = %d, %v", mc, hit)
+	}
+	// A dead service escalates to the ceiling.
+	dead := &Allocator{Client: NewClient("http://127.0.0.1:1"), Workflow: "ia", System: "x", MaxMillicores: 3000}
+	mc, hit = dead.Allocate(nil, 0, time.Second)
+	if hit || mc != 3000 {
+		t.Fatalf("dead service Allocate = %d, %v", mc, hit)
+	}
+}

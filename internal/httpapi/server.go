@@ -1,0 +1,172 @@
+// Package httpapi exposes the provider-side adapter as a web service and
+// provides the matching Go client — the reproduction of the paper's
+// lightweight backend (Flask + Redis + Fission HTTP triggers in §V-A),
+// built on net/http only.
+//
+// The developer submits condensed hints bundles; the platform reports each
+// function completion's remaining budget and receives the resize decision
+// for the next function; the supervisor statistics are queryable.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"janus/internal/adapter"
+	"janus/internal/hints"
+)
+
+// DecideRequest is the body of POST /v1/decide.
+type DecideRequest struct {
+	// Workflow names the deployed bundle.
+	Workflow string `json:"workflow"`
+	// Suffix is the stage index of the remaining sub-workflow's head.
+	Suffix int `json:"suffix"`
+	// RemainingMs is the time budget until the SLO deadline.
+	RemainingMs int64 `json:"remaining_ms"`
+}
+
+// DecideResponse is the adapter's decision.
+type DecideResponse struct {
+	Millicores int  `json:"millicores"`
+	Hit        bool `json:"hit"`
+	Percentile int  `json:"percentile"`
+}
+
+// StatsResponse reports the supervisor counters for one workflow.
+type StatsResponse struct {
+	Workflow string  `json:"workflow"`
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	MissRate float64 `json:"miss_rate"`
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Server hosts adapters for deployed workflows. It is safe for concurrent
+// use.
+type Server struct {
+	mu       sync.Mutex
+	adapters map[string]*adapter.Adapter
+	opts     []adapter.Option
+}
+
+// NewServer builds a server; opts apply to every adapter it creates.
+func NewServer(opts ...adapter.Option) *Server {
+	return &Server{adapters: make(map[string]*adapter.Adapter), opts: opts}
+}
+
+// Deploy installs (or replaces) the bundle for its workflow directly,
+// bypassing HTTP — used by in-process embeddings.
+func (s *Server) Deploy(b *hints.Bundle) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.adapters[b.Workflow]; ok {
+		return existing.Replace(b)
+	}
+	a, err := adapter.New(b, s.opts...)
+	if err != nil {
+		return err
+	}
+	s.adapters[b.Workflow] = a
+	return nil
+}
+
+// Adapter returns the live adapter for a workflow, if deployed.
+func (s *Server) Adapter(workflow string) (*adapter.Adapter, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.adapters[workflow]
+	return a, ok
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/v1/bundles", s.handleBundles)
+	mux.HandleFunc("/v1/decide", s.handleDecide)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleBundles(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 32<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	b, err := hints.ParseBundle(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	if err := s.Deploy(b); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workflow": b.Workflow,
+		"stages":   b.Stages(),
+		"ranges":   b.TotalRanges(),
+	})
+}
+
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+		return
+	}
+	var req DecideRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	a, ok := s.Adapter(req.Workflow)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("workflow %q not deployed", req.Workflow)})
+		return
+	}
+	d, err := a.Decide(req.Suffix, time.Duration(req.RemainingMs)*time.Millisecond)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, DecideResponse{Millicores: d.Millicores, Hit: d.Hit, Percentile: d.Percentile})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET required"})
+		return
+	}
+	wf := r.URL.Query().Get("workflow")
+	a, ok := s.Adapter(wf)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("workflow %q not deployed", wf)})
+		return
+	}
+	hits, misses, rate := a.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{Workflow: wf, Hits: hits, Misses: misses, MissRate: rate})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding failures after the header is out can only be logged; the
+	// payloads here are all marshalable value types.
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,220 @@
+// Package parallel extends Janus beyond linear chains to series-parallel
+// workflows — the "support for more complex workflows" the paper lists as
+// future work (§VII).
+//
+// A series-parallel workflow is a sequence of stages, each fanning out to
+// one or more functions that run concurrently and join before the next
+// stage (the Parallel state of Amazon States Language). The extension
+// reduces such a workflow to an *effective chain* the unmodified
+// synthesizer and adapter can serve:
+//
+//   - each parallel stage becomes one composite pseudo-function whose
+//     latency distribution is the maximum over its branches (profiled by
+//     Monte-Carlo over the branch models), and
+//   - an adaptation decision of k millicores for a stage allocates k to
+//     every branch, so a stage with B branches consumes B*k.
+//
+// Because the join waits for the slowest branch, the composite P99 heads
+// toward the branches' joint tail — exactly the distribution the hints
+// must budget for. Everything downstream of the reduction (Algorithm 1,
+// condensing, the adapter, miss supervision) is reused unchanged.
+package parallel
+
+import (
+	"fmt"
+	"time"
+
+	"janus/internal/interfere"
+	"janus/internal/perfmodel"
+	"janus/internal/profile"
+	"janus/internal/rng"
+	"janus/internal/stats"
+	"janus/internal/workflow"
+)
+
+// Stage is one step of a series-parallel workflow: one or more functions
+// executing concurrently between joins.
+type Stage struct {
+	// Functions lists the branch function names (at least one).
+	Functions []string
+}
+
+// Workflow is a series-parallel application definition.
+type Workflow struct {
+	// Name identifies the application.
+	Name string
+	// SLO is the end-to-end latency objective.
+	SLO time.Duration
+	// Stages execute in order; branches within a stage run concurrently.
+	Stages []Stage
+}
+
+// Validate checks shape.
+func (w *Workflow) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("parallel: workflow needs a name")
+	}
+	if w.SLO <= 0 {
+		return fmt.Errorf("parallel: workflow %s needs a positive SLO", w.Name)
+	}
+	if len(w.Stages) == 0 {
+		return fmt.Errorf("parallel: workflow %s needs stages", w.Name)
+	}
+	for i, st := range w.Stages {
+		if len(st.Functions) == 0 {
+			return fmt.Errorf("parallel: workflow %s stage %d is empty", w.Name, i)
+		}
+		for _, f := range st.Functions {
+			if f == "" {
+				return fmt.Errorf("parallel: workflow %s stage %d has an unnamed function", w.Name, i)
+			}
+		}
+	}
+	return nil
+}
+
+// Branches reports the branch count of stage i.
+func (w *Workflow) Branches(i int) int { return len(w.Stages[i].Functions) }
+
+// ProfilerConfig parameterizes composite-stage profiling.
+type ProfilerConfig struct {
+	// Functions resolves branch names to latency models.
+	Functions map[string]*perfmodel.Function
+	// Colocation and Interference reproduce serving-time contention.
+	Colocation   *interfere.CountSampler
+	Interference *interfere.Model
+	// SamplesPerConfig is the Monte-Carlo sample count per allocation.
+	SamplesPerConfig int
+	// Grid and Percentiles follow the chain profiler's defaults when zero.
+	Grid        profile.Grid
+	Percentiles []int
+	// Batch is the concurrency level (branches must support it).
+	Batch int
+	// Seed roots the profiling streams.
+	Seed uint64
+}
+
+func (c *ProfilerConfig) defaults() error {
+	if len(c.Functions) == 0 {
+		return fmt.Errorf("parallel: profiler needs functions")
+	}
+	if c.Colocation == nil {
+		return fmt.Errorf("parallel: profiler needs a co-location sampler")
+	}
+	if c.SamplesPerConfig == 0 {
+		c.SamplesPerConfig = 2000
+	}
+	if c.SamplesPerConfig < 100 {
+		return fmt.Errorf("parallel: need at least 100 samples per config")
+	}
+	if c.Grid == (profile.Grid{}) {
+		c.Grid = profile.DefaultGrid()
+	}
+	if err := c.Grid.Validate(); err != nil {
+		return err
+	}
+	if len(c.Percentiles) == 0 {
+		c.Percentiles = profile.DefaultPercentiles()
+	}
+	if c.Batch == 0 {
+		c.Batch = 1
+	}
+	return nil
+}
+
+// ProfileStage measures one stage's composite latency: per allocation k,
+// every branch runs at k and the stage completes at the slowest branch.
+func ProfileStage(st Stage, cfg ProfilerConfig) (*profile.FunctionProfile, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	fns := make([]*perfmodel.Function, len(st.Functions))
+	for i, name := range st.Functions {
+		fn, ok := cfg.Functions[name]
+		if !ok {
+			return nil, fmt.Errorf("parallel: unknown function %q", name)
+		}
+		if !fn.SupportsBatch(cfg.Batch) {
+			return nil, fmt.Errorf("parallel: function %s does not support batch %d", name, cfg.Batch)
+		}
+		fns[i] = fn
+	}
+	compositeName := st.Functions[0]
+	if len(st.Functions) > 1 {
+		compositeName = fmt.Sprintf("par(%d)", len(st.Functions))
+		for _, f := range st.Functions {
+			compositeName += "+" + f
+		}
+	}
+	levels := cfg.Grid.Levels()
+	lat := make([][]int, len(cfg.Percentiles))
+	for i := range lat {
+		lat[i] = make([]int, len(levels))
+	}
+	for ki, k := range levels {
+		stream := rng.New(cfg.Seed).Split(fmt.Sprintf("parallel/%s/b%d/k%d", compositeName, cfg.Batch, k))
+		sample := &stats.Sample{}
+		for i := 0; i < cfg.SamplesPerConfig; i++ {
+			var worst time.Duration
+			for _, fn := range fns {
+				coloc := cfg.Colocation.Sample(stream)
+				d := fn.NewDraw(stream, cfg.Batch, coloc, cfg.Interference)
+				if l := fn.Latency(d, k); l > worst {
+					worst = l
+				}
+			}
+			sample.AddDuration(worst)
+		}
+		for pi, pct := range cfg.Percentiles {
+			lat[pi][ki] = int(sample.Percentile(float64(pct))) + 1
+		}
+	}
+	// Iron out sampling noise exactly as the chain profiler does.
+	for pi := range lat {
+		for ki := len(levels) - 2; ki >= 0; ki-- {
+			if lat[pi][ki] < lat[pi][ki+1] {
+				lat[pi][ki] = lat[pi][ki+1]
+			}
+		}
+	}
+	for pi := 1; pi < len(lat); pi++ {
+		for ki := range lat[pi] {
+			if lat[pi][ki] < lat[pi-1][ki] {
+				lat[pi][ki] = lat[pi-1][ki]
+			}
+		}
+	}
+	return profile.NewFunctionProfile(compositeName, cfg.Batch, cfg.Grid, cfg.Percentiles, lat)
+}
+
+// Reduce profiles every stage and assembles the effective-chain profile
+// set the unmodified synthesizer consumes. The returned workflow's nodes
+// are the composite pseudo-functions.
+func Reduce(w *Workflow, cfg ProfilerConfig) (*profile.Set, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	profiles := make([]*profile.FunctionProfile, len(w.Stages))
+	names := make([]string, len(w.Stages))
+	for i, st := range w.Stages {
+		fp, err := ProfileStage(st, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("parallel: stage %d: %w", i, err)
+		}
+		profiles[i] = fp
+		names[i] = fmt.Sprintf("s%d:%s", i, fp.Function)
+	}
+	nodes := make([]workflow.Node, len(names))
+	edges := make([][2]string, 0, len(names)-1)
+	for i, n := range names {
+		nodes[i] = workflow.Node{Name: n, Function: profiles[i].Function}
+		if i > 0 {
+			edges = append(edges, [2]string{names[i-1], n})
+		}
+	}
+	chain, err := workflow.New(w.Name, w.SLO, nodes, edges)
+	if err != nil {
+		return nil, err
+	}
+	return &profile.Set{Workflow: chain, Batch: profiles[0].Batch, Profiles: profiles}, nil
+}

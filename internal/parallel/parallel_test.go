@@ -1,0 +1,227 @@
+package parallel
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"janus/internal/adapter"
+	"janus/internal/core"
+	"janus/internal/interfere"
+	"janus/internal/perfmodel"
+	"janus/internal/synth"
+)
+
+// diamond is OD fanning into a parallel (QA, TS) stage and joining into
+// ICO: the canonical series-parallel shape.
+func diamond() *Workflow {
+	return &Workflow{
+		Name: "diamond",
+		SLO:  3500 * time.Millisecond,
+		Stages: []Stage{
+			{Functions: []string{"od"}},
+			{Functions: []string{"qa", "ts"}},
+			{Functions: []string{"ico"}},
+		},
+	}
+}
+
+func testConfig(t *testing.T) ProfilerConfig {
+	t.Helper()
+	coloc, err := interfere.NewCountSampler([]float64{0.6, 0.3, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ProfilerConfig{
+		Functions:        perfmodel.Catalog(),
+		Colocation:       coloc,
+		Interference:     interfere.Default(),
+		SamplesPerConfig: 1000,
+		Seed:             3,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Workflow{
+		{Name: "", SLO: time.Second, Stages: []Stage{{Functions: []string{"od"}}}},
+		{Name: "x", SLO: 0, Stages: []Stage{{Functions: []string{"od"}}}},
+		{Name: "x", SLO: time.Second},
+		{Name: "x", SLO: time.Second, Stages: []Stage{{}}},
+		{Name: "x", SLO: time.Second, Stages: []Stage{{Functions: []string{""}}}},
+	}
+	for i, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("bad workflow %d accepted", i)
+		}
+	}
+	if err := diamond().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileStageCompositeDominatesBranches(t *testing.T) {
+	cfg := testConfig(t)
+	composite, err := ProfileStage(Stage{Functions: []string{"qa", "ts"}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qa, err := ProfileStage(Stage{Functions: []string{"qa"}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := ProfileStage(Stage{Functions: []string{"ts"}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// max(QA, TS) stochastically dominates each branch. The estimates come
+	// from independent Monte-Carlo paths, so compare with the sampling
+	// tolerance appropriate to each percentile: tight at the median, loose
+	// at the tail.
+	tolerance := map[int]float64{50: 0.97, 99: 0.85}
+	for _, p := range []int{50, 99} {
+		for _, k := range []int{1000, 2000, 3000} {
+			floor := float64(max(qa.LMs(p, k), ts.LMs(p, k))) * tolerance[p]
+			if float64(composite.LMs(p, k)) < floor {
+				t.Errorf("composite L(%d,%d)=%d below dominated floor %.0f (qa %d, ts %d)",
+					p, k, composite.LMs(p, k), floor, qa.LMs(p, k), ts.LMs(p, k))
+			}
+		}
+	}
+	if !strings.Contains(composite.Function, "par(2)") {
+		t.Errorf("composite name %q", composite.Function)
+	}
+}
+
+func TestProfileStageValidation(t *testing.T) {
+	cfg := testConfig(t)
+	if _, err := ProfileStage(Stage{Functions: []string{"nope"}}, cfg); err == nil {
+		t.Error("unknown function accepted")
+	}
+	cfg2 := testConfig(t)
+	cfg2.Batch = 2
+	if _, err := ProfileStage(Stage{Functions: []string{"fe"}}, cfg2); err == nil {
+		t.Error("unsupported batch accepted")
+	}
+	cfg3 := testConfig(t)
+	cfg3.Colocation = nil
+	if _, err := ProfileStage(Stage{Functions: []string{"od"}}, cfg3); err == nil {
+		t.Error("missing colocation accepted")
+	}
+}
+
+func TestReduceBuildsEffectiveChain(t *testing.T) {
+	set, err := Reduce(diamond(), testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 3 {
+		t.Fatalf("effective chain has %d stages", set.Len())
+	}
+	if !set.Workflow.IsChain() {
+		t.Fatal("reduction did not produce a chain")
+	}
+	if set.Workflow.SLO() != 3500*time.Millisecond {
+		t.Fatalf("SLO lost: %v", set.Workflow.SLO())
+	}
+	// The middle stage is the composite.
+	if !strings.Contains(set.At(1).Function, "par(2)") {
+		t.Fatalf("middle profile is %q", set.At(1).Function)
+	}
+}
+
+// TestSeriesParallelEndToEnd deploys the diamond under Janus via the
+// reduction and serves it: the SLO must hold and runtime adaptation must
+// beat worst-case (all-stage P99 at the effective chain) sizing.
+func TestSeriesParallelEndToEnd(t *testing.T) {
+	w := diamond()
+	cfg := testConfig(t)
+	set, err := Reduce(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := core.DeployProfiled(set, core.Options{
+		Functions:           cfg.Functions,
+		Colocation:          cfg.Colocation,
+		Interference:        cfg.Interference,
+		Seed:                5,
+		Mode:                synth.ModeJanus,
+		BudgetStepMs:        10,
+		DisableRegeneration: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs, err := Serve(w, dep.Adapter, cfg, 400, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ViolationRate(ivs, w.SLO); got > 0.02 {
+		t.Fatalf("violation rate %.3f", got)
+	}
+	janusMC := MeanMillicores(ivs)
+
+	// Early binding on the effective chain: every stage at its P99 plan
+	// for the SLO (the minimal P99-feasible fixed plan), branches included.
+	sloMs := int(w.SLO / time.Millisecond)
+	bestFixed := -1
+	levels := set.At(0).Grid.Levels()
+	for _, k0 := range levels {
+		for _, k1 := range levels {
+			for _, k2 := range levels {
+				total := set.At(0).LMs(99, k0) + set.At(1).LMs(99, k1) + set.At(2).LMs(99, k2)
+				if total > sloMs {
+					continue
+				}
+				cores := k0*w.Branches(0) + k1*w.Branches(1) + k2*w.Branches(2)
+				if bestFixed < 0 || cores < bestFixed {
+					bestFixed = cores
+				}
+			}
+		}
+	}
+	if bestFixed < 0 {
+		t.Fatal("no feasible early-binding plan; calibration broke")
+	}
+	if janusMC >= float64(bestFixed) {
+		t.Fatalf("janus (%.0f mc) not below early binding (%d mc) on the diamond", janusMC, bestFixed)
+	}
+	// Misses stay within the supervisor's comfort zone.
+	misses := 0
+	for _, iv := range ivs {
+		misses += iv.Misses
+	}
+	if rate := float64(misses) / float64(3*len(ivs)); rate > 0.03 {
+		t.Fatalf("miss rate %.3f", rate)
+	}
+}
+
+func TestServeValidation(t *testing.T) {
+	w := diamond()
+	cfg := testConfig(t)
+	if _, err := Serve(w, nil, cfg, 10, 1); err == nil {
+		t.Error("nil adapter accepted")
+	}
+	set, err := Reduce(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := core.DeployProfiled(set, core.Options{
+		Functions:           cfg.Functions,
+		Colocation:          cfg.Colocation,
+		Interference:        cfg.Interference,
+		BudgetStepMs:        25,
+		DisableRegeneration: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Serve(w, dep.Adapter, cfg, 0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	// A bundle with the wrong stage count is rejected.
+	short := &Workflow{Name: "short", SLO: w.SLO, Stages: w.Stages[:2]}
+	if _, err := Serve(short, dep.Adapter, cfg, 10, 1); err == nil {
+		t.Error("stage-count mismatch accepted")
+	}
+	var _ *adapter.Adapter = dep.Adapter
+}

@@ -1,0 +1,113 @@
+package parallel
+
+import (
+	"fmt"
+	"time"
+
+	"janus/internal/adapter"
+	"janus/internal/perfmodel"
+	"janus/internal/rng"
+)
+
+// Invocation is one served series-parallel request.
+type Invocation struct {
+	// E2E is the end-to-end latency (sum over stages of the slowest
+	// branch).
+	E2E time.Duration
+	// Millicores is the total allocation: sum over stages of branches *
+	// decided allocation.
+	Millicores int
+	// Misses counts hints-table misses across stage decisions.
+	Misses int
+}
+
+// SLOMet reports whether the invocation met the workflow's SLO.
+func (iv Invocation) SLOMet(slo time.Duration) bool { return iv.E2E <= slo }
+
+// Serve executes n requests of the series-parallel workflow under the
+// adapter's runtime adaptation: before each stage the remaining budget is
+// looked up and every branch of the stage runs at the decided allocation.
+// Runtime conditions are drawn from the same contention mix the profiles
+// used.
+func Serve(w *Workflow, a *adapter.Adapter, cfg ProfilerConfig, n int, seed uint64) ([]Invocation, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	if a == nil {
+		return nil, fmt.Errorf("parallel: nil adapter")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("parallel: need n > 0 requests")
+	}
+	if a.Bundle().Stages() != len(w.Stages) {
+		return nil, fmt.Errorf("parallel: bundle covers %d stages, workflow has %d", a.Bundle().Stages(), len(w.Stages))
+	}
+	fns := make([][]*perfmodel.Function, len(w.Stages))
+	for i, st := range w.Stages {
+		for _, name := range st.Functions {
+			fn, ok := cfg.Functions[name]
+			if !ok {
+				return nil, fmt.Errorf("parallel: unknown function %q", name)
+			}
+			fns[i] = append(fns[i], fn)
+		}
+	}
+	root := rng.New(seed).Split("parallel-serve/" + w.Name)
+	out := make([]Invocation, n)
+	for r := 0; r < n; r++ {
+		stream := root.Split(fmt.Sprintf("req/%d", r))
+		var iv Invocation
+		elapsed := time.Duration(0)
+		for si := range w.Stages {
+			dec, err := a.Decide(si, w.SLO-elapsed)
+			if err != nil {
+				return nil, err
+			}
+			if !dec.Hit {
+				iv.Misses++
+			}
+			var worst time.Duration
+			for _, fn := range fns[si] {
+				coloc := cfg.Colocation.Sample(stream)
+				d := fn.NewDraw(stream, cfg.Batch, coloc, cfg.Interference)
+				if l := fn.Latency(d, dec.Millicores); l > worst {
+					worst = l
+				}
+			}
+			elapsed += worst
+			iv.Millicores += dec.Millicores * len(fns[si])
+		}
+		iv.E2E = elapsed
+		out[r] = iv
+	}
+	return out, nil
+}
+
+// MeanMillicores averages total allocations over invocations.
+func MeanMillicores(ivs []Invocation) float64 {
+	if len(ivs) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, iv := range ivs {
+		total += float64(iv.Millicores)
+	}
+	return total / float64(len(ivs))
+}
+
+// ViolationRate reports the fraction of invocations over the SLO.
+func ViolationRate(ivs []Invocation, slo time.Duration) float64 {
+	if len(ivs) == 0 {
+		return 0
+	}
+	v := 0
+	for _, iv := range ivs {
+		if !iv.SLOMet(slo) {
+			v++
+		}
+	}
+	return float64(v) / float64(len(ivs))
+}

@@ -1,0 +1,155 @@
+package perfmodel
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"janus/internal/interfere"
+	"janus/internal/rng"
+	"janus/internal/stats"
+)
+
+// profileOnce samples n invocations of f at k millicores / batch c with the
+// co-location mix cs, mirroring what the offline profiler does.
+func profileOnce(f *Function, k, c, n int, cs *interfere.CountSampler, seed uint64) *stats.Sample {
+	s := rng.New(seed).Split(fmt.Sprintf("%s/%d/%d", f.Name(), k, c))
+	im := interfere.Default()
+	out := &stats.Sample{}
+	for i := 0; i < n; i++ {
+		d := f.NewDraw(s, c, cs.Sample(s), im)
+		out.AddDuration(f.Latency(d, k))
+	}
+	return out
+}
+
+func iaMix(t *testing.T) *interfere.CountSampler {
+	t.Helper()
+	cs, err := interfere.NewCountSampler([]float64{0.5, 0.35, 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+func vaMix(t *testing.T) *interfere.CountSampler {
+	t.Helper()
+	cs, err := interfere.NewCountSampler([]float64{0.4, 0.4, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+// TestIAFeasibilityRegime locks in the sizing regime the experiments need:
+// the IA chain must be infeasible at P99 with minimum allocations under its
+// 3 s SLO (otherwise sizing policy is trivial) but feasible with maximum
+// allocations (otherwise no policy can meet the SLO).
+func TestIAFeasibilityRegime(t *testing.T) {
+	cs := iaMix(t)
+	chain := []*Function{ObjectDetection(), QuestionAnswering(), TextToSpeech()}
+	sumAt := func(k, c int) time.Duration {
+		var total time.Duration
+		for _, f := range chain {
+			total += profileOnce(f, k, c, 4000, cs, 1).PercentileDuration(99)
+		}
+		return total
+	}
+	minSum := sumAt(1000, 1)
+	maxSum := sumAt(3000, 1)
+	if minSum < 5500*time.Millisecond || minSum > 7500*time.Millisecond {
+		t.Errorf("IA sum of P99 at Kmin = %v, want within [5.5s, 7.5s] (the paper explores budgets to 7s)", minSum)
+	}
+	if maxSum >= 2900*time.Millisecond {
+		t.Errorf("IA sum of P99 at Kmax = %v, must leave headroom under the 3s SLO", maxSum)
+	}
+	if maxSum < 1800*time.Millisecond {
+		t.Errorf("IA sum of P99 at Kmax = %v suspiciously fast; sizing would be trivial", maxSum)
+	}
+	// Higher concurrency with the paper's relaxed SLOs (4 s and 5 s).
+	if s := sumAt(3000, 2); s >= 3900*time.Millisecond {
+		t.Errorf("IA conc-2 sum of P99 at Kmax = %v, must fit the 4s SLO", s)
+	}
+	if s := sumAt(3000, 3); s >= 4900*time.Millisecond {
+		t.Errorf("IA conc-3 sum of P99 at Kmax = %v, must fit the 5s SLO", s)
+	}
+}
+
+// TestVAFeasibilityRegime does the same for the VA chain and its 1.5 s SLO.
+func TestVAFeasibilityRegime(t *testing.T) {
+	cs := vaMix(t)
+	chain := []*Function{FrameExtraction(), ImageClassification(), ImageCompression()}
+	sumAt := func(k int) time.Duration {
+		var total time.Duration
+		for _, f := range chain {
+			total += profileOnce(f, k, 1, 4000, cs, 2).PercentileDuration(99)
+		}
+		return total
+	}
+	minSum := sumAt(1000)
+	maxSum := sumAt(3000)
+	if minSum < 1550*time.Millisecond || minSum > 2300*time.Millisecond {
+		t.Errorf("VA sum of P99 at Kmin = %v, want within [1.55s, 2.3s]", minSum)
+	}
+	if maxSum >= 1450*time.Millisecond {
+		t.Errorf("VA sum of P99 at Kmax = %v, must leave headroom under the 1.5s SLO", maxSum)
+	}
+}
+
+// TestVATailRatios checks the published per-function P99/P50 ratios
+// (1.46, 1.56, 1.37) within tolerance, including interference.
+func TestVATailRatios(t *testing.T) {
+	cs := vaMix(t)
+	cases := []struct {
+		f      *Function
+		target float64
+	}{
+		{FrameExtraction(), 1.46},
+		{ImageClassification(), 1.56},
+		{ImageCompression(), 1.37},
+	}
+	for _, c := range cases {
+		s := profileOnce(c.f, 2000, 1, 8000, cs, 3)
+		ratio := s.Percentile(99) / s.Percentile(50)
+		if ratio < c.target-0.18 || ratio > c.target+0.18 {
+			t.Errorf("%s: P99/P50 = %.3f, want %.2f +/- 0.18", c.f.Name(), ratio, c.target)
+		}
+	}
+}
+
+// TestQATailRatioGrowsWithBatch reproduces §V-B's observation that QA's
+// P99/P50 gap widens from ~2.17x to ~2.32x when concurrency rises.
+func TestQATailRatioGrowsWithBatch(t *testing.T) {
+	cs := iaMix(t)
+	qa := QuestionAnswering()
+	r1 := func() float64 {
+		s := profileOnce(qa, 2000, 1, 8000, cs, 4)
+		return s.Percentile(99) / s.Percentile(50)
+	}()
+	r2 := func() float64 {
+		s := profileOnce(qa, 2000, 2, 8000, cs, 4)
+		return s.Percentile(99) / s.Percentile(50)
+	}()
+	if r1 < 1.7 || r1 > 2.7 {
+		t.Errorf("QA conc-1 P99/P50 = %.3f, want ~2.17 (+/- 0.5)", r1)
+	}
+	if r2 <= r1 {
+		t.Errorf("QA P99/P50 should widen with batch: conc1=%.3f conc2=%.3f", r1, r2)
+	}
+}
+
+// TestIAWorkingSetVariance reproduces Fig 1b's up-to-3.8x spread.
+func TestIAWorkingSetVariance(t *testing.T) {
+	cs := iaMix(t)
+	maxRatio := 0.0
+	for _, f := range []*Function{ObjectDetection(), QuestionAnswering(), TextToSpeech()} {
+		s := profileOnce(f, 2000, 1, 8000, cs, 5)
+		ratio := s.Percentile(99) / s.Percentile(1)
+		if ratio > maxRatio {
+			maxRatio = ratio
+		}
+	}
+	if maxRatio < 3.0 || maxRatio > 5.5 {
+		t.Errorf("widest IA P99/P1 = %.2f, want near the paper's 3.8x", maxRatio)
+	}
+}

@@ -1,0 +1,91 @@
+package platform
+
+import (
+	"fmt"
+	"time"
+
+	"janus/internal/stats"
+)
+
+// Fixed is the simplest Allocator: immutable per-stage sizes, which is
+// exactly the early-binding contract (sizes chosen at deployment, never
+// adapted). The early-binding baselines wrap it with their sizing policies.
+type Fixed struct {
+	// System is the display name.
+	System string
+	// Sizes holds one millicore allocation per chain stage.
+	Sizes []int
+}
+
+// Name implements Allocator.
+func (f *Fixed) Name() string { return f.System }
+
+// Allocate implements Allocator, ignoring runtime information.
+func (f *Fixed) Allocate(req *Request, stage int, _ time.Duration) (int, bool) {
+	if stage < 0 || stage >= len(f.Sizes) {
+		panic(fmt.Sprintf("platform: Fixed allocator for %d stages asked for stage %d", len(f.Sizes), stage))
+	}
+	return f.Sizes[stage], true
+}
+
+// E2ESample extracts the end-to-end latency distribution (ms) of traces.
+func E2ESample(traces []Trace) *stats.Sample {
+	s := &stats.Sample{}
+	for i := range traces {
+		s.AddDuration(traces[i].E2E)
+	}
+	return s
+}
+
+// MillicoreSample extracts the per-request total allocation distribution.
+func MillicoreSample(traces []Trace) *stats.Sample {
+	s := &stats.Sample{}
+	for i := range traces {
+		s.Add(float64(traces[i].TotalMillicores))
+	}
+	return s
+}
+
+// MeanMillicores reports the average per-request total allocation — the
+// paper's resource-consumption metric (e.g. Optimal approaches 3000
+// millicores for a three-function chain with 1000 mc minimum sizes).
+func MeanMillicores(traces []Trace) float64 {
+	return MillicoreSample(traces).Mean()
+}
+
+// SLOViolationRate reports the fraction of requests exceeding their SLO.
+func SLOViolationRate(traces []Trace) float64 {
+	if len(traces) == 0 {
+		return 0
+	}
+	violations := 0
+	for i := range traces {
+		if !traces[i].SLOMet() {
+			violations++
+		}
+	}
+	return float64(violations) / float64(len(traces))
+}
+
+// MissRate reports the fraction of allocation decisions that missed the
+// hints table (always 0 for systems without one).
+func MissRate(traces []Trace) float64 {
+	decisions, misses := 0, 0
+	for i := range traces {
+		decisions += len(traces[i].Stages)
+		misses += traces[i].Misses
+	}
+	if decisions == 0 {
+		return 0
+	}
+	return float64(misses) / float64(decisions)
+}
+
+// SlackSample extracts the paper's slack metric (1 - e2e/SLO) per request.
+func SlackSample(traces []Trace) *stats.Sample {
+	s := &stats.Sample{}
+	for i := range traces {
+		s.Add(stats.Slack(traces[i].E2E, traces[i].SLO))
+	}
+	return s
+}

@@ -1,0 +1,389 @@
+// Package platform simulates the serverless provider's serving plane: it
+// admits workflow requests, drives their stage-by-stage execution over the
+// cluster substrate, and consults a pluggable Allocator for the millicore
+// allocation of every stage.
+//
+// The Allocator interface is the single point where serving systems differ:
+//
+//   - early-binding baselines (GrandSLAM, GrandSLAM+, ORION) return fixed
+//     per-stage sizes decided at deployment;
+//   - Janus's adapter derives the remaining time budget when a function
+//     finishes and looks up the developer's condensed hints table;
+//   - the clairvoyant Optimal oracle inspects the request's pre-sampled
+//     draws.
+//
+// Requests carry pre-sampled randomness (working set, interference,
+// jitter): every system faces the identical sequence of runtime conditions,
+// which is the paired-comparison setup the paper's normalized results rely
+// on.
+package platform
+
+import (
+	"fmt"
+	"time"
+
+	"janus/internal/cluster"
+	"janus/internal/interfere"
+	"janus/internal/perfmodel"
+	"janus/internal/rng"
+	"janus/internal/simclock"
+	"janus/internal/workflow"
+)
+
+// Request is one workflow execution with pre-sampled runtime conditions.
+type Request struct {
+	// ID is unique within a workload.
+	ID int
+	// Workflow is the application being served.
+	Workflow *workflow.Workflow
+	// Chain caches the workflow's chain nodes in execution order.
+	Chain []workflow.Node
+	// Draws holds one pre-sampled draw per stage.
+	Draws []perfmodel.Draw
+	// Arrival is the request's admission time.
+	Arrival time.Duration
+	// Batch is the batch size (the paper's "concurrency") the request's
+	// function executions run with.
+	Batch int
+}
+
+// Allocator decides the millicore allocation for a request stage.
+type Allocator interface {
+	// Name identifies the serving system in experiment output.
+	Name() string
+	// Allocate returns the allocation for stage `stage` of req, given the
+	// remaining time budget until the SLO deadline, plus whether the
+	// decision was a (hints-table) hit. Systems without a hints table
+	// report true.
+	Allocate(req *Request, stage int, remaining time.Duration) (millicores int, hit bool)
+}
+
+// StageTrace records one executed stage.
+type StageTrace struct {
+	Function   string
+	Millicores int
+	Start      time.Duration
+	End        time.Duration
+	Startup    time.Duration
+	Latency    time.Duration
+	Cold       bool
+	Hit        bool
+}
+
+// Trace records one served request.
+type Trace struct {
+	RequestID       int
+	System          string
+	Arrival         time.Duration
+	Done            time.Duration
+	E2E             time.Duration
+	SLO             time.Duration
+	Stages          []StageTrace
+	TotalMillicores int
+	Misses          int
+}
+
+// SLOMet reports whether the request met its latency objective.
+func (t *Trace) SLOMet() bool { return t.E2E <= t.SLO }
+
+// WorkloadConfig drives request generation.
+type WorkloadConfig struct {
+	// Workflow to execute; must be a chain.
+	Workflow *workflow.Workflow
+	// Functions resolves node function names to latency models.
+	Functions map[string]*perfmodel.Function
+	// N is the number of requests.
+	N int
+	// Batch is the batch size for all function executions.
+	Batch int
+	// ArrivalRatePerSec is the Poisson arrival rate; <= 0 means requests
+	// arrive back to back at a fixed small spacing (closed-loop style).
+	ArrivalRatePerSec float64
+	// Colocation samples the per-stage co-location count baked into each
+	// draw (mirroring the contention mix the profiler saw).
+	Colocation *interfere.CountSampler
+	// Interference converts co-location counts into slowdowns.
+	Interference *interfere.Model
+	// StageCorrelation in [0, 1] couples runtime conditions across a
+	// request's stages with a mixture copula: with this probability all of
+	// a request's stages replay the same random stream (heavy inputs stay
+	// heavy through the chain, contention persists); otherwise stages draw
+	// independently. Production workflows are strongly correlated — a
+	// large image yields many objects, a long passage yields a long
+	// answer — which is what keeps end-to-end tail estimates honest.
+	StageCorrelation float64
+	// Seed roots the workload's random streams.
+	Seed uint64
+}
+
+// GenerateWorkload materializes the request sequence with pre-sampled
+// draws.
+func GenerateWorkload(cfg WorkloadConfig) ([]*Request, error) {
+	if cfg.Workflow == nil {
+		return nil, fmt.Errorf("platform: workload needs a workflow")
+	}
+	chain, err := cfg.Workflow.Chain()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("platform: workload needs N > 0, got %d", cfg.N)
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 1
+	}
+	if cfg.Colocation == nil {
+		return nil, fmt.Errorf("platform: workload needs a co-location sampler")
+	}
+	if cfg.StageCorrelation < 0 || cfg.StageCorrelation > 1 {
+		return nil, fmt.Errorf("platform: StageCorrelation %v outside [0, 1]", cfg.StageCorrelation)
+	}
+	fns := make([]*perfmodel.Function, len(chain))
+	for i, n := range chain {
+		f, ok := cfg.Functions[n.Function]
+		if !ok {
+			return nil, fmt.Errorf("platform: workflow %s references unknown function %q", cfg.Workflow.Name(), n.Function)
+		}
+		if !f.SupportsBatch(cfg.Batch) {
+			return nil, fmt.Errorf("platform: function %s does not support batch size %d", n.Function, cfg.Batch)
+		}
+		fns[i] = f
+	}
+	root := rng.New(cfg.Seed).Split("workload/" + cfg.Workflow.Name())
+	arrivals := root.Split("arrivals")
+	reqs := make([]*Request, cfg.N)
+	at := time.Duration(0)
+	for i := 0; i < cfg.N; i++ {
+		if cfg.ArrivalRatePerSec > 0 {
+			gap := arrivals.Exp(cfg.ArrivalRatePerSec)
+			at += time.Duration(gap * float64(time.Second))
+		} else {
+			at += 5 * time.Millisecond
+		}
+		stream := root.Split(fmt.Sprintf("req/%d", i))
+		shared := stream.Float64() < cfg.StageCorrelation
+		common := stream.Split("common")
+		draws := make([]perfmodel.Draw, len(chain))
+		for s, f := range fns {
+			drawStream := stream
+			if shared {
+				// Every stage replays an identical stream: comonotonic
+				// inputs, contention, and jitter along the chain.
+				drawStream = common.Split("replay")
+			}
+			coloc := cfg.Colocation.Sample(drawStream)
+			draws[s] = f.NewDraw(drawStream, cfg.Batch, coloc, cfg.Interference)
+		}
+		reqs[i] = &Request{
+			ID:       i,
+			Workflow: cfg.Workflow,
+			Chain:    chain,
+			Draws:    draws,
+			Arrival:  at,
+			Batch:    cfg.Batch,
+		}
+	}
+	return reqs, nil
+}
+
+// ExecutorConfig sizes the serving plane.
+type ExecutorConfig struct {
+	// Cluster configures the substrate.
+	Cluster cluster.Config
+	// WarmStartup is the pod specialization delay when a warm pod exists.
+	WarmStartup time.Duration
+	// ColdStartup is the pod creation delay when the pool is empty.
+	ColdStartup time.Duration
+	// DecisionOverhead models the allocator's per-stage decision cost
+	// (the paper measures Janus's online adaptation at < 3 ms).
+	DecisionOverhead time.Duration
+	// LiveInterference recomputes each stage's slowdown from the live
+	// cluster co-location census instead of the pre-sampled draw. The
+	// clairvoyant Optimal allocator is only meaningful with this off.
+	LiveInterference bool
+	// Interference is required when LiveInterference is set.
+	Interference *interfere.Model
+	// Seed drives live-interference jitter.
+	Seed uint64
+}
+
+// DefaultExecutorConfig returns the configuration used by the paper-shaped
+// experiments: warm pools, ~2 ms specialization, ~1 ms decision overhead.
+func DefaultExecutorConfig() ExecutorConfig {
+	return ExecutorConfig{
+		Cluster:          cluster.DefaultConfig(),
+		WarmStartup:      2 * time.Millisecond,
+		ColdStartup:      300 * time.Millisecond,
+		DecisionOverhead: time.Millisecond,
+	}
+}
+
+// Executor serves workloads over a fresh simulated cluster per Run.
+type Executor struct {
+	cfg ExecutorConfig
+	fns map[string]*perfmodel.Function
+}
+
+// NewExecutor validates the configuration and builds an executor.
+func NewExecutor(cfg ExecutorConfig, fns map[string]*perfmodel.Function) (*Executor, error) {
+	if cfg.WarmStartup < 0 || cfg.ColdStartup < 0 || cfg.DecisionOverhead < 0 {
+		return nil, fmt.Errorf("platform: startup/overhead durations must be >= 0")
+	}
+	if cfg.LiveInterference && cfg.Interference == nil {
+		return nil, fmt.Errorf("platform: LiveInterference requires an interference model")
+	}
+	if len(fns) == 0 {
+		return nil, fmt.Errorf("platform: executor needs a function catalog")
+	}
+	return &Executor{cfg: cfg, fns: fns}, nil
+}
+
+type runState struct {
+	ex      *Executor
+	engine  *simclock.Engine
+	cluster *cluster.Cluster
+	alloc   Allocator
+	stream  *rng.Stream
+	traces  []Trace
+	// waiting holds stage continuations blocked on pod capacity, FIFO.
+	// Capacity freed by any release can unblock any function's waiter (a
+	// node hosts pods of every function), so the queue is global.
+	waiting []func()
+	failed  error
+}
+
+// Run serves the requests with the given allocator and returns one trace
+// per request, ordered by request ID.
+func (e *Executor) Run(reqs []*Request, alloc Allocator) ([]Trace, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("platform: no requests")
+	}
+	if alloc == nil {
+		return nil, fmt.Errorf("platform: nil allocator")
+	}
+	cl, err := cluster.New(e.cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	deployed := map[string]bool{}
+	for _, r := range reqs {
+		for _, n := range r.Chain {
+			if _, ok := e.fns[n.Function]; !ok {
+				return nil, fmt.Errorf("platform: request %d references unknown function %q", r.ID, n.Function)
+			}
+			if !deployed[n.Function] {
+				if err := cl.Deploy(n.Function); err != nil {
+					return nil, err
+				}
+				deployed[n.Function] = true
+			}
+		}
+	}
+	st := &runState{
+		ex:      e,
+		engine:  simclock.New(),
+		cluster: cl,
+		alloc:   alloc,
+		stream:  rng.New(e.cfg.Seed).Split("executor"),
+		traces:  make([]Trace, len(reqs)),
+	}
+	for _, r := range reqs {
+		r := r
+		st.engine.ScheduleAt(r.Arrival, func(time.Duration) { st.startStage(r, 0, nil) })
+	}
+	st.engine.Run()
+	if st.failed != nil {
+		return nil, st.failed
+	}
+	return st.traces, nil
+}
+
+// startStage makes the allocation decision and begins stage execution,
+// queueing if the cluster lacks capacity.
+func (st *runState) startStage(r *Request, stage int, acc *Trace) {
+	if st.failed != nil {
+		return
+	}
+	if acc == nil {
+		acc = &Trace{RequestID: r.ID, System: st.alloc.Name(), Arrival: r.Arrival, SLO: r.Workflow.SLO()}
+	}
+	now := st.engine.Now()
+	remaining := r.Workflow.SLO() - (now - r.Arrival)
+	mc, hit := st.alloc.Allocate(r, stage, remaining)
+	if mc <= 0 {
+		st.fail(fmt.Errorf("platform: allocator %s returned non-positive allocation %d", st.alloc.Name(), mc))
+		return
+	}
+	if !hit {
+		acc.Misses++
+	}
+	fn := r.Chain[stage].Function
+	pod, cold, err := st.cluster.Acquire(fn, mc)
+	if err != nil {
+		// No capacity right now: park the continuation until a release.
+		st.waiting = append(st.waiting, func() { st.startStage(r, stage, acc) })
+		return
+	}
+	st.execute(r, stage, acc, pod, cold, hit)
+}
+
+func (st *runState) execute(r *Request, stage int, acc *Trace, pod *cluster.Pod, cold, hit bool) {
+	fn := st.ex.fns[r.Chain[stage].Function]
+	draw := r.Draws[stage]
+	if st.ex.cfg.LiveInterference {
+		census := st.cluster.Colocated(pod)
+		draw.Slowdown = st.ex.cfg.Interference.Sample(fn.Dimension(), census, st.stream)
+	}
+	startup := st.ex.cfg.WarmStartup
+	if cold {
+		startup = st.ex.cfg.ColdStartup
+	}
+	latency := fn.Latency(draw, pod.Millicores())
+	stageSpan := st.ex.cfg.DecisionOverhead + startup + latency
+	start := st.engine.Now()
+	st.engine.Schedule(stageSpan, func(end time.Duration) {
+		acc.Stages = append(acc.Stages, StageTrace{
+			Function:   r.Chain[stage].Function,
+			Millicores: pod.Millicores(),
+			Start:      start,
+			End:        end,
+			Startup:    startup,
+			Latency:    latency,
+			Cold:       cold,
+			Hit:        hit,
+		})
+		acc.TotalMillicores += pod.Millicores()
+		if err := st.cluster.Release(pod); err != nil {
+			st.fail(err)
+			return
+		}
+		st.wake()
+		if stage+1 < len(r.Chain) {
+			st.startStage(r, stage+1, acc)
+			return
+		}
+		acc.Done = end
+		acc.E2E = end - r.Arrival
+		st.traces[r.ID] = *acc
+	})
+}
+
+// wake re-admits all parked continuations in FIFO order; those that still
+// cannot acquire a pod re-park themselves.
+func (st *runState) wake() {
+	if len(st.waiting) == 0 {
+		return
+	}
+	queue := st.waiting
+	st.waiting = nil
+	for _, next := range queue {
+		next()
+	}
+}
+
+func (st *runState) fail(err error) {
+	if st.failed == nil {
+		st.failed = err
+		st.engine.Stop()
+	}
+}

@@ -1,0 +1,305 @@
+package platform
+
+import (
+	"testing"
+	"time"
+
+	"janus/internal/cluster"
+	"janus/internal/interfere"
+	"janus/internal/perfmodel"
+	"janus/internal/workflow"
+)
+
+func iaWorkload(t *testing.T, n int) []*Request {
+	t.Helper()
+	coloc, err := interfere.NewCountSampler([]float64{0.5, 0.35, 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := GenerateWorkload(WorkloadConfig{
+		Workflow:          workflow.IntelligentAssistant(),
+		Functions:         perfmodel.Catalog(),
+		N:                 n,
+		Batch:             1,
+		ArrivalRatePerSec: 2,
+		Colocation:        coloc,
+		Interference:      interfere.Default(),
+		Seed:              42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+func defaultExecutor(t *testing.T) *Executor {
+	t.Helper()
+	e, err := NewExecutor(DefaultExecutorConfig(), perfmodel.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestGenerateWorkloadShape(t *testing.T) {
+	reqs := iaWorkload(t, 50)
+	if len(reqs) != 50 {
+		t.Fatalf("generated %d requests, want 50", len(reqs))
+	}
+	prev := time.Duration(-1)
+	for i, r := range reqs {
+		if r.ID != i {
+			t.Fatalf("request %d has ID %d", i, r.ID)
+		}
+		if len(r.Draws) != 3 || len(r.Chain) != 3 {
+			t.Fatalf("request %d has %d draws / %d stages", i, len(r.Draws), len(r.Chain))
+		}
+		if r.Arrival <= prev {
+			t.Fatalf("arrivals not strictly increasing at %d", i)
+		}
+		prev = r.Arrival
+		for s, d := range r.Draws {
+			if d.WS <= 0 || d.Slowdown < 1 || d.Noise <= 0 {
+				t.Fatalf("request %d stage %d has invalid draw %+v", i, s, d)
+			}
+		}
+	}
+}
+
+func TestGenerateWorkloadDeterministic(t *testing.T) {
+	a := iaWorkload(t, 10)
+	b := iaWorkload(t, 10)
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival {
+			t.Fatal("arrivals differ across identical generations")
+		}
+		for s := range a[i].Draws {
+			if a[i].Draws[s] != b[i].Draws[s] {
+				t.Fatal("draws differ across identical generations")
+			}
+		}
+	}
+}
+
+func TestGenerateWorkloadValidation(t *testing.T) {
+	coloc, _ := interfere.NewCountSampler([]float64{1})
+	base := WorkloadConfig{
+		Workflow:   workflow.IntelligentAssistant(),
+		Functions:  perfmodel.Catalog(),
+		N:          1,
+		Colocation: coloc,
+	}
+	bad := base
+	bad.Workflow = nil
+	if _, err := GenerateWorkload(bad); err == nil {
+		t.Error("nil workflow accepted")
+	}
+	bad = base
+	bad.N = 0
+	if _, err := GenerateWorkload(bad); err == nil {
+		t.Error("N=0 accepted")
+	}
+	bad = base
+	bad.Colocation = nil
+	if _, err := GenerateWorkload(bad); err == nil {
+		t.Error("nil colocation accepted")
+	}
+	bad = base
+	bad.Functions = map[string]*perfmodel.Function{}
+	if _, err := GenerateWorkload(bad); err == nil {
+		t.Error("missing functions accepted")
+	}
+	bad = base
+	bad.Workflow = workflow.VideoAnalyze()
+	bad.Batch = 2 // FE/ICO are not batchable
+	if _, err := GenerateWorkload(bad); err == nil {
+		t.Error("unbatchable workflow at batch 2 accepted")
+	}
+}
+
+func TestRunProducesCompleteTraces(t *testing.T) {
+	reqs := iaWorkload(t, 100)
+	traces, err := defaultExecutor(t).Run(reqs, &Fixed{System: "fixed", Sizes: []int{2000, 2000, 2000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 100 {
+		t.Fatalf("%d traces, want 100", len(traces))
+	}
+	for i, tr := range traces {
+		if tr.RequestID != i {
+			t.Fatalf("trace %d has request ID %d", i, tr.RequestID)
+		}
+		if len(tr.Stages) != 3 {
+			t.Fatalf("trace %d has %d stages", i, len(tr.Stages))
+		}
+		if tr.TotalMillicores != 6000 {
+			t.Fatalf("trace %d total millicores = %d, want 6000", i, tr.TotalMillicores)
+		}
+		if tr.E2E <= 0 || tr.Done <= tr.Arrival {
+			t.Fatalf("trace %d has times e2e=%v done=%v arrival=%v", i, tr.E2E, tr.Done, tr.Arrival)
+		}
+		var stageSum time.Duration
+		for s, st := range tr.Stages {
+			if st.Millicores != 2000 {
+				t.Fatalf("trace %d stage %d millicores = %d", i, s, st.Millicores)
+			}
+			if st.End <= st.Start {
+				t.Fatalf("trace %d stage %d has non-positive span", i, s)
+			}
+			stageSum += st.End - st.Start
+		}
+		if tr.E2E < stageSum {
+			t.Fatalf("trace %d e2e %v below stage sum %v", i, tr.E2E, stageSum)
+		}
+		if tr.System != "fixed" {
+			t.Fatalf("trace system = %q", tr.System)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	e := defaultExecutor(t)
+	a, err := e.Run(iaWorkload(t, 30), &Fixed{System: "fixed", Sizes: []int{1500, 1500, 1500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Run(iaWorkload(t, 30), &Fixed{System: "fixed", Sizes: []int{1500, 1500, 1500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].E2E != b[i].E2E || a[i].TotalMillicores != b[i].TotalMillicores {
+			t.Fatal("identical runs diverged")
+		}
+	}
+}
+
+func TestBiggerAllocationsRunFaster(t *testing.T) {
+	e := defaultExecutor(t)
+	small, err := e.Run(iaWorkload(t, 60), &Fixed{System: "s", Sizes: []int{1000, 1000, 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := e.Run(iaWorkload(t, 60), &Fixed{System: "b", Sizes: []int{3000, 3000, 3000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if E2ESample(big).Mean() >= E2ESample(small).Mean() {
+		t.Fatalf("3000mc mean e2e %.1fms not below 1000mc %.1fms",
+			E2ESample(big).Mean(), E2ESample(small).Mean())
+	}
+	if E2ESample(big).Percentile(99) >= E2ESample(small).Percentile(99) {
+		t.Fatalf("3000mc P99 e2e %.1fms not below 1000mc %.1fms",
+			E2ESample(big).Percentile(99), E2ESample(small).Percentile(99))
+	}
+}
+
+func TestCapacityQueueingEventuallyServes(t *testing.T) {
+	cfg := DefaultExecutorConfig()
+	// A tiny node: only one 3000mc pod fits at a time.
+	cfg.Cluster = cluster.Config{Nodes: 1, NodeMillicores: 3500, PoolSize: 1, IdleMillicores: 100}
+	e, err := NewExecutor(cfg, perfmodel.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := iaWorkload(t, 20)
+	traces, err := e.Run(reqs, &Fixed{System: "fixed", Sizes: []int{3000, 3000, 3000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range traces {
+		if len(tr.Stages) != 3 {
+			t.Fatalf("request %d starved: %d stages", i, len(tr.Stages))
+		}
+	}
+}
+
+func TestLiveInterferenceMode(t *testing.T) {
+	cfg := DefaultExecutorConfig()
+	cfg.LiveInterference = true
+	cfg.Interference = interfere.Default()
+	e, err := NewExecutor(cfg, perfmodel.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := e.Run(iaWorkload(t, 40), &Fixed{System: "live", Sizes: []int{2000, 2000, 2000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 40 {
+		t.Fatalf("%d traces", len(traces))
+	}
+	cfg.Interference = nil
+	if _, err := NewExecutor(cfg, perfmodel.Catalog()); err == nil {
+		t.Fatal("LiveInterference without model accepted")
+	}
+}
+
+func TestExecutorValidation(t *testing.T) {
+	if _, err := NewExecutor(DefaultExecutorConfig(), nil); err == nil {
+		t.Error("nil catalog accepted")
+	}
+	bad := DefaultExecutorConfig()
+	bad.WarmStartup = -time.Second
+	if _, err := NewExecutor(bad, perfmodel.Catalog()); err == nil {
+		t.Error("negative startup accepted")
+	}
+	e := defaultExecutor(t)
+	if _, err := e.Run(nil, &Fixed{System: "x", Sizes: []int{1}}); err == nil {
+		t.Error("empty request set accepted")
+	}
+	if _, err := e.Run(iaWorkload(t, 1), nil); err == nil {
+		t.Error("nil allocator accepted")
+	}
+}
+
+type badAllocator struct{}
+
+func (badAllocator) Name() string { return "bad" }
+func (badAllocator) Allocate(*Request, int, time.Duration) (int, bool) {
+	return 0, true
+}
+
+func TestNonPositiveAllocationFailsRun(t *testing.T) {
+	e := defaultExecutor(t)
+	if _, err := e.Run(iaWorkload(t, 3), badAllocator{}); err == nil {
+		t.Fatal("allocator returning 0 millicores should fail the run")
+	}
+}
+
+func TestMetricsHelpers(t *testing.T) {
+	traces := []Trace{
+		{E2E: time.Second, SLO: 2 * time.Second, TotalMillicores: 3000, Stages: make([]StageTrace, 3)},
+		{E2E: 3 * time.Second, SLO: 2 * time.Second, TotalMillicores: 5000, Stages: make([]StageTrace, 3), Misses: 1},
+	}
+	if got := MeanMillicores(traces); got != 4000 {
+		t.Errorf("MeanMillicores = %v", got)
+	}
+	if got := SLOViolationRate(traces); got != 0.5 {
+		t.Errorf("SLOViolationRate = %v", got)
+	}
+	if got := MissRate(traces); got != 1.0/6 {
+		t.Errorf("MissRate = %v", got)
+	}
+	slack := SlackSample(traces)
+	if slack.Len() != 2 || slack.Min() != -0.5 || slack.Max() != 0.5 {
+		t.Errorf("SlackSample = %v", slack.Values())
+	}
+	if E2ESample(traces).Mean() != 2000 {
+		t.Errorf("E2ESample mean = %v", E2ESample(traces).Mean())
+	}
+	if SLOViolationRate(nil) != 0 || MissRate(nil) != 0 {
+		t.Error("empty-trace metrics should be 0")
+	}
+}
+
+func TestFixedPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fixed out-of-range stage did not panic")
+		}
+	}()
+	f := &Fixed{System: "x", Sizes: []int{1000}}
+	f.Allocate(nil, 1, 0)
+}

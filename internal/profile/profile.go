@@ -1,0 +1,423 @@
+// Package profile implements the developer-side Profiler of Janus (§III-B)
+// and the profile data model the synthesizer consumes.
+//
+// A function profile is the execution-time distribution L(p, k) extracted
+// at a grid of percentiles p (default 1..99, step 5, always including 99)
+// and CPU allocations k (default 1000..3000 millicores, step 100), per
+// concurrency (batch) level. From L the paper derives its two risk metrics:
+//
+//	timeout    D(p, k) = L(99, k) - L(p, k)        (Eq. 1)
+//	resilience R(p, k) = L(p, k) - L(p, Kmax)      (Eq. 2, prose sign)
+//
+// Timeout quantifies how much an execution profiled at percentile p can
+// overrun; resilience quantifies how much scaling a function up to Kmax can
+// still compress it. A hint is safe when the head's timeout fits within the
+// downstream functions' total resilience.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"janus/internal/interfere"
+	"janus/internal/perfmodel"
+	"janus/internal/rng"
+	"janus/internal/stats"
+	"janus/internal/workflow"
+)
+
+// Grid is an inclusive arithmetic grid of millicore allocations.
+type Grid struct {
+	Min, Max, Step int
+}
+
+// DefaultGrid mirrors the paper's knob: 1000-3000 millicores, step 100.
+func DefaultGrid() Grid { return Grid{Min: 1000, Max: 3000, Step: 100} }
+
+// Validate checks grid consistency.
+func (g Grid) Validate() error {
+	if g.Min <= 0 || g.Max < g.Min || g.Step <= 0 {
+		return fmt.Errorf("profile: invalid grid %+v", g)
+	}
+	if (g.Max-g.Min)%g.Step != 0 {
+		return fmt.Errorf("profile: grid max %d not reachable from min %d with step %d", g.Max, g.Min, g.Step)
+	}
+	return nil
+}
+
+// Levels returns all allocations in the grid, ascending.
+func (g Grid) Levels() []int {
+	out := make([]int, 0, (g.Max-g.Min)/g.Step+1)
+	for k := g.Min; k <= g.Max; k += g.Step {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Len reports the number of grid levels.
+func (g Grid) Len() int { return (g.Max-g.Min)/g.Step + 1 }
+
+// Index maps an allocation to its grid position.
+func (g Grid) Index(k int) (int, bool) {
+	if k < g.Min || k > g.Max || (k-g.Min)%g.Step != 0 {
+		return 0, false
+	}
+	return (k - g.Min) / g.Step, true
+}
+
+// Snap rounds an arbitrary allocation up to the nearest grid level,
+// clamping to the grid bounds.
+func (g Grid) Snap(k int) int {
+	if k <= g.Min {
+		return g.Min
+	}
+	if k >= g.Max {
+		return g.Max
+	}
+	over := (k - g.Min) % g.Step
+	if over == 0 {
+		return k
+	}
+	return k + g.Step - over
+}
+
+// DefaultPercentiles returns the paper's profiling percentiles: 1% to 99%
+// with a step of 5%, with the P99 anchor (1, 5, 10, ..., 95, 99).
+func DefaultPercentiles() []int {
+	out := []int{1}
+	for p := 5; p <= 95; p += 5 {
+		out = append(out, p)
+	}
+	return append(out, 99)
+}
+
+func validatePercentiles(ps []int) error {
+	if len(ps) == 0 {
+		return fmt.Errorf("profile: percentile set empty")
+	}
+	prev := 0
+	has99 := false
+	for _, p := range ps {
+		if p < 1 || p > 99 {
+			return fmt.Errorf("profile: percentile %d out of [1, 99]", p)
+		}
+		if p <= prev {
+			return fmt.Errorf("profile: percentiles must be strictly increasing, got %v", ps)
+		}
+		prev = p
+		if p == 99 {
+			has99 = true
+		}
+	}
+	if !has99 {
+		return fmt.Errorf("profile: percentile set must include 99 (the SLO anchor)")
+	}
+	return nil
+}
+
+// FunctionProfile is L(p, k) for one function at one batch size.
+type FunctionProfile struct {
+	// Function is the profiled function's name.
+	Function string `json:"function"`
+	// Batch is the concurrency level profiled.
+	Batch int `json:"batch"`
+	// Grid is the allocation grid.
+	Grid Grid `json:"grid"`
+	// Percentiles is the ascending percentile grid (includes 99).
+	Percentiles []int `json:"percentiles"`
+	// LatencyMs[pi][ki] is L(Percentiles[pi], Levels[ki]) in milliseconds.
+	LatencyMs [][]int `json:"latency_ms"`
+
+	// samples[ki] keeps the raw latency sample per allocation level for
+	// distribution-aware consumers (the ORION baseline). Not serialized.
+	samples []*stats.Sample
+	// pIndex maps percentile -> row.
+	pIndex map[int]int
+}
+
+func (fp *FunctionProfile) init() error {
+	if err := fp.Grid.Validate(); err != nil {
+		return err
+	}
+	if err := validatePercentiles(fp.Percentiles); err != nil {
+		return err
+	}
+	if len(fp.LatencyMs) != len(fp.Percentiles) {
+		return fmt.Errorf("profile: %s: %d latency rows for %d percentiles", fp.Function, len(fp.LatencyMs), len(fp.Percentiles))
+	}
+	for i, row := range fp.LatencyMs {
+		if len(row) != fp.Grid.Len() {
+			return fmt.Errorf("profile: %s: row %d has %d levels, want %d", fp.Function, i, len(row), fp.Grid.Len())
+		}
+	}
+	fp.pIndex = make(map[int]int, len(fp.Percentiles))
+	for i, p := range fp.Percentiles {
+		fp.pIndex[p] = i
+	}
+	return nil
+}
+
+// NewFunctionProfile builds a validated profile from externally measured
+// latencies: latencyMs[pi][ki] is the latency at percentiles[pi] and
+// grid.Levels()[ki] in milliseconds. Deployments that measure functions
+// with their own tooling import profiles through this constructor.
+func NewFunctionProfile(function string, batch int, grid Grid, percentiles []int, latencyMs [][]int) (*FunctionProfile, error) {
+	if function == "" {
+		return nil, fmt.Errorf("profile: function name required")
+	}
+	if batch < 1 {
+		return nil, fmt.Errorf("profile: batch %d invalid", batch)
+	}
+	fp := &FunctionProfile{
+		Function:    function,
+		Batch:       batch,
+		Grid:        grid,
+		Percentiles: append([]int(nil), percentiles...),
+		LatencyMs:   latencyMs,
+	}
+	if err := fp.init(); err != nil {
+		return nil, err
+	}
+	return fp, nil
+}
+
+// HasPercentile reports whether p is on the profile's percentile grid.
+func (fp *FunctionProfile) HasPercentile(p int) bool {
+	_, ok := fp.pIndex[p]
+	return ok
+}
+
+// LMs returns L(p, k) in milliseconds. Both p and k must be on-grid.
+func (fp *FunctionProfile) LMs(p, k int) int {
+	pi, ok := fp.pIndex[p]
+	if !ok {
+		panic(fmt.Sprintf("profile: %s: percentile %d not profiled", fp.Function, p))
+	}
+	ki, ok := fp.Grid.Index(k)
+	if !ok {
+		panic(fmt.Sprintf("profile: %s: allocation %d not on grid", fp.Function, k))
+	}
+	return fp.LatencyMs[pi][ki]
+}
+
+// L returns L(p, k) as a duration.
+func (fp *FunctionProfile) L(p, k int) time.Duration {
+	return time.Duration(fp.LMs(p, k)) * time.Millisecond
+}
+
+// TimeoutMs returns D(p, k) = L(99, k) - L(p, k) in milliseconds (Eq. 1).
+func (fp *FunctionProfile) TimeoutMs(p, k int) int {
+	return fp.LMs(99, k) - fp.LMs(p, k)
+}
+
+// ResilienceMs returns R(p, k) = L(p, k) - L(p, Kmax) in milliseconds
+// (Eq. 2 with the prose sign: the compression achievable by scaling up).
+func (fp *FunctionProfile) ResilienceMs(p, k int) int {
+	return fp.LMs(p, k) - fp.LMs(p, fp.Grid.Max)
+}
+
+// MinCoresWithin returns the smallest on-grid allocation whose L(p, k)
+// fits the budget, or false if even Kmax misses it.
+func (fp *FunctionProfile) MinCoresWithin(p int, budget time.Duration) (int, bool) {
+	budgetMs := int(budget / time.Millisecond)
+	for _, k := range fp.Grid.Levels() {
+		if fp.LMs(p, k) <= budgetMs {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Sample returns the raw latency sample at allocation k, or nil if the
+// profile was deserialized without samples.
+func (fp *FunctionProfile) Sample(k int) *stats.Sample {
+	ki, ok := fp.Grid.Index(k)
+	if !ok || fp.samples == nil {
+		return nil
+	}
+	return fp.samples[ki]
+}
+
+// Set bundles the per-node profiles of a chain workflow at one batch size.
+type Set struct {
+	// Workflow is the profiled application.
+	Workflow *workflow.Workflow
+	// Batch is the concurrency level.
+	Batch int
+	// Profiles holds one profile per chain stage, in execution order.
+	Profiles []*FunctionProfile
+}
+
+// Chain returns the profiled chain nodes.
+func (s *Set) Chain() []workflow.Node {
+	chain, err := s.Workflow.Chain()
+	if err != nil {
+		// Sets are only constructed for chains; reaching here is a bug.
+		panic(err)
+	}
+	return chain
+}
+
+// At returns the stage-i profile.
+func (s *Set) At(i int) *FunctionProfile { return s.Profiles[i] }
+
+// Len reports the number of stages.
+func (s *Set) Len() int { return len(s.Profiles) }
+
+// BudgetRangeMs returns the paper's Eq. 3 exploration bounds for the suffix
+// starting at stage `from`:
+//
+//	Tmin = sum_i L_i(pMin, Kmax),  Tmax = sum_i L_i(99, Kmin)
+//
+// where pMin is the lowest profiled percentile.
+func (s *Set) BudgetRangeMs(from int) (int, int) {
+	tmin, tmax := 0, 0
+	for i := from; i < len(s.Profiles); i++ {
+		fp := s.Profiles[i]
+		pMin := fp.Percentiles[0]
+		tmin += fp.LMs(pMin, fp.Grid.Max)
+		tmax += fp.LMs(99, fp.Grid.Min)
+	}
+	return tmin, tmax
+}
+
+// Profiler collects execution-time distributions by exercising the latency
+// models under the contention mix the platform will produce at serving
+// time. This is the developer-side offline component: in the paper it runs
+// the real functions on the developer's cluster; here it samples the
+// calibrated models.
+type Profiler struct {
+	// Functions resolves function names.
+	Functions map[string]*perfmodel.Function
+	// SamplesPerConfig is the number of invocations per (k, batch) cell.
+	SamplesPerConfig int
+	// Grid is the allocation grid.
+	Grid Grid
+	// Percentiles is the percentile grid (must include 99).
+	Percentiles []int
+	// Colocation and Interference reproduce serving-time contention.
+	Colocation   *interfere.CountSampler
+	Interference *interfere.Model
+	// Seed roots the profiling streams.
+	Seed uint64
+}
+
+// NewProfiler builds a profiler with validated configuration.
+func NewProfiler(fns map[string]*perfmodel.Function, coloc *interfere.CountSampler, im *interfere.Model, seed uint64) (*Profiler, error) {
+	if len(fns) == 0 {
+		return nil, fmt.Errorf("profile: profiler needs functions")
+	}
+	if coloc == nil {
+		return nil, fmt.Errorf("profile: profiler needs a co-location sampler")
+	}
+	p := &Profiler{
+		Functions:        fns,
+		SamplesPerConfig: 2000,
+		Grid:             DefaultGrid(),
+		Percentiles:      DefaultPercentiles(),
+		Colocation:       coloc,
+		Interference:     im,
+		Seed:             seed,
+	}
+	if err := p.Grid.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validatePercentiles(p.Percentiles); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ProfileFunction measures one function at one batch size across the grid.
+func (p *Profiler) ProfileFunction(name string, batch int) (*FunctionProfile, error) {
+	fn, ok := p.Functions[name]
+	if !ok {
+		return nil, fmt.Errorf("profile: unknown function %q", name)
+	}
+	if !fn.SupportsBatch(batch) {
+		return nil, fmt.Errorf("profile: function %s does not support batch %d", name, batch)
+	}
+	if p.SamplesPerConfig < 100 {
+		return nil, fmt.Errorf("profile: need at least 100 samples per config, have %d", p.SamplesPerConfig)
+	}
+	levels := p.Grid.Levels()
+	fp := &FunctionProfile{
+		Function:    name,
+		Batch:       batch,
+		Grid:        p.Grid,
+		Percentiles: append([]int(nil), p.Percentiles...),
+		LatencyMs:   make([][]int, len(p.Percentiles)),
+		samples:     make([]*stats.Sample, len(levels)),
+	}
+	for i := range fp.LatencyMs {
+		fp.LatencyMs[i] = make([]int, len(levels))
+	}
+	for ki, k := range levels {
+		stream := rng.New(p.Seed).Split(fmt.Sprintf("profile/%s/b%d/k%d", name, batch, k))
+		sample := &stats.Sample{}
+		for i := 0; i < p.SamplesPerConfig; i++ {
+			coloc := p.Colocation.Sample(stream)
+			draw := fn.NewDraw(stream, batch, coloc, p.Interference)
+			sample.AddDuration(fn.Latency(draw, k))
+		}
+		fp.samples[ki] = sample
+		for pi, pct := range p.Percentiles {
+			// Round latencies up: the synthesizer must never be optimistic
+			// about how fast a function runs.
+			ms := sample.Percentile(float64(pct))
+			fp.LatencyMs[pi][ki] = int(ms) + 1
+		}
+	}
+	if err := fp.init(); err != nil {
+		return nil, err
+	}
+	enforceMonotone(fp)
+	return fp, nil
+}
+
+// enforceMonotone irons out sampling noise so that L is non-increasing in k
+// and non-decreasing in p — properties the true distribution has and the
+// synthesizer's pruning relies on.
+func enforceMonotone(fp *FunctionProfile) {
+	for pi := range fp.LatencyMs {
+		row := fp.LatencyMs[pi]
+		for ki := len(row) - 2; ki >= 0; ki-- {
+			if row[ki] < row[ki+1] {
+				row[ki] = row[ki+1]
+			}
+		}
+	}
+	for pi := 1; pi < len(fp.LatencyMs); pi++ {
+		for ki := range fp.LatencyMs[pi] {
+			if fp.LatencyMs[pi][ki] < fp.LatencyMs[pi-1][ki] {
+				fp.LatencyMs[pi][ki] = fp.LatencyMs[pi-1][ki]
+			}
+		}
+	}
+}
+
+// ProfileWorkflow profiles every stage of a chain workflow.
+func (p *Profiler) ProfileWorkflow(w *workflow.Workflow, batch int) (*Set, error) {
+	chain, err := w.Chain()
+	if err != nil {
+		return nil, err
+	}
+	set := &Set{Workflow: w, Batch: batch}
+	for _, n := range chain {
+		fp, err := p.ProfileFunction(n.Function, batch)
+		if err != nil {
+			return nil, err
+		}
+		set.Profiles = append(set.Profiles, fp)
+	}
+	return set, nil
+}
+
+// SortedPercentiles returns a copy of ps sorted ascending (helper for
+// consumers assembling custom grids).
+func SortedPercentiles(ps []int) []int {
+	out := append([]int(nil), ps...)
+	sort.Ints(out)
+	return out
+}

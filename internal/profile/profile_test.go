@@ -1,0 +1,403 @@
+package profile
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"janus/internal/interfere"
+	"janus/internal/perfmodel"
+	"janus/internal/workflow"
+)
+
+func testProfiler(t *testing.T) *Profiler {
+	t.Helper()
+	coloc, err := interfere.NewCountSampler([]float64{0.5, 0.35, 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProfiler(perfmodel.Catalog(), coloc, interfere.Default(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SamplesPerConfig = 600 // keep unit tests fast
+	return p
+}
+
+func TestGridBasics(t *testing.T) {
+	g := DefaultGrid()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	levels := g.Levels()
+	if len(levels) != 21 || levels[0] != 1000 || levels[20] != 3000 {
+		t.Fatalf("levels = %v", levels)
+	}
+	if g.Len() != 21 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if i, ok := g.Index(1500); !ok || i != 5 {
+		t.Fatalf("Index(1500) = %d, %v", i, ok)
+	}
+	if _, ok := g.Index(1550); ok {
+		t.Fatal("off-grid index accepted")
+	}
+	if _, ok := g.Index(900); ok {
+		t.Fatal("below-grid index accepted")
+	}
+}
+
+func TestGridSnap(t *testing.T) {
+	g := DefaultGrid()
+	cases := [][2]int{{500, 1000}, {1000, 1000}, {1001, 1100}, {1399, 1400}, {2950, 3000}, {9000, 3000}}
+	for _, c := range cases {
+		if got := g.Snap(c[0]); got != c[1] {
+			t.Errorf("Snap(%d) = %d, want %d", c[0], got, c[1])
+		}
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	bad := []Grid{
+		{Min: 0, Max: 100, Step: 10},
+		{Min: 100, Max: 50, Step: 10},
+		{Min: 100, Max: 200, Step: 0},
+		{Min: 100, Max: 250, Step: 100}, // max unreachable
+	}
+	for _, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("grid %+v accepted", g)
+		}
+	}
+}
+
+func TestDefaultPercentiles(t *testing.T) {
+	ps := DefaultPercentiles()
+	if ps[0] != 1 || ps[len(ps)-1] != 99 {
+		t.Fatalf("percentiles = %v", ps)
+	}
+	if err := validatePercentiles(ps); err != nil {
+		t.Fatal(err)
+	}
+	// 1, 5..95 step 5, 99 -> 21 entries.
+	if len(ps) != 21 {
+		t.Fatalf("%d percentiles, want 21", len(ps))
+	}
+}
+
+func TestValidatePercentiles(t *testing.T) {
+	cases := [][]int{
+		{},          // empty
+		{0, 99},     // below range
+		{1, 100},    // above range
+		{5, 5, 99},  // not strictly increasing
+		{99, 1},     // decreasing
+		{1, 50, 95}, // missing 99
+	}
+	for _, ps := range cases {
+		if err := validatePercentiles(ps); err == nil {
+			t.Errorf("percentiles %v accepted", ps)
+		}
+	}
+	if err := validatePercentiles([]int{1, 50, 99}); err != nil {
+		t.Errorf("valid percentiles rejected: %v", err)
+	}
+}
+
+func TestProfileFunctionShape(t *testing.T) {
+	p := testProfiler(t)
+	fp, err := p.ProfileFunction("od", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Function != "od" || fp.Batch != 1 {
+		t.Fatalf("profile header = %s/%d", fp.Function, fp.Batch)
+	}
+	if len(fp.LatencyMs) != len(fp.Percentiles) {
+		t.Fatal("row count mismatch")
+	}
+	// Monotone in k: more cores never slower.
+	for _, pct := range fp.Percentiles {
+		prev := int(1 << 30)
+		for _, k := range fp.Grid.Levels() {
+			cur := fp.LMs(pct, k)
+			if cur > prev {
+				t.Fatalf("L(%d, %d) = %d increased from %d", pct, k, cur, prev)
+			}
+			prev = cur
+		}
+	}
+	// Monotone in p: higher percentile never faster.
+	for _, k := range fp.Grid.Levels() {
+		prev := 0
+		for _, pct := range fp.Percentiles {
+			cur := fp.LMs(pct, k)
+			if cur < prev {
+				t.Fatalf("L(%d, %d) = %d decreased from %d", pct, k, cur, prev)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestTimeoutProperties(t *testing.T) {
+	p := testProfiler(t)
+	fp, err := p.ProfileFunction("ts", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// D(99, k) == 0; D decreases as p rises (Fig 7a).
+	for _, k := range []int{1000, 2000, 3000} {
+		if d := fp.TimeoutMs(99, k); d != 0 {
+			t.Errorf("D(99, %d) = %d, want 0", k, d)
+		}
+		if fp.TimeoutMs(25, k) < fp.TimeoutMs(50, k) || fp.TimeoutMs(50, k) < fp.TimeoutMs(75, k) {
+			t.Errorf("timeout at k=%d not decreasing in percentile", k)
+		}
+	}
+	// D decreases as k rises (Fig 7a: more resources absorb variability).
+	if fp.TimeoutMs(25, 1000) < fp.TimeoutMs(25, 3000) {
+		t.Error("timeout should shrink with more cores")
+	}
+}
+
+func TestResilienceProperties(t *testing.T) {
+	p := testProfiler(t)
+	fp, err := p.ProfileFunction("ts", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R(p, Kmax) == 0; R decreases with k (Fig 7b).
+	for _, pct := range []int{25, 50, 99} {
+		if r := fp.ResilienceMs(pct, 3000); r != 0 {
+			t.Errorf("R(%d, Kmax) = %d, want 0", pct, r)
+		}
+		prev := int(1 << 30)
+		for _, k := range fp.Grid.Levels() {
+			r := fp.ResilienceMs(pct, k)
+			if r < 0 {
+				t.Fatalf("negative resilience R(%d, %d) = %d", pct, k, r)
+			}
+			if r > prev {
+				t.Fatalf("resilience increased with cores at k=%d", k)
+			}
+			prev = r
+		}
+	}
+}
+
+func TestResilienceGrowsWithConcurrency(t *testing.T) {
+	// Fig 7b: higher concurrency means higher computing load, making the
+	// function more sensitive to resources, hence more resilience.
+	p := testProfiler(t)
+	fp1, err := p.ProfileFunction("ts", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp3, err := p.ProfileFunction("ts", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp3.ResilienceMs(99, 1000) <= fp1.ResilienceMs(99, 1000) {
+		t.Errorf("resilience at conc 3 (%d ms) should exceed conc 1 (%d ms)",
+			fp3.ResilienceMs(99, 1000), fp1.ResilienceMs(99, 1000))
+	}
+}
+
+func TestMinCoresWithin(t *testing.T) {
+	p := testProfiler(t)
+	fp, err := p.ProfileFunction("qa", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A generous budget needs only the minimum allocation.
+	if k, ok := fp.MinCoresWithin(99, 10*time.Second); !ok || k != 1000 {
+		t.Fatalf("generous budget -> (%d, %v), want (1000, true)", k, ok)
+	}
+	// An impossible budget is infeasible even at Kmax.
+	if _, ok := fp.MinCoresWithin(99, time.Millisecond); ok {
+		t.Fatal("1ms budget should be infeasible")
+	}
+	// Feasibility boundary is consistent with L.
+	budget := fp.L(99, 2000)
+	k, ok := fp.MinCoresWithin(99, budget)
+	if !ok || k > 2000 {
+		t.Fatalf("budget L(99,2000) -> (%d, %v), want k <= 2000", k, ok)
+	}
+}
+
+func TestProfileDeterminism(t *testing.T) {
+	p := testProfiler(t)
+	a, err := p.ProfileFunction("od", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.ProfileFunction("od", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi := range a.LatencyMs {
+		for ki := range a.LatencyMs[pi] {
+			if a.LatencyMs[pi][ki] != b.LatencyMs[pi][ki] {
+				t.Fatal("profiles differ across identical runs")
+			}
+		}
+	}
+}
+
+func TestProfilerValidation(t *testing.T) {
+	coloc, _ := interfere.NewCountSampler([]float64{1})
+	if _, err := NewProfiler(nil, coloc, nil, 1); err == nil {
+		t.Error("nil functions accepted")
+	}
+	if _, err := NewProfiler(perfmodel.Catalog(), nil, nil, 1); err == nil {
+		t.Error("nil colocation accepted")
+	}
+	p := testProfiler(t)
+	if _, err := p.ProfileFunction("nope", 1); err == nil {
+		t.Error("unknown function accepted")
+	}
+	if _, err := p.ProfileFunction("fe", 2); err == nil {
+		t.Error("unsupported batch accepted")
+	}
+	p.SamplesPerConfig = 10
+	if _, err := p.ProfileFunction("od", 1); err == nil {
+		t.Error("tiny sample count accepted")
+	}
+}
+
+func TestProfileWorkflow(t *testing.T) {
+	p := testProfiler(t)
+	set, err := p.ProfileWorkflow(workflow.IntelligentAssistant(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 3 {
+		t.Fatalf("set has %d profiles", set.Len())
+	}
+	if set.At(0).Function != "od" || set.At(2).Function != "ts" {
+		t.Fatal("profiles out of order")
+	}
+	tmin, tmax := set.BudgetRangeMs(0)
+	if tmin <= 0 || tmax <= tmin {
+		t.Fatalf("budget range = [%d, %d]", tmin, tmax)
+	}
+	// Suffix ranges shrink as functions complete.
+	tmin1, tmax1 := set.BudgetRangeMs(1)
+	if tmin1 >= tmin || tmax1 >= tmax {
+		t.Fatal("suffix budget range should shrink")
+	}
+}
+
+func TestProfileWorkflowNonChain(t *testing.T) {
+	p := testProfiler(t)
+	nodes := []workflow.Node{{Name: "a", Function: "od"}, {Name: "b", Function: "qa"}, {Name: "c", Function: "ts"}}
+	dag, err := workflow.New("fan", time.Second, nodes, [][2]string{{"a", "b"}, {"a", "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ProfileWorkflow(dag, 1); err == nil {
+		t.Fatal("non-chain workflow accepted")
+	}
+}
+
+func TestSampleAccess(t *testing.T) {
+	p := testProfiler(t)
+	fp, err := p.ProfileFunction("od", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fp.Sample(2000)
+	if s == nil || s.Len() != p.SamplesPerConfig {
+		t.Fatal("raw sample missing")
+	}
+	if fp.Sample(2050) != nil {
+		t.Fatal("off-grid sample should be nil")
+	}
+}
+
+func TestFunctionProfileJSONRoundTrip(t *testing.T) {
+	p := testProfiler(t)
+	fp, err := p.ProfileFunction("qa", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseFunctionProfile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Function != "qa" || back.Batch != 2 {
+		t.Fatal("header lost")
+	}
+	if back.LMs(99, 1500) != fp.LMs(99, 1500) {
+		t.Fatal("latency lost")
+	}
+	if back.Sample(1500) != nil {
+		t.Fatal("samples should not round-trip")
+	}
+}
+
+func TestParseFunctionProfileRejectsBadData(t *testing.T) {
+	if _, err := ParseFunctionProfile([]byte("{")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	// Valid JSON, inconsistent shape.
+	bad := `{"function":"f","batch":1,"grid":{"Min":1000,"Max":3000,"Step":100},"percentiles":[1,99],"latency_ms":[[1]]}`
+	if _, err := ParseFunctionProfile([]byte(bad)); err == nil {
+		t.Error("inconsistent shape accepted")
+	}
+}
+
+func TestSetJSONRoundTrip(t *testing.T) {
+	p := testProfiler(t)
+	set, err := p.ProfileWorkflow(workflow.VideoAnalyze(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSet(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Workflow.Name() != "va" || back.Len() != 3 {
+		t.Fatal("set header lost")
+	}
+	if back.At(1).LMs(99, 2000) != set.At(1).LMs(99, 2000) {
+		t.Fatal("set latencies lost")
+	}
+}
+
+func TestParseSetRejectsMismatchedProfiles(t *testing.T) {
+	p := testProfiler(t)
+	set, err := p.ProfileWorkflow(workflow.VideoAnalyze(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap two profiles: stage/function mismatch must be caught.
+	set.Profiles[0], set.Profiles[1] = set.Profiles[1], set.Profiles[0]
+	data, err := json.Marshal(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseSet(data); err == nil {
+		t.Fatal("mismatched profile order accepted")
+	}
+}
+
+func TestSortedPercentiles(t *testing.T) {
+	in := []int{99, 1, 50}
+	out := SortedPercentiles(in)
+	if out[0] != 1 || out[2] != 99 {
+		t.Fatalf("SortedPercentiles = %v", out)
+	}
+	if in[0] != 99 {
+		t.Fatal("input mutated")
+	}
+}

@@ -1,0 +1,69 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"janus/internal/workflow"
+)
+
+// ParseFunctionProfile decodes and validates a serialized profile.
+// Raw samples are not part of the wire form; deserialized profiles support
+// everything except Sample().
+func ParseFunctionProfile(data []byte) (*FunctionProfile, error) {
+	var fp FunctionProfile
+	if err := json.Unmarshal(data, &fp); err != nil {
+		return nil, fmt.Errorf("profile: invalid profile JSON: %w", err)
+	}
+	if err := fp.init(); err != nil {
+		return nil, err
+	}
+	return &fp, nil
+}
+
+// setSpec is the wire form of a Set.
+type setSpec struct {
+	Workflow workflow.Spec      `json:"workflow"`
+	Batch    int                `json:"batch"`
+	Profiles []*FunctionProfile `json:"profiles"`
+}
+
+// MarshalJSON encodes the set with its workflow spec.
+func (s *Set) MarshalJSON() ([]byte, error) {
+	return json.Marshal(setSpec{
+		Workflow: s.Workflow.ToSpec(),
+		Batch:    s.Batch,
+		Profiles: s.Profiles,
+	})
+}
+
+// ParseSet decodes and validates a serialized profile set.
+func ParseSet(data []byte) (*Set, error) {
+	var spec setSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, fmt.Errorf("profile: invalid set JSON: %w", err)
+	}
+	w, err := spec.Workflow.Build()
+	if err != nil {
+		return nil, err
+	}
+	chain, err := w.Chain()
+	if err != nil {
+		return nil, err
+	}
+	if len(spec.Profiles) != len(chain) {
+		return nil, fmt.Errorf("profile: set has %d profiles for %d stages", len(spec.Profiles), len(chain))
+	}
+	for i, fp := range spec.Profiles {
+		if fp == nil {
+			return nil, fmt.Errorf("profile: set profile %d missing", i)
+		}
+		if err := fp.init(); err != nil {
+			return nil, err
+		}
+		if fp.Function != chain[i].Function {
+			return nil, fmt.Errorf("profile: set profile %d is for %q, stage wants %q", i, fp.Function, chain[i].Function)
+		}
+	}
+	return &Set{Workflow: w, Batch: spec.Batch, Profiles: spec.Profiles}, nil
+}

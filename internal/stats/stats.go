@@ -1,0 +1,312 @@
+// Package stats provides the statistical machinery the reproduction relies
+// on: empirical samples with percentile queries, CDFs, histograms, online
+// summaries, Monte-Carlo distribution convolution (used by the ORION
+// baseline), and the paper's slack metric.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"janus/internal/rng"
+)
+
+// Sample is a collection of observations supporting percentile queries.
+// The zero value is an empty sample ready for Add.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// NewSample wraps the given values (taking ownership of the slice).
+func NewSample(values []float64) *Sample {
+	return &Sample{xs: values}
+}
+
+// FromDurations builds a Sample of millisecond values from durations.
+func FromDurations(ds []time.Duration) *Sample {
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = float64(d) / float64(time.Millisecond)
+	}
+	return NewSample(xs)
+}
+
+// Add appends an observation.
+func (s *Sample) Add(v float64) {
+	s.xs = append(s.xs, v)
+	s.sorted = false
+}
+
+// AddDuration appends a duration observation in milliseconds.
+func (s *Sample) AddDuration(d time.Duration) {
+	s.Add(float64(d) / float64(time.Millisecond))
+}
+
+// Len reports the number of observations.
+func (s *Sample) Len() int { return len(s.xs) }
+
+// Values returns the underlying observations in sorted order. The returned
+// slice is shared; callers must not modify it.
+func (s *Sample) Values() []float64 {
+	s.sort()
+	return s.xs
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) using linear
+// interpolation between order statistics. It panics on an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		panic("stats: Percentile on empty sample")
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	s.sort()
+	if len(s.xs) == 1 {
+		return s.xs[0]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// PercentileDuration returns Percentile(p) interpreted as milliseconds.
+func (s *Sample) PercentileDuration(p float64) time.Duration {
+	return time.Duration(s.Percentile(p) * float64(time.Millisecond))
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, v := range s.xs {
+		total += v
+	}
+	return total / float64(len(s.xs))
+}
+
+// Std returns the population standard deviation, or 0 for n < 2.
+func (s *Sample) Std() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	acc := 0.0
+	for _, v := range s.xs {
+		d := v - m
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(n))
+}
+
+// Min returns the smallest observation. It panics on an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		panic("stats: Min on empty sample")
+	}
+	s.sort()
+	return s.xs[0]
+}
+
+// Max returns the largest observation. It panics on an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		panic("stats: Max on empty sample")
+	}
+	s.sort()
+	return s.xs[len(s.xs)-1]
+}
+
+// Point is one (x, cumulative fraction) coordinate of an empirical CDF.
+type Point struct {
+	X float64
+	F float64
+}
+
+// CDF returns the empirical CDF as (value, fraction <= value) points.
+func (s *Sample) CDF() []Point {
+	s.sort()
+	pts := make([]Point, len(s.xs))
+	n := float64(len(s.xs))
+	for i, v := range s.xs {
+		pts[i] = Point{X: v, F: float64(i+1) / n}
+	}
+	return pts
+}
+
+// FractionAtOrBelow reports the fraction of observations <= x.
+func (s *Sample) FractionAtOrBelow(x float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	idx := sort.SearchFloat64s(s.xs, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(s.xs))
+}
+
+// Clone returns an independent copy of the sample.
+func (s *Sample) Clone() *Sample {
+	xs := make([]float64, len(s.xs))
+	copy(xs, s.xs)
+	return &Sample{xs: xs, sorted: s.sorted}
+}
+
+// Scale returns a new sample with every observation multiplied by f.
+func (s *Sample) Scale(f float64) *Sample {
+	xs := make([]float64, len(s.xs))
+	for i, v := range s.xs {
+		xs[i] = v * f
+	}
+	return &Sample{xs: xs, sorted: s.sorted && f >= 0}
+}
+
+// Slack is the paper's resource-inefficiency metric: 1 - latency/slo.
+// A request finishing at 40% of its SLO has slack 0.6. Latencies above the
+// SLO yield negative slack.
+func Slack(latency, slo time.Duration) float64 {
+	if slo <= 0 {
+		panic("stats: Slack requires positive SLO")
+	}
+	return 1 - float64(latency)/float64(slo)
+}
+
+// SumSamples estimates the distribution of the sum of one draw from each
+// input sample (independent draws), using n Monte-Carlo trials from the
+// given stream. It is the convolution primitive behind the ORION baseline's
+// end-to-end latency model.
+func SumSamples(parts []*Sample, n int, stream *rng.Stream) *Sample {
+	if len(parts) == 0 || n <= 0 {
+		return &Sample{}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		total := 0.0
+		for _, p := range parts {
+			if p.Len() == 0 {
+				continue
+			}
+			total += p.xs[stream.IntN(p.Len())]
+		}
+		out[i] = total
+	}
+	return NewSample(out)
+}
+
+// Histogram counts observations into fixed-width buckets over [lo, hi).
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+	width   float64
+	under   int
+	over    int
+	total   int
+}
+
+// NewHistogram creates a histogram with nbuckets buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, nbuckets int) *Histogram {
+	if hi <= lo || nbuckets <= 0 {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{
+		Lo:      lo,
+		Hi:      hi,
+		Buckets: make([]int, nbuckets),
+		width:   (hi - lo) / float64(nbuckets),
+	}
+}
+
+// Observe adds one observation.
+func (h *Histogram) Observe(v float64) {
+	h.total++
+	switch {
+	case v < h.Lo:
+		h.under++
+	case v >= h.Hi:
+		h.over++
+	default:
+		h.Buckets[int((v-h.Lo)/h.width)]++
+	}
+}
+
+// Total reports the number of observations, including out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// BucketFraction reports the fraction of all observations in bucket i.
+func (h *Histogram) BucketFraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Buckets[i]) / float64(h.total)
+}
+
+// Summary accumulates count/mean/variance/min/max online (Welford).
+// The zero value is ready to use.
+type Summary struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Observe adds one observation.
+func (s *Summary) Observe(v float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	delta := v - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (v - s.mean)
+}
+
+// N reports the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean reports the running mean (0 if empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Std reports the running population standard deviation.
+func (s *Summary) Std() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n))
+}
+
+// Min reports the smallest observation (0 if empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max reports the largest observation (0 if empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// String formats the summary for experiment logs.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f std=%.2f min=%.2f max=%.2f", s.n, s.mean, s.Std(), s.min, s.max)
+}

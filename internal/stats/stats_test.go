@@ -1,0 +1,274 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"janus/internal/rng"
+)
+
+func TestPercentileBasics(t *testing.T) {
+	s := NewSample([]float64{4, 1, 3, 2, 5})
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	s := NewSample([]float64{0, 10})
+	if got := s.Percentile(50); got != 5 {
+		t.Fatalf("Percentile(50) = %v, want 5", got)
+	}
+	if got := s.Percentile(99); math.Abs(got-9.9) > 1e-9 {
+		t.Fatalf("Percentile(99) = %v, want 9.9", got)
+	}
+}
+
+func TestPercentileClampsRange(t *testing.T) {
+	s := NewSample([]float64{1, 2, 3})
+	if s.Percentile(-10) != 1 || s.Percentile(200) != 3 {
+		t.Fatal("out-of-range percentiles should clamp to min/max")
+	}
+}
+
+func TestPercentileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Percentile on empty sample did not panic")
+		}
+	}()
+	(&Sample{}).Percentile(50)
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		st := rng.New(seed)
+		s := &Sample{}
+		for i := 0; i < 100; i++ {
+			s.Add(st.LogNormal(0, 1))
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 2.5 {
+			v := s.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddInvalidatesSortCache(t *testing.T) {
+	s := NewSample([]float64{5, 1})
+	_ = s.Percentile(50) // force sort
+	s.Add(0)
+	if got := s.Percentile(0); got != 0 {
+		t.Fatalf("min after Add = %v, want 0", got)
+	}
+}
+
+func TestMeanStdMinMax(t *testing.T) {
+	s := NewSample([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if got := s.Mean(); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := s.Std(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("Std = %v, want 2", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestFromDurationsAndPercentileDuration(t *testing.T) {
+	s := FromDurations([]time.Duration{100 * time.Millisecond, 300 * time.Millisecond})
+	if got := s.PercentileDuration(50); got != 200*time.Millisecond {
+		t.Fatalf("PercentileDuration(50) = %v, want 200ms", got)
+	}
+}
+
+func TestCDFIsMonotoneAndEndsAtOne(t *testing.T) {
+	s := NewSample([]float64{3, 1, 2, 2})
+	pts := s.CDF()
+	if len(pts) != 4 {
+		t.Fatalf("CDF has %d points, want 4", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X || pts[i].F < pts[i-1].F {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if pts[len(pts)-1].F != 1 {
+		t.Fatalf("CDF final fraction = %v, want 1", pts[len(pts)-1].F)
+	}
+}
+
+func TestFractionAtOrBelow(t *testing.T) {
+	s := NewSample([]float64{1, 2, 3, 4})
+	cases := []struct {
+		x    float64
+		want float64
+	}{{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {9, 1}}
+	for _, c := range cases {
+		if got := s.FractionAtOrBelow(c.x); got != c.want {
+			t.Errorf("FractionAtOrBelow(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	s := NewSample([]float64{1, 2})
+	c := s.Clone()
+	c.Add(100)
+	if s.Len() != 2 || c.Len() != 3 {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := NewSample([]float64{1, 2}).Scale(3)
+	if s.Percentile(100) != 6 {
+		t.Fatalf("Scale: max = %v, want 6", s.Percentile(100))
+	}
+}
+
+func TestSlack(t *testing.T) {
+	if got := Slack(900*time.Millisecond, 3*time.Second); math.Abs(got-0.7) > 1e-9 {
+		t.Fatalf("Slack = %v, want 0.7", got)
+	}
+	if got := Slack(4*time.Second, 2*time.Second); got != -1 {
+		t.Fatalf("Slack past SLO = %v, want -1", got)
+	}
+}
+
+func TestSlackPanicsOnZeroSLO(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Slack with zero SLO did not panic")
+		}
+	}()
+	Slack(time.Second, 0)
+}
+
+func TestSumSamplesMeanAdds(t *testing.T) {
+	st := rng.New(5)
+	a := NewSample([]float64{10, 10, 10})
+	b := NewSample([]float64{5, 5})
+	sum := SumSamples([]*Sample{a, b}, 1000, st)
+	if got := sum.Mean(); math.Abs(got-15) > 1e-9 {
+		t.Fatalf("SumSamples mean = %v, want 15", got)
+	}
+}
+
+func TestSumSamplesP99BelowSumOfP99s(t *testing.T) {
+	// The whole point of distribution-aware sizing (ORION): the P99 of a sum
+	// of independent variables is below the sum of the per-part P99s.
+	st := rng.New(7)
+	mk := func(label string) *Sample {
+		s := &Sample{}
+		child := st.Split(label)
+		for i := 0; i < 5000; i++ {
+			s.Add(child.LogNormal(0, 0.8))
+		}
+		return s
+	}
+	parts := []*Sample{mk("a"), mk("b"), mk("c")}
+	sum := SumSamples(parts, 20000, st.Split("mc"))
+	p99Sum := sum.Percentile(99)
+	sumP99 := 0.0
+	for _, p := range parts {
+		sumP99 += p.Percentile(99)
+	}
+	if p99Sum >= sumP99 {
+		t.Fatalf("P99(sum)=%v should be < sum(P99)=%v", p99Sum, sumP99)
+	}
+}
+
+func TestSumSamplesEmpty(t *testing.T) {
+	if s := SumSamples(nil, 10, rng.New(1)); s.Len() != 0 {
+		t.Fatal("SumSamples(nil) should be empty")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{-1, 0, 1.9, 2, 9.99, 10, 100} {
+		h.Observe(v)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d, want 7", h.Total())
+	}
+	if h.Buckets[0] != 2 { // 0 and 1.9
+		t.Fatalf("bucket 0 = %d, want 2", h.Buckets[0])
+	}
+	if h.Buckets[1] != 1 { // 2
+		t.Fatalf("bucket 1 = %d, want 1", h.Buckets[1])
+	}
+	if h.Buckets[4] != 1 { // 9.99
+		t.Fatalf("bucket 4 = %d, want 1", h.Buckets[4])
+	}
+	if got := h.BucketFraction(0); math.Abs(got-2.0/7) > 1e-9 {
+		t.Fatalf("BucketFraction(0) = %v", got)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram with hi <= lo did not panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestSummaryMatchesSample(t *testing.T) {
+	st := rng.New(9)
+	var sum Summary
+	s := &Sample{}
+	for i := 0; i < 1000; i++ {
+		v := st.Normal(10, 3)
+		sum.Observe(v)
+		s.Add(v)
+	}
+	if sum.N() != 1000 {
+		t.Fatalf("N = %d", sum.N())
+	}
+	if math.Abs(sum.Mean()-s.Mean()) > 1e-9 {
+		t.Fatalf("Summary mean %v != sample mean %v", sum.Mean(), s.Mean())
+	}
+	if math.Abs(sum.Std()-s.Std()) > 1e-6 {
+		t.Fatalf("Summary std %v != sample std %v", sum.Std(), s.Std())
+	}
+	if sum.Min() != s.Min() || sum.Max() != s.Max() {
+		t.Fatal("Summary min/max mismatch")
+	}
+}
+
+func TestValuesSorted(t *testing.T) {
+	f := func(seed uint64) bool {
+		st := rng.New(seed)
+		s := &Sample{}
+		for i := 0; i < 50; i++ {
+			s.Add(st.Float64())
+		}
+		return sort.Float64sAreSorted(s.Values())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

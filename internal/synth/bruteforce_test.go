@@ -1,0 +1,223 @@
+package synth
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"janus/internal/profile"
+	"janus/internal/rng"
+	"janus/internal/workflow"
+)
+
+// Brute-force equivalence: on small synthetic profiles, Algorithm 1's
+// DP-based implementation must find exactly the optimum that exhaustive
+// enumeration of (p, k1, ..., kN) finds, for every budget.
+
+// synthGrid is small enough to enumerate: 3 allocation levels.
+var synthGrid = profile.Grid{Min: 1000, Max: 1200, Step: 100}
+
+// synthPercentiles keeps exploration two-way: one low percentile plus the
+// mandatory 99.
+var synthPercentiles = []int{50, 99}
+
+// randomProfile builds a random but valid (monotone) latency table.
+func randomProfile(t *testing.T, name string, stream *rng.Stream) *profile.FunctionProfile {
+	t.Helper()
+	levels := synthGrid.Len()
+	lat := make([][]int, len(synthPercentiles))
+	// Build the P99 row first (larger), then the P50 row below it, both
+	// non-increasing in k.
+	p99 := make([]int, levels)
+	cur := 300 + stream.IntN(700)
+	for ki := levels - 1; ki >= 0; ki-- {
+		p99[ki] = cur
+		cur += stream.IntN(200)
+	}
+	p50 := make([]int, levels)
+	for ki := 0; ki < levels; ki++ {
+		p50[ki] = p99[ki] - stream.IntN(p99[ki]/2+1)
+		if p50[ki] < 1 {
+			p50[ki] = 1
+		}
+	}
+	// Enforce monotonicity in k for the P50 row too.
+	for ki := levels - 2; ki >= 0; ki-- {
+		if p50[ki] < p50[ki+1] {
+			p50[ki] = p50[ki+1]
+		}
+	}
+	lat[0], lat[1] = p50, p99
+	fp, err := profile.NewFunctionProfile(name, 1, synthGrid, synthPercentiles, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+func randomSet(t *testing.T, n int, seed uint64) *profile.Set {
+	t.Helper()
+	stream := rng.New(seed)
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("f%d", i)
+	}
+	w, err := workflow.NewChain("synthetic", 5*time.Second, names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := &profile.Set{Workflow: w, Batch: 1}
+	for _, name := range names {
+		set.Profiles = append(set.Profiles, randomProfile(t, name, stream.Split(name)))
+	}
+	return set
+}
+
+// bruteForce solves the Eq. 4-8 program for one budget by enumeration,
+// mirroring Algorithm 1's structure: the downstream functions take the
+// minimum-total-cores P99 plan for the budget the head leaves them (tied
+// plans resolved toward maximum resilience, matching the DP), and the head
+// choice is feasible only if its timeout fits that plan's resilience.
+// It returns the minimal expected cost, or -1 when infeasible.
+func bruteForce(set *profile.Set, suffix, tMs int, weight float64) float64 {
+	n := set.Len() - suffix
+	levels := synthGrid.Levels()
+	kmax := synthGrid.Max
+	if n == 1 {
+		fp := set.At(suffix)
+		for _, k := range levels {
+			if fp.LMs(99, k) <= tMs {
+				return weight * float64(k)
+			}
+		}
+		return -1
+	}
+	downKmax := 0
+	for j := suffix + 1; j < set.Len(); j++ {
+		downKmax += set.At(j).LMs(99, kmax)
+	}
+	head := set.At(suffix)
+
+	// minDown enumerates downstream plans within `budget` and returns the
+	// minimal total cores plus the best resilience at that total.
+	minDown := func(budget int) (total, resilience int, ok bool) {
+		bestTotal, bestRes := -1, -1
+		var enumerate func(j, left, coresSum, resSum int)
+		enumerate = func(j, left, coresSum, resSum int) {
+			if j == set.Len() {
+				if bestTotal < 0 || coresSum < bestTotal || (coresSum == bestTotal && resSum > bestRes) {
+					bestTotal, bestRes = coresSum, resSum
+				}
+				return
+			}
+			fp := set.At(j)
+			for _, k := range levels {
+				l := fp.LMs(99, k)
+				if l > left {
+					continue
+				}
+				enumerate(j+1, left-l, coresSum+k, resSum+(l-fp.LMs(99, kmax)))
+			}
+		}
+		enumerate(suffix+1, budget, 0, 0)
+		return bestTotal, bestRes, bestTotal >= 0
+	}
+
+	best := -1.0
+	for _, p := range synthPercentiles {
+		if head.LMs(p, kmax)+downKmax > tMs {
+			continue // explore_percentile filter
+		}
+		for _, k1 := range levels {
+			headL := head.LMs(p, k1)
+			if headL > tMs {
+				continue
+			}
+			total, resilience, ok := minDown(tMs - headL)
+			if !ok || head.TimeoutMs(p, k1) > resilience {
+				continue
+			}
+			pf := float64(p) / 100
+			cost := weight*float64(k1) + pf*float64(total) + (1-pf)*float64(n-1)*float64(kmax)
+			if best < 0 || cost < best {
+				best = cost
+			}
+		}
+	}
+	return best
+}
+
+func TestAlgorithm1MatchesBruteForce(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		for _, n := range []int{2, 3} {
+			set := randomSet(t, n, seed*31+uint64(n))
+			for _, weight := range []float64{1, 2.5} {
+				s, err := New(Config{Profiles: set, Weight: weight, Mode: ModeJanus, BudgetStepMs: 37})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for suffix := 0; suffix < n; suffix++ {
+					raw, err := s.GenerateSuffix(suffix)
+					if err != nil {
+						t.Fatal(err)
+					}
+					byBudget := map[int]float64{}
+					for _, h := range raw.Hints {
+						byBudget[h.BudgetMs] = h.ExpectedCost
+					}
+					tmin, tmax := set.BudgetRangeMs(suffix)
+					for tMs := tmin; tMs <= tmax; tMs += 37 {
+						want := bruteForce(set, suffix, tMs, weight)
+						got, ok := byBudget[tMs]
+						if want < 0 {
+							if ok {
+								t.Fatalf("seed %d n %d w %v suffix %d t %d: hint %v for infeasible budget",
+									seed, n, weight, suffix, tMs, got)
+							}
+							continue
+						}
+						if !ok {
+							t.Fatalf("seed %d n %d w %v suffix %d t %d: no hint for feasible budget (want cost %v)",
+								seed, n, weight, suffix, tMs, want)
+						}
+						if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+							t.Fatalf("seed %d n %d w %v suffix %d t %d: cost %v, brute force %v",
+								seed, n, weight, suffix, tMs, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAlgorithm1HintsAlwaysFitBudget is the corresponding safety property
+// over the synthetic tables: every emitted plan satisfies Eq. 5 and Eq. 6.
+func TestAlgorithm1HintsAlwaysFitBudget(t *testing.T) {
+	for seed := uint64(100); seed < 110; seed++ {
+		set := randomSet(t, 3, seed)
+		s, err := New(Config{Profiles: set, Mode: ModeJanus, BudgetStepMs: 23})
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := s.GenerateSuffix(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kmax := synthGrid.Max
+		for _, h := range raw.Hints {
+			total := set.At(0).LMs(h.HeadPercentile, h.PlanMillicores[0])
+			res := 0
+			for i := 1; i < 3; i++ {
+				total += set.At(i).LMs(99, h.PlanMillicores[i])
+				res += set.At(i).LMs(99, h.PlanMillicores[i]) - set.At(i).LMs(99, kmax)
+			}
+			if total > h.BudgetMs {
+				t.Fatalf("seed %d t %d: plan takes %dms", seed, h.BudgetMs, total)
+			}
+			if set.At(0).TimeoutMs(h.HeadPercentile, h.PlanMillicores[0]) > res {
+				t.Fatalf("seed %d t %d: resilience constraint violated", seed, h.BudgetMs)
+			}
+		}
+	}
+}

@@ -1,0 +1,492 @@
+// Package synth implements Janus's Synthesizer (§IV): offline generation of
+// hints tables (Algorithm 1) followed by condensing (Algorithm 2, in
+// package hints).
+//
+// For every sub-workflow suffix and every candidate time budget t (explored
+// at millisecond granularity across the Eq. 3 range), the synthesizer
+// solves
+//
+//	min  W*k1 + (p/100)*sum(ki) + (1-p/100)*(N-1)*Kmax      (Eq. 4)
+//	s.t. L1(p, k1) + sum Li(99, ki) <= t                     (Eq. 5)
+//	     D1(p, k1) <= sum Ri(99, ki)                         (Eq. 6)
+//
+// where only the head function explores percentiles below 99 (Insight-2,
+// "moderate percentile exploration"), the head's potential overrun (timeout
+// D) must fit inside the downstream functions' compression headroom
+// (resilience R, Insight-3), and the head weight W calibrates the local
+// objective against the whole-workflow objective (Insight-4).
+//
+// Downstream allocations at P99 are a classic budget-split problem solved
+// once by dynamic programming over (stage suffix, budget in ms); the DP
+// also tracks each solution's total resilience so the Eq. 6 check is O(1).
+// Among downstream plans of equal total cost the DP keeps the one with the
+// largest total resilience: Algorithm 1's generate() picks an arbitrary
+// minimum-resource plan, and preferring the most resilient of them
+// maximizes the head's exploration room at no extra cost (a deterministic
+// strengthening of the paper's pseudo-code).
+package synth
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"janus/internal/hints"
+	"janus/internal/profile"
+)
+
+// Mode selects the percentile exploration strategy.
+type Mode int
+
+const (
+	// ModeJanus explores diverse percentiles for the head function only.
+	ModeJanus Mode = iota
+	// ModeJanusMinus fixes every function at P99 (the ablation the paper
+	// calls Janus-).
+	ModeJanusMinus
+	// ModeJanusPlus extends exploration to the head and the next-to-head
+	// function (Janus+): slightly better plans at a much higher synthesis
+	// cost (§V-C).
+	ModeJanusPlus
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeJanus:
+		return "janus"
+	case ModeJanusMinus:
+		return "janus-"
+	case ModeJanusPlus:
+		return "janus+"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes a Synthesizer.
+type Config struct {
+	// Profiles is the workflow's profile set at one batch size.
+	Profiles *profile.Set
+	// Weight is the head-function weight W (Insight-4); default 1.
+	Weight float64
+	// Mode selects Janus / Janus- / Janus+.
+	Mode Mode
+	// BudgetStepMs is the budget sweep granularity; default 1 ms (the
+	// paper's "finer granularity in milliseconds").
+	BudgetStepMs int
+	// BudgetOverrideMs optionally replaces the Eq. 3 range for the whole
+	// workflow (suffix 0), as the paper does per-testbed (§V-F). Zero
+	// values mean "use Eq. 3".
+	BudgetOverrideMs [2]int
+	// Parallelism bounds the worker goroutines sweeping budgets; default
+	// GOMAXPROCS.
+	Parallelism int
+}
+
+// Synthesizer generates hints for one (workflow, batch, weight, mode).
+type Synthesizer struct {
+	cfg    Config
+	set    *profile.Set
+	levels []int
+	kmax   int
+	maxMs  int
+	// dp[j][t]: minimal total millicores provisioning stages j.. within
+	// budget t ms, all at P99; -1 when infeasible.
+	dp [][]int32
+	// choiceIdx[j][t]: grid index of stage j's allocation in dp's optimum.
+	choiceIdx [][]int16
+	// resil[j][t]: total resilience (ms) sum_i R_i(99, k_i) of dp's
+	// optimal plan for stages j.. at budget t.
+	resil [][]int32
+}
+
+// Result carries a generated bundle plus the bookkeeping the evaluation
+// reports: per-suffix raw hint counts (pre-condensing), condensed counts,
+// and wall-clock synthesis time (Fig 6b, Fig 8).
+type Result struct {
+	Bundle          *hints.Bundle
+	RawCounts       []int
+	CondensedCounts []int
+	Elapsed         time.Duration
+}
+
+// New validates the configuration and precomputes the downstream DP.
+func New(cfg Config) (*Synthesizer, error) {
+	if cfg.Profiles == nil || cfg.Profiles.Len() == 0 {
+		return nil, fmt.Errorf("synth: profiles required")
+	}
+	if cfg.Weight == 0 {
+		cfg.Weight = 1
+	}
+	if cfg.Weight < 0 {
+		return nil, fmt.Errorf("synth: negative weight %v", cfg.Weight)
+	}
+	if cfg.BudgetStepMs == 0 {
+		cfg.BudgetStepMs = 1
+	}
+	if cfg.BudgetStepMs < 0 {
+		return nil, fmt.Errorf("synth: negative budget step")
+	}
+	if cfg.Mode != ModeJanus && cfg.Mode != ModeJanusMinus && cfg.Mode != ModeJanusPlus {
+		return nil, fmt.Errorf("synth: unknown mode %d", int(cfg.Mode))
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if cfg.BudgetOverrideMs[0] < 0 || cfg.BudgetOverrideMs[1] < cfg.BudgetOverrideMs[0] {
+		return nil, fmt.Errorf("synth: invalid budget override %v", cfg.BudgetOverrideMs)
+	}
+	set := cfg.Profiles
+	grid := set.At(0).Grid
+	for i := 1; i < set.Len(); i++ {
+		if set.At(i).Grid != grid {
+			return nil, fmt.Errorf("synth: stage %d uses a different grid", i)
+		}
+	}
+	_, tmax := set.BudgetRangeMs(0)
+	maxMs := tmax
+	if cfg.BudgetOverrideMs[1] > maxMs {
+		maxMs = cfg.BudgetOverrideMs[1]
+	}
+	s := &Synthesizer{
+		cfg:    cfg,
+		set:    set,
+		levels: grid.Levels(),
+		kmax:   grid.Max,
+		maxMs:  maxMs,
+	}
+	s.buildDP()
+	return s, nil
+}
+
+// buildDP fills dp/choiceIdx/resil bottom-up over suffixes.
+func (s *Synthesizer) buildDP() {
+	n := s.set.Len()
+	s.dp = make([][]int32, n+1)
+	s.choiceIdx = make([][]int16, n+1)
+	s.resil = make([][]int32, n+1)
+	width := s.maxMs + 1
+	s.dp[n] = make([]int32, width) // all zero: nothing left to provision
+	s.resil[n] = make([]int32, width)
+	for j := n - 1; j >= 0; j-- {
+		fp := s.set.At(j)
+		s.dp[j] = make([]int32, width)
+		s.choiceIdx[j] = make([]int16, width)
+		s.resil[j] = make([]int32, width)
+		l99 := make([]int, len(s.levels))
+		for ki, k := range s.levels {
+			l99[ki] = fp.LMs(99, k)
+		}
+		l99AtMax := l99[len(l99)-1]
+		for t := 0; t < width; t++ {
+			best := int32(-1)
+			bestKi := int16(-1)
+			var bestRes int32
+			for ki := len(s.levels) - 1; ki >= 0; ki-- {
+				lat := l99[ki]
+				if lat > t {
+					break // latencies grow as ki shrinks; nothing smaller fits
+				}
+				down := s.dp[j+1][t-lat]
+				if down < 0 {
+					continue
+				}
+				cand := int32(s.levels[ki]) + down
+				candRes := int32(lat-l99AtMax) + s.resil[j+1][t-lat]
+				if best < 0 || cand < best || (cand == best && candRes > bestRes) {
+					best = cand
+					bestKi = int16(ki)
+					bestRes = candRes
+				}
+			}
+			s.dp[j][t] = best
+			s.choiceIdx[j][t] = bestKi
+			s.resil[j][t] = bestRes
+		}
+	}
+}
+
+// planP99 materializes the DP's optimal P99 allocation for stages j.. at
+// budget tMs into dst (which must have capacity for the suffix length).
+func (s *Synthesizer) planP99(j, tMs int, dst []int) []int {
+	dst = dst[:0]
+	for stage := j; stage < s.set.Len(); stage++ {
+		ki := s.choiceIdx[stage][tMs]
+		if ki < 0 {
+			panic(fmt.Sprintf("synth: planP99 called on infeasible state (%d, %d)", stage, tMs))
+		}
+		k := s.levels[ki]
+		dst = append(dst, k)
+		tMs -= s.set.At(stage).LMs(99, k)
+	}
+	return dst
+}
+
+// candidate is one feasible head decision during generation.
+type candidate struct {
+	cost float64
+	p    int
+	k    int
+	// downBudgetMs is the budget handed to the downstream DP (or -1 for
+	// single-function suffixes).
+	downBudgetMs int
+	// secondP/secondK record the Janus+ next-to-head exploration.
+	secondP, secondK  int
+	secondDownBudget  int
+	secondExploration bool
+}
+
+// better orders candidates: lower cost wins; ties prefer the safer (higher)
+// percentile, then the smaller head allocation — a total, deterministic
+// order.
+func (c candidate) better(o candidate) bool {
+	const eps = 1e-9
+	if c.cost < o.cost-eps {
+		return true
+	}
+	if c.cost > o.cost+eps {
+		return false
+	}
+	if c.p != o.p {
+		return c.p > o.p
+	}
+	return c.k < o.k
+}
+
+// GenerateSuffix runs Algorithm 1 for one sub-workflow suffix, sweeping the
+// budget range at the configured step.
+func (s *Synthesizer) GenerateSuffix(suffix int) (*hints.RawTable, error) {
+	if suffix < 0 || suffix >= s.set.Len() {
+		return nil, fmt.Errorf("synth: suffix %d out of range [0, %d)", suffix, s.set.Len())
+	}
+	tmin, tmax := s.set.BudgetRangeMs(suffix)
+	if suffix == 0 && s.cfg.BudgetOverrideMs != [2]int{} {
+		tmin, tmax = s.cfg.BudgetOverrideMs[0], s.cfg.BudgetOverrideMs[1]
+	}
+	if tmax > s.maxMs {
+		tmax = s.maxMs
+	}
+	step := s.cfg.BudgetStepMs
+	var budgets []int
+	for t := tmin; t <= tmax; t += step {
+		budgets = append(budgets, t)
+	}
+	out := make([]*hints.Hint, len(budgets))
+	var wg sync.WaitGroup
+	workers := s.cfg.Parallelism
+	if workers > len(budgets) {
+		workers = len(budgets)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (len(budgets) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(budgets) {
+			hi = len(budgets)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			planBuf := make([]int, 0, s.set.Len())
+			for i := lo; i < hi; i++ {
+				out[i] = s.generateOne(suffix, budgets[i], planBuf)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	rt := &hints.RawTable{Suffix: suffix, Weight: s.cfg.Weight}
+	for _, h := range out {
+		if h != nil {
+			rt.Hints = append(rt.Hints, *h)
+		}
+	}
+	if err := rt.Validate(); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// generateOne solves the Eq. 4-8 program for one (suffix, budget).
+func (s *Synthesizer) generateOne(suffix, tMs int, planBuf []int) *hints.Hint {
+	head := s.set.At(suffix)
+	nRem := s.set.Len() - suffix
+	// Single-function sub-workflow: min_resource at P99 — there is no
+	// downstream resilience to absorb a timeout.
+	if nRem == 1 {
+		k, ok := head.MinCoresWithin(99, time.Duration(tMs)*time.Millisecond)
+		if !ok {
+			return nil
+		}
+		return &hints.Hint{
+			BudgetMs:       tMs,
+			HeadMillicores: k,
+			HeadPercentile: 99,
+			PlanMillicores: []int{k},
+			ExpectedCost:   s.cfg.Weight * float64(k),
+		}
+	}
+	best := candidate{cost: -1}
+	for _, p := range s.headPercentiles(suffix, tMs) {
+		for _, k := range s.levels {
+			downBudget := tMs - head.LMs(p, k)
+			if downBudget < 0 {
+				continue
+			}
+			if s.cfg.Mode == ModeJanusPlus && nRem >= 3 {
+				if c, ok := s.exploreSecond(suffix, p, k, downBudget); ok {
+					if best.cost < 0 || c.better(best) {
+						best = c
+					}
+				}
+				continue
+			}
+			down := s.dp[suffix+1][downBudget]
+			if down < 0 {
+				continue
+			}
+			if int32(head.TimeoutMs(p, k)) > s.resil[suffix+1][downBudget] {
+				continue // Eq. 6: downstream cannot absorb the overrun
+			}
+			pf := float64(p) / 100
+			cost := s.cfg.Weight*float64(k) + pf*float64(down) + (1-pf)*float64(nRem-1)*float64(s.kmax)
+			c := candidate{cost: cost, p: p, k: k, downBudgetMs: downBudget}
+			if best.cost < 0 || c.better(best) {
+				best = c
+			}
+		}
+	}
+	if best.cost < 0 {
+		return nil
+	}
+	plan := []int{best.k}
+	if best.secondExploration {
+		plan = append(plan, best.secondK)
+		plan = append(plan, s.planP99(suffix+2, best.secondDownBudget, planBuf)...)
+	} else if best.downBudgetMs >= 0 {
+		plan = append(plan, s.planP99(suffix+1, best.downBudgetMs, planBuf)...)
+	}
+	return &hints.Hint{
+		BudgetMs:       tMs,
+		HeadMillicores: best.k,
+		HeadPercentile: best.p,
+		PlanMillicores: plan,
+		ExpectedCost:   best.cost,
+	}
+}
+
+// headPercentiles implements explore_percentile: the candidate percentiles
+// whose Kmax execution keeps the sub-workflow within the budget.
+func (s *Synthesizer) headPercentiles(suffix, tMs int) []int {
+	head := s.set.At(suffix)
+	if s.cfg.Mode == ModeJanusMinus {
+		if head.LMs(99, s.kmax)+s.downKmaxMs(suffix+1) <= tMs {
+			return []int{99}
+		}
+		return nil
+	}
+	downMs := s.downKmaxMs(suffix + 1)
+	var out []int
+	for _, p := range head.Percentiles {
+		if head.LMs(p, s.kmax)+downMs <= tMs {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// downKmaxMs is the P99 execution time of stages from.. with every function
+// at Kmax — the floor the percentile filter compares against.
+func (s *Synthesizer) downKmaxMs(from int) int {
+	total := 0
+	for j := from; j < s.set.Len(); j++ {
+		total += s.set.At(j).LMs(99, s.kmax)
+	}
+	return total
+}
+
+// exploreSecond is the Janus+ extension: the next-to-head function also
+// explores percentiles. The head's timeout must fit in the second
+// function's own resilience plus the rest's; the second's timeout must fit
+// in the rest's.
+func (s *Synthesizer) exploreSecond(suffix, p1, k1, budget1 int) (candidate, bool) {
+	second := s.set.At(suffix + 1)
+	head := s.set.At(suffix)
+	nRem := s.set.Len() - suffix
+	best := candidate{cost: -1}
+	for _, p2 := range second.Percentiles {
+		for _, k2 := range s.levels {
+			restBudget := budget1 - second.LMs(p2, k2)
+			if restBudget < 0 {
+				continue
+			}
+			rest := s.dp[suffix+2][restBudget]
+			if rest < 0 {
+				continue
+			}
+			restRes := s.resil[suffix+2][restBudget]
+			if int32(second.TimeoutMs(p2, k2)) > restRes {
+				continue
+			}
+			secondRes := int32(second.LMs(p2, k2) - second.LMs(p2, s.kmax))
+			if int32(head.TimeoutMs(p1, k1)) > secondRes+restRes {
+				continue
+			}
+			pf1 := float64(p1) / 100
+			pf2 := float64(p2) / 100
+			inner := float64(k2) + pf2*float64(rest) + (1-pf2)*float64(nRem-2)*float64(s.kmax)
+			cost := s.cfg.Weight*float64(k1) + pf1*inner + (1-pf1)*float64(nRem-1)*float64(s.kmax)
+			c := candidate{
+				cost: cost, p: p1, k: k1,
+				secondP: p2, secondK: k2, secondDownBudget: restBudget,
+				secondExploration: true,
+			}
+			if best.cost < 0 || c.better(best) {
+				best = c
+			}
+		}
+	}
+	return best, best.cost >= 0
+}
+
+// GenerateBundle generates and condenses tables for every suffix.
+func (s *Synthesizer) GenerateBundle() (*Result, error) {
+	start := time.Now()
+	n := s.set.Len()
+	res := &Result{
+		Bundle: &hints.Bundle{
+			Workflow:      s.set.Workflow.Name(),
+			Batch:         s.set.Batch,
+			Weight:        s.cfg.Weight,
+			SLOMs:         int(s.set.Workflow.SLO() / time.Millisecond),
+			MaxMillicores: s.kmax,
+		},
+	}
+	for i := 0; i < n; i++ {
+		raw, err := s.GenerateSuffix(i)
+		if err != nil {
+			return nil, err
+		}
+		tab, err := hints.Condense(raw)
+		if err != nil {
+			return nil, err
+		}
+		tab.Workflow = s.set.Workflow.Name()
+		tab.Batch = s.set.Batch
+		res.Bundle.Tables = append(res.Bundle.Tables, tab)
+		res.RawCounts = append(res.RawCounts, len(raw.Hints))
+		res.CondensedCounts = append(res.CondensedCounts, tab.Size())
+	}
+	if err := res.Bundle.Validate(); err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

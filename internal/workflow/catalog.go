@@ -1,0 +1,25 @@
+package workflow
+
+import "time"
+
+// The paper's two evaluation workflows (§V-A).
+
+// IntelligentAssistant returns the IA chain — object detection -> question
+// answering -> text-to-speech — with the paper's default 3 s SLO.
+func IntelligentAssistant() *Workflow {
+	w, err := NewChain("ia", 3*time.Second, "od", "qa", "ts")
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// VideoAnalyze returns the VA chain — frame extraction -> image
+// classification -> image compression — with the paper's 1.5 s SLO.
+func VideoAnalyze() *Workflow {
+	w, err := NewChain("va", 1500*time.Millisecond, "fe", "icl", "ico")
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

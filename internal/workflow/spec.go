@@ -1,0 +1,57 @@
+package workflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Spec is the JSON wire form of a workflow, in the spirit of the
+// JSON-based structured languages (e.g. Amazon States Language) the paper
+// mentions for defining applications with chaining, branching, and
+// parallel execution.
+type Spec struct {
+	// Name identifies the workflow.
+	Name string `json:"name"`
+	// SLOMillis is the end-to-end P99 latency objective in milliseconds.
+	SLOMillis int64 `json:"slo_ms"`
+	// Nodes lists the steps.
+	Nodes []Node `json:"functions"`
+	// Edges lists (from, to) step-name pairs.
+	Edges [][2]string `json:"edges,omitempty"`
+}
+
+// ParseSpec decodes and validates a JSON workflow definition.
+func ParseSpec(data []byte) (*Workflow, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("workflow: invalid spec JSON: %w", err)
+	}
+	return s.Build()
+}
+
+// Build validates the spec and constructs the workflow.
+func (s *Spec) Build() (*Workflow, error) {
+	return New(s.Name, time.Duration(s.SLOMillis)*time.Millisecond, s.Nodes, s.Edges)
+}
+
+// ToSpec converts a workflow back to its wire form.
+func (w *Workflow) ToSpec() Spec {
+	edges := make([][2]string, 0)
+	for _, n := range w.TopoOrder() {
+		for _, next := range w.Successors(n.Name) {
+			edges = append(edges, [2]string{n.Name, next})
+		}
+	}
+	return Spec{
+		Name:      w.name,
+		SLOMillis: w.slo.Milliseconds(),
+		Nodes:     w.Nodes(),
+		Edges:     edges,
+	}
+}
+
+// MarshalJSON encodes the workflow as its Spec.
+func (w *Workflow) MarshalJSON() ([]byte, error) {
+	return json.Marshal(w.ToSpec())
+}

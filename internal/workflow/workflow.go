@@ -1,0 +1,232 @@
+// Package workflow models serverless application workflows as DAGs of
+// functions, in the style of AWS Step Functions / Azure Durable Functions
+// state machines. A node is a function invocation; an edge is a data
+// dependency. The paper's evaluation workflows (Intelligent Assistant and
+// Video Analyze) are three-function chains; the package supports general
+// DAGs but Janus's hints synthesis operates on chains, so chain extraction
+// and suffix (sub-workflow) views are first-class.
+package workflow
+
+import (
+	"fmt"
+	"time"
+)
+
+// Node is one function invocation step in a workflow.
+type Node struct {
+	// Name is the step name, unique within the workflow.
+	Name string `json:"name"`
+	// Function is the deployed function the step invokes (a perfmodel
+	// catalog name in this reproduction).
+	Function string `json:"function"`
+}
+
+// Workflow is an immutable, validated DAG with an end-to-end latency SLO.
+type Workflow struct {
+	name  string
+	slo   time.Duration
+	nodes []Node
+	index map[string]int
+	succ  map[string][]string
+	pred  map[string][]string
+	order []int // topological order over node indices
+}
+
+// New builds and validates a workflow. Edges are (from, to) pairs over step
+// names. The graph must be non-empty, acyclic, uniquely named, and every
+// edge endpoint must exist.
+func New(name string, slo time.Duration, nodes []Node, edges [][2]string) (*Workflow, error) {
+	if name == "" {
+		return nil, fmt.Errorf("workflow: name required")
+	}
+	if slo <= 0 {
+		return nil, fmt.Errorf("workflow %s: SLO must be positive, got %v", name, slo)
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("workflow %s: needs at least one node", name)
+	}
+	w := &Workflow{
+		name:  name,
+		slo:   slo,
+		nodes: make([]Node, len(nodes)),
+		index: make(map[string]int, len(nodes)),
+		succ:  make(map[string][]string),
+		pred:  make(map[string][]string),
+	}
+	copy(w.nodes, nodes)
+	for i, n := range w.nodes {
+		if n.Name == "" {
+			return nil, fmt.Errorf("workflow %s: node %d has no name", name, i)
+		}
+		if n.Function == "" {
+			return nil, fmt.Errorf("workflow %s: node %q has no function", name, n.Name)
+		}
+		if _, dup := w.index[n.Name]; dup {
+			return nil, fmt.Errorf("workflow %s: duplicate node name %q", name, n.Name)
+		}
+		w.index[n.Name] = i
+	}
+	for _, e := range edges {
+		from, to := e[0], e[1]
+		if _, ok := w.index[from]; !ok {
+			return nil, fmt.Errorf("workflow %s: edge from unknown node %q", name, from)
+		}
+		if _, ok := w.index[to]; !ok {
+			return nil, fmt.Errorf("workflow %s: edge to unknown node %q", name, to)
+		}
+		if from == to {
+			return nil, fmt.Errorf("workflow %s: self edge on %q", name, from)
+		}
+		w.succ[from] = append(w.succ[from], to)
+		w.pred[to] = append(w.pred[to], from)
+	}
+	order, err := w.topoSort()
+	if err != nil {
+		return nil, err
+	}
+	w.order = order
+	return w, nil
+}
+
+// NewChain builds a linear workflow through the given function names,
+// naming each step after its function.
+func NewChain(name string, slo time.Duration, functions ...string) (*Workflow, error) {
+	if len(functions) == 0 {
+		return nil, fmt.Errorf("workflow %s: chain needs at least one function", name)
+	}
+	nodes := make([]Node, len(functions))
+	edges := make([][2]string, 0, len(functions)-1)
+	for i, f := range functions {
+		nodes[i] = Node{Name: f, Function: f}
+		if i > 0 {
+			edges = append(edges, [2]string{functions[i-1], f})
+		}
+	}
+	return New(name, slo, nodes, edges)
+}
+
+func (w *Workflow) topoSort() ([]int, error) {
+	indeg := make(map[string]int, len(w.nodes))
+	for _, n := range w.nodes {
+		indeg[n.Name] = len(w.pred[n.Name])
+	}
+	var queue []string
+	// Seed in node-declaration order for deterministic output.
+	for _, n := range w.nodes {
+		if indeg[n.Name] == 0 {
+			queue = append(queue, n.Name)
+		}
+	}
+	var order []int
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		order = append(order, w.index[cur])
+		for _, next := range w.succ[cur] {
+			indeg[next]--
+			if indeg[next] == 0 {
+				queue = append(queue, next)
+			}
+		}
+	}
+	if len(order) != len(w.nodes) {
+		return nil, fmt.Errorf("workflow %s: cycle detected", w.name)
+	}
+	return order, nil
+}
+
+// Name reports the workflow name.
+func (w *Workflow) Name() string { return w.name }
+
+// SLO reports the end-to-end latency objective.
+func (w *Workflow) SLO() time.Duration { return w.slo }
+
+// Len reports the number of nodes.
+func (w *Workflow) Len() int { return len(w.nodes) }
+
+// Nodes returns the nodes in declaration order (a copy).
+func (w *Workflow) Nodes() []Node {
+	out := make([]Node, len(w.nodes))
+	copy(out, w.nodes)
+	return out
+}
+
+// Node returns the node with the given step name.
+func (w *Workflow) Node(name string) (Node, bool) {
+	i, ok := w.index[name]
+	if !ok {
+		return Node{}, false
+	}
+	return w.nodes[i], true
+}
+
+// Successors returns the step names directly downstream of name.
+func (w *Workflow) Successors(name string) []string {
+	out := make([]string, len(w.succ[name]))
+	copy(out, w.succ[name])
+	return out
+}
+
+// Predecessors returns the step names directly upstream of name.
+func (w *Workflow) Predecessors(name string) []string {
+	out := make([]string, len(w.pred[name]))
+	copy(out, w.pred[name])
+	return out
+}
+
+// TopoOrder returns the nodes in a deterministic topological order.
+func (w *Workflow) TopoOrder() []Node {
+	out := make([]Node, len(w.order))
+	for i, idx := range w.order {
+		out[i] = w.nodes[idx]
+	}
+	return out
+}
+
+// IsChain reports whether the workflow is a simple linear chain.
+func (w *Workflow) IsChain() bool {
+	starts := 0
+	for _, n := range w.nodes {
+		if len(w.pred[n.Name]) == 0 {
+			starts++
+		}
+		if len(w.pred[n.Name]) > 1 || len(w.succ[n.Name]) > 1 {
+			return false
+		}
+	}
+	return starts == 1
+}
+
+// Chain returns the nodes in execution order if the workflow is a chain.
+// Janus's synthesizer requires chain-shaped (sub-)workflows; callers should
+// surface this error to the developer at deployment time.
+func (w *Workflow) Chain() ([]Node, error) {
+	if !w.IsChain() {
+		return nil, fmt.Errorf("workflow %s: not a chain", w.name)
+	}
+	return w.TopoOrder(), nil
+}
+
+// Suffix returns the sub-workflow nodes from stage i onward (the remaining
+// work after i functions have finished), for a chain-shaped workflow.
+func (w *Workflow) Suffix(i int) ([]Node, error) {
+	chain, err := w.Chain()
+	if err != nil {
+		return nil, err
+	}
+	if i < 0 || i >= len(chain) {
+		return nil, fmt.Errorf("workflow %s: suffix %d out of range [0, %d)", w.name, i, len(chain))
+	}
+	return chain[i:], nil
+}
+
+// WithSLO returns a copy of the workflow with a different SLO. Hints tables
+// are synthesized per-SLO, so SLO sweeps re-derive workflows this way.
+func (w *Workflow) WithSLO(slo time.Duration) (*Workflow, error) {
+	if slo <= 0 {
+		return nil, fmt.Errorf("workflow %s: SLO must be positive, got %v", w.name, slo)
+	}
+	cp := *w
+	cp.slo = slo
+	return &cp, nil
+}

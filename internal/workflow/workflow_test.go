@@ -1,0 +1,219 @@
+package workflow
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustChain(t *testing.T) *Workflow {
+	t.Helper()
+	w, err := NewChain("c", time.Second, "a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewValidation(t *testing.T) {
+	nodes := []Node{{Name: "a", Function: "fa"}, {Name: "b", Function: "fb"}}
+	cases := []struct {
+		name   string
+		wfName string
+		slo    time.Duration
+		nodes  []Node
+		edges  [][2]string
+		errHas string
+	}{
+		{"empty name", "", time.Second, nodes, nil, "name"},
+		{"zero slo", "w", 0, nodes, nil, "SLO"},
+		{"no nodes", "w", time.Second, nil, nil, "at least one"},
+		{"unnamed node", "w", time.Second, []Node{{Function: "f"}}, nil, "no name"},
+		{"missing function", "w", time.Second, []Node{{Name: "x"}}, nil, "no function"},
+		{"duplicate name", "w", time.Second, []Node{{Name: "a", Function: "f"}, {Name: "a", Function: "g"}}, nil, "duplicate"},
+		{"edge from unknown", "w", time.Second, nodes, [][2]string{{"zz", "b"}}, "unknown"},
+		{"edge to unknown", "w", time.Second, nodes, [][2]string{{"a", "zz"}}, "unknown"},
+		{"self edge", "w", time.Second, nodes, [][2]string{{"a", "a"}}, "self edge"},
+		{"cycle", "w", time.Second, nodes, [][2]string{{"a", "b"}, {"b", "a"}}, "cycle"},
+	}
+	for _, c := range cases {
+		_, err := New(c.wfName, c.slo, c.nodes, c.edges)
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.errHas) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.errHas)
+		}
+	}
+}
+
+func TestChainShape(t *testing.T) {
+	w := mustChain(t)
+	if !w.IsChain() {
+		t.Fatal("chain not recognized")
+	}
+	chain, err := w.Chain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 3 || chain[0].Name != "a" || chain[2].Name != "c" {
+		t.Fatalf("chain order = %v", chain)
+	}
+}
+
+func TestNonChainShapes(t *testing.T) {
+	nodes := []Node{{Name: "a", Function: "f"}, {Name: "b", Function: "f"}, {Name: "c", Function: "f"}}
+	fanOut, err := New("fan", time.Second, nodes, [][2]string{{"a", "b"}, {"a", "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fanOut.IsChain() {
+		t.Fatal("fan-out recognized as chain")
+	}
+	if _, err := fanOut.Chain(); err == nil {
+		t.Fatal("Chain() on fan-out should fail")
+	}
+	// Two disconnected nodes: each linear, but two starts.
+	two, err := New("two", time.Second, nodes[:2], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.IsChain() {
+		t.Fatal("disconnected graph recognized as chain")
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	nodes := []Node{{Name: "d", Function: "f"}, {Name: "b", Function: "f"}, {Name: "a", Function: "f"}, {Name: "c", Function: "f"}}
+	w, err := New("dag", time.Second, nodes, [][2]string{{"a", "b"}, {"b", "c"}, {"a", "d"}, {"d", "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, n := range w.TopoOrder() {
+		pos[n.Name] = i
+	}
+	for _, e := range [][2]string{{"a", "b"}, {"b", "c"}, {"a", "d"}, {"d", "c"}} {
+		if pos[e[0]] >= pos[e[1]] {
+			t.Fatalf("edge %v violated in topo order", e)
+		}
+	}
+}
+
+func TestSuffix(t *testing.T) {
+	w := mustChain(t)
+	s1, err := w.Suffix(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) != 2 || s1[0].Name != "b" {
+		t.Fatalf("Suffix(1) = %v", s1)
+	}
+	if _, err := w.Suffix(3); err == nil {
+		t.Fatal("Suffix(3) out of range should fail")
+	}
+	if _, err := w.Suffix(-1); err == nil {
+		t.Fatal("Suffix(-1) should fail")
+	}
+}
+
+func TestSuccessorsPredecessors(t *testing.T) {
+	w := mustChain(t)
+	if got := w.Successors("a"); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("Successors(a) = %v", got)
+	}
+	if got := w.Predecessors("a"); len(got) != 0 {
+		t.Fatalf("Predecessors(a) = %v", got)
+	}
+	if got := w.Predecessors("c"); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("Predecessors(c) = %v", got)
+	}
+}
+
+func TestNodeLookup(t *testing.T) {
+	w := mustChain(t)
+	n, ok := w.Node("b")
+	if !ok || n.Function != "b" {
+		t.Fatalf("Node(b) = %v, %v", n, ok)
+	}
+	if _, ok := w.Node("zz"); ok {
+		t.Fatal("Node(zz) should not exist")
+	}
+}
+
+func TestWithSLO(t *testing.T) {
+	w := mustChain(t)
+	w2, err := w.WithSLO(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.SLO() != 5*time.Second || w.SLO() != time.Second {
+		t.Fatal("WithSLO should copy, not mutate")
+	}
+	if _, err := w.WithSLO(0); err == nil {
+		t.Fatal("WithSLO(0) should fail")
+	}
+}
+
+func TestNodesReturnsCopy(t *testing.T) {
+	w := mustChain(t)
+	w.Nodes()[0].Name = "mutated"
+	if n, _ := w.Node("a"); n.Name != "a" {
+		t.Fatal("Nodes() exposed internal state")
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	w := IntelligentAssistant()
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != "ia" || back.SLO() != 3*time.Second || back.Len() != 3 {
+		t.Fatalf("round trip lost data: %s %v %d", back.Name(), back.SLO(), back.Len())
+	}
+	chain, err := back.Chain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain[0].Function != "od" || chain[1].Function != "qa" || chain[2].Function != "ts" {
+		t.Fatalf("round trip chain = %v", chain)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	if _, err := ParseSpec([]byte("{")); err == nil {
+		t.Fatal("invalid JSON accepted")
+	}
+	if _, err := ParseSpec([]byte(`{"name":"x","slo_ms":0,"functions":[{"name":"a","function":"f"}]}`)); err == nil {
+		t.Fatal("zero SLO accepted")
+	}
+}
+
+func TestCatalogWorkflows(t *testing.T) {
+	ia := IntelligentAssistant()
+	if ia.SLO() != 3*time.Second {
+		t.Errorf("IA SLO = %v, want 3s", ia.SLO())
+	}
+	va := VideoAnalyze()
+	if va.SLO() != 1500*time.Millisecond {
+		t.Errorf("VA SLO = %v, want 1.5s", va.SLO())
+	}
+	for _, w := range []*Workflow{ia, va} {
+		if !w.IsChain() || w.Len() != 3 {
+			t.Errorf("%s: not a 3-function chain", w.Name())
+		}
+	}
+}
+
+func TestNewChainEmpty(t *testing.T) {
+	if _, err := NewChain("x", time.Second); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+}

@@ -1,0 +1,125 @@
+// Package wset models the varying working sets that drive function latency
+// variance in the paper (§II-B): COCO2014-style images (1-15 objects per
+// image), SQuAD2.0-style passages (35-641 words per text), and
+// fixed-duration video segments.
+//
+// A sampler yields a dimensionless latency scale factor: the latency model
+// multiplies its base latency by the factor, so a factor of 1.0 means "the
+// typical input". The published spreads (e.g. up to 3.8x latency variance
+// for the IA functions, P99/P50 of 1.37-1.56 for the VA functions) come out
+// of the factor distributions here.
+package wset
+
+import "janus/internal/rng"
+
+// Sampler produces working-set latency scale factors.
+type Sampler interface {
+	// Sample draws a scale factor using the provided stream.
+	Sample(s *rng.Stream) float64
+	// Name identifies the sampler in profiles and experiment logs.
+	Name() string
+}
+
+// COCO mimics COCO2014 object counts: 1-15 objects per image, heavily
+// skewed toward few objects (the paper cites 1-15 objects per image).
+// Latency for object detection grows roughly linearly in the number of
+// detected objects on top of a fixed backbone cost.
+type COCO struct {
+	// MaxObjects caps the per-image object count (paper: 15).
+	MaxObjects int
+	// Decay skews the object-count distribution toward small counts.
+	Decay float64
+	// BaseShare is the fraction of latency independent of object count.
+	BaseShare float64
+	// PerObject is the incremental factor per detected object.
+	PerObject float64
+}
+
+// DefaultCOCO returns the calibration used by the IA experiments: a median
+// factor near 0.85 and a P99/P1 spread close to the paper's ~3.8x.
+func DefaultCOCO() *COCO {
+	return &COCO{MaxObjects: 15, Decay: 0.78, BaseShare: 0.42, PerObject: 0.145}
+}
+
+// Sample draws an object count and converts it to a scale factor.
+func (c *COCO) Sample(s *rng.Stream) float64 {
+	n := s.TruncGeometric(c.MaxObjects, c.Decay)
+	return c.BaseShare + c.PerObject*float64(n)
+}
+
+// Name implements Sampler.
+func (c *COCO) Name() string { return "coco-objects" }
+
+// SQuAD mimics SQuAD2.0 passage lengths: 35-641 words per text. Question
+// answering latency grows with passage length.
+type SQuAD struct {
+	// MinWords and MaxWords bound the passage length (paper: 35-641).
+	MinWords, MaxWords int
+	// Mu and Sigma parameterize the lognormal word-count draw.
+	Mu, Sigma float64
+	// BaseShare is the fraction of latency independent of passage length.
+	BaseShare float64
+	// RefWords is the passage length that maps to factor 1.0 together
+	// with BaseShare.
+	RefWords float64
+}
+
+// DefaultSQuAD returns the calibration used by the IA experiments.
+func DefaultSQuAD() *SQuAD {
+	return &SQuAD{MinWords: 35, MaxWords: 641, Mu: 4.85, Sigma: 0.55, BaseShare: 0.38, RefWords: 210}
+}
+
+// Sample draws a passage length and converts it to a scale factor.
+func (q *SQuAD) Sample(s *rng.Stream) float64 {
+	words := q.words(s)
+	return q.BaseShare + (1-q.BaseShare)*words/q.RefWords
+}
+
+func (q *SQuAD) words(s *rng.Stream) float64 {
+	for i := 0; i < 32; i++ {
+		w := s.LogNormal(q.Mu, q.Sigma)
+		if w >= float64(q.MinWords) && w <= float64(q.MaxWords) {
+			return w
+		}
+	}
+	return float64(q.MinWords)
+}
+
+// Name implements Sampler.
+func (q *SQuAD) Name() string { return "squad-words" }
+
+// LogNormal is a generic multiplicative working-set factor with median
+// Median and shape Sigma, clipped to [Lo, Hi]. The VA functions (frame
+// extraction, classification, compression) use it with small sigmas: their
+// inputs are fixed-duration, fixed-resolution videos, so most variance
+// comes from content complexity and interference rather than input size.
+type LogNormal struct {
+	Median float64
+	Sigma  float64
+	Lo, Hi float64
+	Label  string
+}
+
+// Sample draws the clipped lognormal factor.
+func (l *LogNormal) Sample(s *rng.Stream) float64 {
+	v := s.LogNormalClipped(0, l.Sigma, l.Lo/l.Median, l.Hi/l.Median)
+	return l.Median * v
+}
+
+// Name implements Sampler.
+func (l *LogNormal) Name() string {
+	if l.Label != "" {
+		return l.Label
+	}
+	return "lognormal"
+}
+
+// Constant always returns the same factor; useful in tests and for the
+// micro-benchmark functions whose input is fixed.
+type Constant float64
+
+// Sample implements Sampler.
+func (c Constant) Sample(*rng.Stream) float64 { return float64(c) }
+
+// Name implements Sampler.
+func (c Constant) Name() string { return "constant" }

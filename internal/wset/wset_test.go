@@ -1,0 +1,138 @@
+package wset
+
+import (
+	"testing"
+
+	"janus/internal/rng"
+	"janus/internal/stats"
+)
+
+func sampleMany(t *testing.T, s Sampler, n int, seed uint64) *stats.Sample {
+	t.Helper()
+	stream := rng.New(seed)
+	out := &stats.Sample{}
+	for i := 0; i < n; i++ {
+		v := s.Sample(stream)
+		if v <= 0 {
+			t.Fatalf("%s produced non-positive factor %v", s.Name(), v)
+		}
+		out.Add(v)
+	}
+	return out
+}
+
+func TestCOCOSpreadMatchesPaper(t *testing.T) {
+	s := sampleMany(t, DefaultCOCO(), 20000, 1)
+	ratio := s.Percentile(99) / s.Percentile(1)
+	// Fig 1b reports latency variance "up to 3.8x" for the IA functions;
+	// OD is the widest.
+	if ratio < 2.8 || ratio > 4.8 {
+		t.Fatalf("COCO P99/P1 = %.2f, want within [2.8, 4.8]", ratio)
+	}
+	if med := s.Percentile(50); med < 0.55 || med > 1.1 {
+		t.Fatalf("COCO median factor = %.2f, want near but below 1", med)
+	}
+}
+
+func TestCOCOBounds(t *testing.T) {
+	c := DefaultCOCO()
+	stream := rng.New(2)
+	lo := c.BaseShare + c.PerObject
+	hi := c.BaseShare + c.PerObject*float64(c.MaxObjects)
+	for i := 0; i < 10000; i++ {
+		v := c.Sample(stream)
+		if v < lo-1e-9 || v > hi+1e-9 {
+			t.Fatalf("COCO factor %v escaped [%v, %v]", v, lo, hi)
+		}
+	}
+}
+
+func TestSQuADSpread(t *testing.T) {
+	s := sampleMany(t, DefaultSQuAD(), 20000, 3)
+	ratio := s.Percentile(99) / s.Percentile(50)
+	// QA's profile P99/P50 is ~2.17 in the paper; the working set carries
+	// most of that.
+	if ratio < 1.6 || ratio > 2.8 {
+		t.Fatalf("SQuAD P99/P50 = %.2f, want within [1.6, 2.8]", ratio)
+	}
+}
+
+func TestSQuADWordBounds(t *testing.T) {
+	q := DefaultSQuAD()
+	stream := rng.New(4)
+	min := q.BaseShare + (1-q.BaseShare)*float64(q.MinWords)/q.RefWords
+	max := q.BaseShare + (1-q.BaseShare)*float64(q.MaxWords)/q.RefWords
+	for i := 0; i < 10000; i++ {
+		v := q.Sample(stream)
+		if v < min-1e-9 || v > max+1e-9 {
+			t.Fatalf("SQuAD factor %v escaped [%v, %v]", v, min, max)
+		}
+	}
+}
+
+func TestLogNormalMedianAndClip(t *testing.T) {
+	l := &LogNormal{Median: 1, Sigma: 0.13, Lo: 0.55, Hi: 2.1}
+	s := sampleMany(t, l, 20000, 5)
+	if med := s.Percentile(50); med < 0.95 || med > 1.05 {
+		t.Fatalf("LogNormal median = %v, want ~1", med)
+	}
+	if s.Min() < l.Lo || s.Max() > l.Hi {
+		t.Fatalf("LogNormal escaped clip range: [%v, %v]", s.Min(), s.Max())
+	}
+}
+
+func TestLogNormalVASpreads(t *testing.T) {
+	// The VA chain functions should land near the paper's P99/P50 ratios
+	// before interference is layered on (interference adds the rest).
+	cases := []struct {
+		sigma    float64
+		lo, hi   float64
+		minRatio float64
+		maxRatio float64
+	}{
+		{0.105, 0.6, 1.9, 1.20, 1.45},  // FE target contribution
+		{0.13, 0.55, 2.1, 1.25, 1.55},  // ICL
+		{0.085, 0.65, 1.8, 1.15, 1.35}, // ICO
+	}
+	for i, c := range cases {
+		l := &LogNormal{Median: 1, Sigma: c.sigma, Lo: c.lo, Hi: c.hi}
+		s := sampleMany(t, l, 20000, uint64(10+i))
+		ratio := s.Percentile(99) / s.Percentile(50)
+		if ratio < c.minRatio || ratio > c.maxRatio {
+			t.Errorf("case %d: P99/P50 = %.3f, want [%v, %v]", i, ratio, c.minRatio, c.maxRatio)
+		}
+	}
+}
+
+func TestConstant(t *testing.T) {
+	c := Constant(1.5)
+	if c.Sample(rng.New(1)) != 1.5 {
+		t.Fatal("Constant should return its value")
+	}
+	if c.Name() != "constant" {
+		t.Fatalf("Constant name = %q", c.Name())
+	}
+}
+
+func TestSamplerNames(t *testing.T) {
+	if DefaultCOCO().Name() != "coco-objects" {
+		t.Error("COCO name changed")
+	}
+	if DefaultSQuAD().Name() != "squad-words" {
+		t.Error("SQuAD name changed")
+	}
+	if (&LogNormal{Label: "x"}).Name() != "x" {
+		t.Error("LogNormal label not used")
+	}
+	if (&LogNormal{}).Name() != "lognormal" {
+		t.Error("LogNormal default name changed")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a := DefaultCOCO().Sample(rng.New(42))
+	b := DefaultCOCO().Sample(rng.New(42))
+	if a != b {
+		t.Fatal("sampling is not deterministic for a fixed seed")
+	}
+}

@@ -1,0 +1,349 @@
+// Package janus is a from-scratch Go reproduction of "It Takes Two to
+// Tango: Serverless Workflow Serving via Bilaterally Engaged Resource
+// Adaptation" (IPDPS 2025): the Janus late-binding resource adaptation
+// framework together with the entire serverless substrate it runs on.
+//
+// The package is a facade over the internal packages; everything a
+// downstream user needs is exported here:
+//
+//   - define chain workflows with end-to-end latency SLOs (Workflow),
+//   - profile their functions across CPU allocations and concurrency
+//     levels (Deploy runs the offline Profiler),
+//   - synthesize and condense hints tables (the Synthesizer, Algorithm 1
+//     and 2 of the paper), optionally with head weights and the Janus- /
+//     Janus+ exploration ablations,
+//   - serve requests on the simulated serverless platform under Janus's
+//     online Adapter or any of the paper's baselines (GrandSLAM,
+//     GrandSLAM+, ORION, the clairvoyant Optimal),
+//   - and regenerate every table and figure of the paper's evaluation
+//     (ExperimentSuite, cmd/janusbench).
+//
+// Quickstart:
+//
+//	w := janus.IntelligentAssistant()                // OD -> QA -> TS, 3s SLO
+//	coloc, _ := janus.NewColocationSampler([]float64{0.5, 0.35, 0.15})
+//	dep, _ := janus.Deploy(w, janus.DeployOptions{
+//		Functions:    janus.Catalog(),
+//		Colocation:   coloc,
+//		Interference: janus.DefaultInterference(),
+//	})
+//	reqs, _ := janus.GenerateWorkload(janus.WorkloadConfig{ ... })
+//	ex, _ := janus.NewExecutor(janus.DefaultExecutorConfig(), janus.Catalog())
+//	traces, _ := ex.Run(reqs, dep.Allocator("janus"))
+package janus
+
+import (
+	"time"
+
+	"janus/internal/adapter"
+	"janus/internal/baseline"
+	"janus/internal/core"
+	"janus/internal/experiment"
+	"janus/internal/hints"
+	"janus/internal/httpapi"
+	"janus/internal/interfere"
+	"janus/internal/parallel"
+	"janus/internal/perfmodel"
+	"janus/internal/platform"
+	"janus/internal/profile"
+	"janus/internal/synth"
+	"janus/internal/workflow"
+)
+
+// Workflows.
+
+// Workflow is a DAG of functions with an end-to-end latency SLO.
+type Workflow = workflow.Workflow
+
+// WorkflowNode is one step of a workflow.
+type WorkflowNode = workflow.Node
+
+// NewWorkflow builds and validates a workflow DAG.
+func NewWorkflow(name string, slo time.Duration, nodes []WorkflowNode, edges [][2]string) (*Workflow, error) {
+	return workflow.New(name, slo, nodes, edges)
+}
+
+// NewChain builds a linear workflow through the named catalog functions.
+func NewChain(name string, slo time.Duration, functions ...string) (*Workflow, error) {
+	return workflow.NewChain(name, slo, functions...)
+}
+
+// ParseWorkflow decodes a JSON workflow spec (see workflow.Spec).
+func ParseWorkflow(data []byte) (*Workflow, error) { return workflow.ParseSpec(data) }
+
+// IntelligentAssistant returns the paper's IA evaluation chain
+// (object detection -> question answering -> text-to-speech, 3 s SLO).
+func IntelligentAssistant() *Workflow { return workflow.IntelligentAssistant() }
+
+// VideoAnalyze returns the paper's VA evaluation chain
+// (frame extraction -> image classification -> image compression, 1.5 s SLO).
+func VideoAnalyze() *Workflow { return workflow.VideoAnalyze() }
+
+// Functions and runtime dynamics.
+
+// Function is a calibrated serverless function latency model.
+type Function = perfmodel.Function
+
+// FunctionParams configures a custom Function.
+type FunctionParams = perfmodel.Params
+
+// NewFunction validates params and builds a Function.
+func NewFunction(p FunctionParams) (*Function, error) { return perfmodel.New(p) }
+
+// Catalog returns the standard function models (the six workflow functions
+// plus the four dominant-dimension micro functions), keyed by name.
+func Catalog() map[string]*Function { return perfmodel.Catalog() }
+
+// InterferenceModel maps co-location counts to latency slowdowns.
+type InterferenceModel = interfere.Model
+
+// DefaultInterference returns the Fig 1c calibration (up to 8.1x at six
+// co-located network-bound instances).
+func DefaultInterference() *InterferenceModel { return interfere.Default() }
+
+// ColocationSampler draws per-invocation co-location counts.
+type ColocationSampler = interfere.CountSampler
+
+// NewColocationSampler builds a sampler; weights[i] is the probability
+// weight of i+1 co-located instances.
+func NewColocationSampler(weights []float64) (*ColocationSampler, error) {
+	return interfere.NewCountSampler(weights)
+}
+
+// Profiles.
+
+// Grid is the millicore allocation grid (paper: 1000-3000, step 100).
+type Grid = profile.Grid
+
+// DefaultGrid returns the paper's allocation grid.
+func DefaultGrid() Grid { return profile.DefaultGrid() }
+
+// FunctionProfile is the percentile latency table L(p, k) of one function
+// at one concurrency level.
+type FunctionProfile = profile.FunctionProfile
+
+// ProfileSet bundles a chain workflow's per-stage profiles.
+type ProfileSet = profile.Set
+
+// Profiler collects execution-time distributions offline.
+type Profiler = profile.Profiler
+
+// NewProfiler builds a profiler over the given functions and contention
+// mix.
+func NewProfiler(fns map[string]*Function, coloc *ColocationSampler, im *InterferenceModel, seed uint64) (*Profiler, error) {
+	return profile.NewProfiler(fns, coloc, im, seed)
+}
+
+// Hints and synthesis.
+
+// Hint is one raw synthesizer output (budget -> allocation plan).
+type Hint = hints.Hint
+
+// HintsTable is a condensed <start, end, size> table for one sub-workflow.
+type HintsTable = hints.Table
+
+// Bundle is the developer-to-provider deployment artifact: one condensed
+// table per sub-workflow suffix.
+type Bundle = hints.Bundle
+
+// ParseBundle decodes and validates a serialized bundle.
+func ParseBundle(data []byte) (*Bundle, error) { return hints.ParseBundle(data) }
+
+// Mode selects the synthesizer's percentile exploration strategy.
+type Mode = synth.Mode
+
+// Exploration modes: Janus explores head percentiles, JanusMinus fixes
+// P99 everywhere, JanusPlus extends exploration to the next-to-head
+// function.
+const (
+	ModeJanus      = synth.ModeJanus
+	ModeJanusMinus = synth.ModeJanusMinus
+	ModeJanusPlus  = synth.ModeJanusPlus
+)
+
+// Synthesizer generates and condenses hints tables (Algorithms 1 and 2).
+type Synthesizer = synth.Synthesizer
+
+// SynthesizerConfig parameterizes a Synthesizer.
+type SynthesizerConfig = synth.Config
+
+// NewSynthesizer validates the configuration and precomputes the
+// downstream dynamic program.
+func NewSynthesizer(cfg SynthesizerConfig) (*Synthesizer, error) { return synth.New(cfg) }
+
+// Deployment pipeline.
+
+// DeployOptions configures the offline pipeline.
+type DeployOptions = core.Options
+
+// Deployment is a workflow deployed under Janus: profiles, synthesized
+// hints, and the live adapter.
+type Deployment = core.Deployment
+
+// Deploy profiles the workflow, synthesizes hints, and starts the adapter.
+func Deploy(w *Workflow, opts DeployOptions) (*Deployment, error) { return core.Deploy(w, opts) }
+
+// DeployProfiled runs synthesis over existing profiles.
+func DeployProfiled(set *ProfileSet, opts DeployOptions) (*Deployment, error) {
+	return core.DeployProfiled(set, opts)
+}
+
+// Adapter is the provider-side online component.
+type Adapter = adapter.Adapter
+
+// Decision is one adaptation outcome.
+type Decision = adapter.Decision
+
+// NewAdapter builds an adapter over a validated bundle.
+func NewAdapter(b *Bundle, opts ...AdapterOption) (*Adapter, error) { return adapter.New(b, opts...) }
+
+// AdapterOption customizes an Adapter.
+type AdapterOption = adapter.Option
+
+// WithMissThreshold overrides the regeneration miss-rate threshold.
+func WithMissThreshold(th float64) AdapterOption { return adapter.WithMissThreshold(th) }
+
+// WithRegenerateCallback installs the developer-notification hook.
+func WithRegenerateCallback(fn func(missRate float64)) AdapterOption {
+	return adapter.WithRegenerateCallback(fn)
+}
+
+// Serving plane.
+
+// Request is one workflow execution with pre-sampled runtime conditions.
+type Request = platform.Request
+
+// Trace records one served request.
+type Trace = platform.Trace
+
+// Allocator decides per-stage millicore allocations; serving systems are
+// Allocator implementations.
+type Allocator = platform.Allocator
+
+// FixedAllocator serves immutable per-stage sizes (early binding).
+type FixedAllocator = platform.Fixed
+
+// WorkloadConfig drives request generation.
+type WorkloadConfig = platform.WorkloadConfig
+
+// GenerateWorkload materializes a request sequence with pre-sampled draws.
+func GenerateWorkload(cfg WorkloadConfig) ([]*Request, error) {
+	return platform.GenerateWorkload(cfg)
+}
+
+// Executor serves workloads on a simulated cluster in virtual time.
+type Executor = platform.Executor
+
+// ExecutorConfig sizes the serving plane.
+type ExecutorConfig = platform.ExecutorConfig
+
+// DefaultExecutorConfig mirrors the paper's testbed (52-core node, warm
+// pools, millisecond-scale decision overhead).
+func DefaultExecutorConfig() ExecutorConfig { return platform.DefaultExecutorConfig() }
+
+// NewExecutor validates the configuration and builds an executor.
+func NewExecutor(cfg ExecutorConfig, fns map[string]*Function) (*Executor, error) {
+	return platform.NewExecutor(cfg, fns)
+}
+
+// Trace metrics.
+
+// MeanMillicores reports the paper's resource-consumption metric.
+func MeanMillicores(traces []Trace) float64 { return platform.MeanMillicores(traces) }
+
+// SLOViolationRate reports the fraction of requests exceeding their SLO.
+func SLOViolationRate(traces []Trace) float64 { return platform.SLOViolationRate(traces) }
+
+// MissRate reports the fraction of hints-table misses across decisions.
+func MissRate(traces []Trace) float64 { return platform.MissRate(traces) }
+
+// Baselines.
+
+// GrandSLAM sizes a chain with one identical allocation at P99.
+func GrandSLAM(set *ProfileSet, slo time.Duration) (*FixedAllocator, error) {
+	return baseline.GrandSLAM(set, slo)
+}
+
+// GrandSLAMPlus sizes each function independently at P99.
+func GrandSLAMPlus(set *ProfileSet, slo time.Duration) (*FixedAllocator, error) {
+	return baseline.GrandSLAMPlus(set, slo)
+}
+
+// ORIONConfig tunes the distribution-aware baseline.
+type ORIONConfig = baseline.ORIONConfig
+
+// ORION sizes a chain against the P99 of the convolved end-to-end latency
+// distribution.
+func ORION(set *ProfileSet, slo time.Duration, cfg ORIONConfig) (*FixedAllocator, error) {
+	return baseline.ORION(set, slo, cfg)
+}
+
+// Optimal is the clairvoyant late-binding lower bound.
+type Optimal = baseline.Optimal
+
+// NewOptimal builds the oracle for a chain workflow.
+func NewOptimal(w *Workflow, fns map[string]*Function, grid Grid, headroom time.Duration) (*Optimal, error) {
+	return baseline.NewOptimal(w, fns, grid, headroom)
+}
+
+// Adapter service (the remote provider-side deployment).
+
+// AdapterServer hosts adapters behind a JSON HTTP API.
+type AdapterServer = httpapi.Server
+
+// NewAdapterServer builds a server; opts apply to every adapter it hosts.
+func NewAdapterServer(opts ...AdapterOption) *AdapterServer { return httpapi.NewServer(opts...) }
+
+// AdapterClient talks to a remote adapter service.
+type AdapterClient = httpapi.Client
+
+// NewAdapterClient builds a client for the service at baseURL.
+func NewAdapterClient(baseURL string) *AdapterClient { return httpapi.NewClient(baseURL) }
+
+// RemoteAllocator serves platform allocations through a remote adapter.
+type RemoteAllocator = httpapi.Allocator
+
+// Series-parallel workflows (the paper's future-work extension): reduce a
+// fan-out/join application to an effective chain the unmodified
+// synthesizer and adapter serve.
+
+// SPWorkflow is a series-parallel application: stages in sequence, with
+// the functions inside a stage running concurrently until a join.
+type SPWorkflow = parallel.Workflow
+
+// SPStage is one stage of an SPWorkflow.
+type SPStage = parallel.Stage
+
+// SPProfilerConfig parameterizes composite-stage profiling.
+type SPProfilerConfig = parallel.ProfilerConfig
+
+// SPInvocation is one served series-parallel request.
+type SPInvocation = parallel.Invocation
+
+// ReduceSP profiles every stage (parallel stages by max-of-branches
+// Monte-Carlo) and returns the effective-chain profile set for
+// DeployProfiled.
+func ReduceSP(w *SPWorkflow, cfg SPProfilerConfig) (*ProfileSet, error) {
+	return parallel.Reduce(w, cfg)
+}
+
+// ServeSP executes n requests of the series-parallel workflow under the
+// adapter's runtime adaptation.
+func ServeSP(w *SPWorkflow, a *Adapter, cfg SPProfilerConfig, n int, seed uint64) ([]SPInvocation, error) {
+	return parallel.Serve(w, a, cfg, n, seed)
+}
+
+// Experiments.
+
+// ExperimentSuite reproduces the paper's tables and figures.
+type ExperimentSuite = experiment.Suite
+
+// ExperimentConfig scales an ExperimentSuite.
+type ExperimentConfig = experiment.Config
+
+// NewExperimentSuite returns a paper-scale suite (1000 requests per point,
+// 1 ms budget sweeps).
+func NewExperimentSuite() *ExperimentSuite { return experiment.NewSuite() }
+
+// NewQuickExperimentSuite returns a reduced-scale suite for fast runs.
+func NewQuickExperimentSuite() *ExperimentSuite { return experiment.QuickSuite() }
