@@ -7,9 +7,19 @@
 // The shared suite caches profiles, deployments, and serving runs, so the
 // first iteration of each benchmark pays the real cost and the reported
 // per-op numbers stabilize quickly. cmd/janusbench prints the same rows.
+//
+// BenchmarkEvaluationGrid{Sequential,Parallel} are the exception: they
+// build a fresh reduced-scale suite per iteration to time the concurrent
+// experiment engine end to end. Compare the pair with
+//
+//	go test -bench='BenchmarkEvaluationGrid' -benchtime=1x
+//
+// on a multi-core machine to see the worker pool's near-linear speedup.
 package janus_test
 
 import (
+	"context"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -275,6 +285,32 @@ func BenchmarkTable2WeightImpact(b *testing.B) {
 	}
 	b.ReportMetric(mc1, "head_mc_weight1")
 	b.ReportMetric(mc3, "head_mc_weight3")
+}
+
+// benchmarkEvaluationGrid serves the paper's full §V grid (4 panels × 7
+// systems) from a cold cache: profiling, synthesis, and 28 discrete-event
+// serving runs. The sequential and parallel variants do identical work —
+// the runner guarantees identical results — so their ratio is the
+// concurrent engine's wall-clock speedup.
+func benchmarkEvaluationGrid(b *testing.B, parallelism int) {
+	points, err := janus.EvaluationPoints()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := janus.NewQuickExperimentSuite()
+		r := &janus.ExperimentRunner{Suite: s, Parallelism: parallelism}
+		if _, err := r.Run(context.Background(), points); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluationGridSequential(b *testing.B) { benchmarkEvaluationGrid(b, 1) }
+
+func BenchmarkEvaluationGridParallel(b *testing.B) {
+	benchmarkEvaluationGrid(b, runtime.GOMAXPROCS(0))
 }
 
 func BenchmarkOverheadOnlineAdaptation(b *testing.B) {

@@ -6,16 +6,22 @@
 //
 //	janusbench -experiment all                 # everything (paper scale)
 //	janusbench -experiment fig4 -quick         # one figure, reduced scale
+//	janusbench -experiment fig9 -parallelism 4 # bound the worker pool
 //	janusbench -list
 //
 // Experiments: fig1a fig1b fig1c fig2 fig4 fig5 fig6 fig7 fig8 fig9
 // table1 table2 overhead.
+//
+// Serving points fan out over a worker pool (-parallelism, default
+// GOMAXPROCS); results are identical at every setting because requests
+// carry pre-sampled runtime conditions.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -98,6 +104,8 @@ var order = []string{
 func main() {
 	name := flag.String("experiment", "all", "experiment to run (or 'all')")
 	quick := flag.Bool("quick", false, "reduced scale (fast sanity runs)")
+	parallelism := flag.Int("parallelism", runtime.GOMAXPROCS(0),
+		"concurrent suite points (<= 0 means GOMAXPROCS); any value yields identical results")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -114,6 +122,7 @@ func main() {
 	if *quick {
 		suite = experiment.QuickSuite()
 	}
+	suite.SetParallelism(*parallelism)
 	targets := order
 	if *name != "all" {
 		if _, ok := experiments[*name]; !ok {

@@ -1,0 +1,101 @@
+package janus_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"janus"
+)
+
+// ExampleNewChain defines the paper's intelligent-assistant application as
+// a chain workflow: object detection, question answering, text-to-speech,
+// under a 3 s end-to-end SLO.
+func ExampleNewChain() {
+	w, err := janus.NewChain("assistant", 3*time.Second, "od", "qa", "ts")
+	if err != nil {
+		log.Fatal(err)
+	}
+	chain, err := w.Chain()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, node := range chain {
+		fmt.Println(node.Function)
+	}
+	fmt.Println("SLO:", w.SLO())
+	// Output:
+	// od
+	// qa
+	// ts
+	// SLO: 3s
+}
+
+// ExampleDeploy runs the developer-side offline pipeline — profiling,
+// hints synthesis, condensing — and asks the provider-side adapter for a
+// decision, exactly as the README quickstart does. The reduced sample
+// count keeps the example fast; paper-scale runs use the defaults.
+func ExampleDeploy() {
+	w, err := janus.NewChain("assistant", 3*time.Second, "od", "qa", "ts")
+	if err != nil {
+		log.Fatal(err)
+	}
+	coloc, err := janus.NewColocationSampler([]float64{0.6, 0.3, 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep, err := janus.Deploy(w, janus.DeployOptions{
+		Functions:        janus.Catalog(),
+		Colocation:       coloc,
+		Interference:     janus.DefaultInterference(),
+		Seed:             3,
+		SamplesPerConfig: 400,
+		BudgetStepMs:     25,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("stages:", dep.Bundle().Stages())
+	// A fresh request has its whole SLO as remaining budget: ask the
+	// adapter how large the first function's pod should be.
+	d, err := dep.Adapter.Decide(0, w.SLO())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hit:", d.Hit)
+	// Output:
+	// stages: 3
+	// hit: true
+}
+
+// ExampleGenerateWorkload materializes a request sequence with pre-sampled
+// runtime conditions: every serving system replays the identical draws,
+// which is what makes the paper's system comparisons paired.
+func ExampleGenerateWorkload() {
+	w, err := janus.NewChain("assistant", 3*time.Second, "od", "qa", "ts")
+	if err != nil {
+		log.Fatal(err)
+	}
+	coloc, err := janus.NewColocationSampler([]float64{0.6, 0.3, 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reqs, err := janus.GenerateWorkload(janus.WorkloadConfig{
+		Workflow:          w,
+		Functions:         janus.Catalog(),
+		N:                 100,
+		ArrivalRatePerSec: 2,
+		Colocation:        coloc,
+		Interference:      janus.DefaultInterference(),
+		StageCorrelation:  0.5,
+		Seed:              3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("requests:", len(reqs))
+	fmt.Println("draws per request:", len(reqs[0].Draws))
+	// Output:
+	// requests: 100
+	// draws per request: 3
+}

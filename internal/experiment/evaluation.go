@@ -29,7 +29,19 @@ func panels() []Panel {
 	}
 }
 
-func (s *Suite) panelWorkflow(p Panel) (*workflow.Workflow, error) {
+// prewarmEvaluation fills the run cache for the full §V serving grid
+// concurrently; the per-panel summarize loops then hit only cached runs.
+// Safe to call repeatedly — cached points cost a map lookup.
+func (s *Suite) prewarmEvaluation() error {
+	points, err := EvaluationPoints()
+	if err != nil {
+		return err
+	}
+	_, err = s.RunPoints(points)
+	return err
+}
+
+func panelWorkflow(p Panel) (*workflow.Workflow, error) {
 	var w *workflow.Workflow
 	switch p.Workflow {
 	case "ia":
@@ -60,11 +72,15 @@ type Fig4Panel struct {
 }
 
 // Fig4 reproduces the end-to-end latency distributions of all systems over
-// the four panels, against the SLO lines.
+// the four panels, against the SLO lines. All (panel, system) points fan
+// out over the suite's worker pool before the panels are summarized.
 func (s *Suite) Fig4() ([]Fig4Panel, error) {
+	if err := s.prewarmEvaluation(); err != nil {
+		return nil, err
+	}
 	var out []Fig4Panel
 	for _, p := range panels() {
-		w, err := s.panelWorkflow(p)
+		w, err := panelWorkflow(p)
 		if err != nil {
 			return nil, err
 		}
@@ -123,11 +139,15 @@ type Fig5Panel struct {
 
 // Fig5 reproduces resource consumption across the four panels: Fig 5a is
 // the concurrency-1 panels in absolute millicores, Fig 5b the higher
-// concurrency panels normalized by Optimal.
+// concurrency panels normalized by Optimal. All (panel, system) points fan
+// out over the suite's worker pool before the panels are summarized.
 func (s *Suite) Fig5() ([]Fig5Panel, error) {
+	if err := s.prewarmEvaluation(); err != nil {
+		return nil, err
+	}
 	var out []Fig5Panel
 	for _, p := range panels() {
-		w, err := s.panelWorkflow(p)
+		w, err := panelWorkflow(p)
 		if err != nil {
 			return nil, err
 		}
@@ -195,19 +215,32 @@ func (s *Suite) Fig6() ([]Fig6Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Fan the serving points of the whole sweep out first; the loop below
+	// consumes them by position while timing synthesis sequentially (wall
+	// times are the figure's subject and must not contend with serving).
+	var slos []time.Duration
 	for slo := 3 * time.Second; slo <= 7*time.Second; slo += time.Second {
+		slos = append(slos, slo)
+	}
+	var points []Point
+	for _, slo := range slos {
 		w, err := base.WithSLO(slo)
 		if err != nil {
 			return nil, err
 		}
-		runs, err := s.RunPoint(w, 1, []string{SysJanus, SysJanusPlus})
-		if err != nil {
-			return nil, err
+		for _, sys := range []string{SysJanus, SysJanusPlus} {
+			points = append(points, Point{Workflow: w, Batch: 1, System: sys})
 		}
+	}
+	runs, err := s.RunPoints(points)
+	if err != nil {
+		return nil, err
+	}
+	for i, slo := range slos {
 		row := Fig6Row{
 			SLO:                 slo,
-			JanusMillicores:     runs[SysJanus].MeanMillicores,
-			JanusPlusMillicores: runs[SysJanusPlus].MeanMillicores,
+			JanusMillicores:     runs[2*i].MeanMillicores,
+			JanusPlusMillicores: runs[2*i+1].MeanMillicores,
 		}
 		// Synthesis cost at this SLO: sweep [Tmin, SLO].
 		tmin, _ := set.BudgetRangeMs(0)
@@ -325,28 +358,13 @@ type Fig9Row struct {
 // Fig9 sweeps SLOs (IA 3-7 s, VA 1.5-2.0 s) and reports consumption
 // normalized by Optimal for ORION, GrandSLAM, and Janus.
 func (s *Suite) Fig9() ([]Fig9Row, error) {
-	var out []Fig9Row
 	systems := []string{SysOptimal, SysORION, SysGrandSLAM, SysJanus}
-	sweep := func(base *workflow.Workflow, slos []time.Duration) error {
-		for _, slo := range slos {
-			w, err := base.WithSLO(slo)
-			if err != nil {
-				return err
-			}
-			runs, err := s.RunPoint(w, 1, systems)
-			if err != nil {
-				return err
-			}
-			opt := runs[SysOptimal].MeanMillicores
-			out = append(out, Fig9Row{
-				Workflow:  base.Name(),
-				SLO:       slo,
-				ORION:     runs[SysORION].MeanMillicores / opt,
-				GrandSLAM: runs[SysGrandSLAM].MeanMillicores / opt,
-				Janus:     runs[SysJanus].MeanMillicores / opt,
-			})
-		}
-		return nil
+	// One enumeration builds the point grid for both sweeps; the fanned-out
+	// results come back in input order and are consumed by position, so the
+	// grid and the rows cannot drift apart.
+	type sweep struct {
+		base *workflow.Workflow
+		slos []time.Duration
 	}
 	var iaSLOs, vaSLOs []time.Duration
 	for slo := 3 * time.Second; slo <= 7*time.Second; slo += time.Second {
@@ -355,11 +373,44 @@ func (s *Suite) Fig9() ([]Fig9Row, error) {
 	for slo := 1500 * time.Millisecond; slo <= 2000*time.Millisecond; slo += 100 * time.Millisecond {
 		vaSLOs = append(vaSLOs, slo)
 	}
-	if err := sweep(workflow.IntelligentAssistant(), iaSLOs); err != nil {
+	sweeps := []sweep{
+		{workflow.IntelligentAssistant(), iaSLOs},
+		{workflow.VideoAnalyze(), vaSLOs},
+	}
+	var points []Point
+	for _, sw := range sweeps {
+		for _, slo := range sw.slos {
+			w, err := sw.base.WithSLO(slo)
+			if err != nil {
+				return nil, err
+			}
+			for _, sys := range systems {
+				points = append(points, Point{Workflow: w, Batch: 1, System: sys})
+			}
+		}
+	}
+	runs, err := s.RunPoints(points)
+	if err != nil {
 		return nil, err
 	}
-	if err := sweep(workflow.VideoAnalyze(), vaSLOs); err != nil {
-		return nil, err
+	var out []Fig9Row
+	next := 0
+	for _, sw := range sweeps {
+		for _, slo := range sw.slos {
+			bySys := make(map[string]*SystemRun, len(systems))
+			for _, sys := range systems {
+				bySys[sys] = runs[next]
+				next++
+			}
+			opt := bySys[SysOptimal].MeanMillicores
+			out = append(out, Fig9Row{
+				Workflow:  sw.base.Name(),
+				SLO:       slo,
+				ORION:     bySys[SysORION].MeanMillicores / opt,
+				GrandSLAM: bySys[SysGrandSLAM].MeanMillicores / opt,
+				Janus:     bySys[SysJanus].MeanMillicores / opt,
+			})
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,177 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"janus/internal/workflow"
+)
+
+// dumpRuns serializes every field the drivers consume — summaries plus the
+// full per-stage traces — so two runs compare byte for byte.
+func dumpRuns(runs []*SystemRun) string {
+	var b strings.Builder
+	for _, r := range runs {
+		fmt.Fprintf(&b, "%s slo=%v mc=%.9f p50=%v p99=%v viol=%.9f miss=%.9f\n",
+			r.System, r.SLO, r.MeanMillicores, r.P50E2E, r.P99E2E, r.ViolationRate, r.MissRate)
+		for _, tr := range r.Traces {
+			fmt.Fprintf(&b, "  req=%d arr=%v done=%v e2e=%v mc=%d miss=%d\n",
+				tr.RequestID, tr.Arrival, tr.Done, tr.E2E, tr.TotalMillicores, tr.Misses)
+			for _, st := range tr.Stages {
+				fmt.Fprintf(&b, "    %s mc=%d start=%v end=%v startup=%v lat=%v cold=%t hit=%t\n",
+					st.Function, st.Millicores, st.Start, st.End, st.Startup, st.Latency, st.Cold, st.Hit)
+			}
+		}
+	}
+	return b.String()
+}
+
+// TestRunnerDeterministicAcrossParallelism is the tentpole's acceptance
+// test: a fresh QuickSuite serving the same points at parallelism 1 and at
+// parallelism 8 must produce byte-identical results — the pre-sampled
+// request randomness makes every point independent, so concurrency can
+// only reorder work, never change it.
+func TestRunnerDeterministicAcrossParallelism(t *testing.T) {
+	points := func() []Point {
+		var out []Point
+		for _, sys := range AllSystems() {
+			out = append(out, Point{Workflow: workflow.IntelligentAssistant(), Batch: 1, System: sys})
+		}
+		return out
+	}
+	sequential := QuickSuite()
+	r1 := &Runner{Suite: sequential, Parallelism: 1}
+	seqRuns, err := r1.Run(context.Background(), points())
+	if err != nil {
+		t.Fatal(err)
+	}
+	concurrent := QuickSuite()
+	rN := &Runner{Suite: concurrent, Parallelism: 8}
+	parRuns, err := rN.Run(context.Background(), points())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, par := dumpRuns(seqRuns), dumpRuns(parRuns)
+	if seq != par {
+		// Find the first divergent line for a readable failure.
+		a, b := strings.Split(seq, "\n"), strings.Split(par, "\n")
+		for i := range a {
+			if i >= len(b) || a[i] != b[i] {
+				t.Fatalf("parallel run diverged at line %d:\n  seq: %s\n  par: %s", i, a[i], b[i])
+			}
+		}
+		t.Fatalf("parallel run diverged (lengths %d vs %d)", len(seq), len(par))
+	}
+}
+
+func TestRunnerResultsInInputOrder(t *testing.T) {
+	s := quickSuite(t)
+	points := []Point{
+		{Workflow: workflow.IntelligentAssistant(), Batch: 1, System: SysGrandSLAM},
+		{Workflow: workflow.IntelligentAssistant(), Batch: 1, System: SysOptimal},
+		{Workflow: workflow.IntelligentAssistant(), Batch: 1, System: SysJanus},
+	}
+	r := &Runner{Suite: s, Parallelism: 3}
+	runs, err := r.Run(context.Background(), points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, run := range runs {
+		if run.System != points[i].System {
+			t.Fatalf("result %d is %s, want %s", i, run.System, points[i].System)
+		}
+	}
+}
+
+func TestRunnerProgress(t *testing.T) {
+	s := quickSuite(t)
+	var events []Progress
+	r := &Runner{
+		Suite:       s,
+		Parallelism: 4,
+		OnProgress:  func(p Progress) { events = append(events, p) },
+	}
+	points := make([]Point, 0, len(AllSystems()))
+	for _, sys := range AllSystems() {
+		points = append(points, Point{Workflow: workflow.IntelligentAssistant(), Batch: 1, System: sys})
+	}
+	if _, err := r.Run(context.Background(), points); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(points) {
+		t.Fatalf("%d progress events, want %d", len(events), len(points))
+	}
+	for i, ev := range events {
+		if ev.Done != i+1 || ev.Total != len(points) {
+			t.Fatalf("event %d: Done=%d Total=%d", i, ev.Done, ev.Total)
+		}
+		if ev.Err != nil || ev.Run == nil {
+			t.Fatalf("event %d: err=%v run=%v", i, ev.Err, ev.Run)
+		}
+	}
+}
+
+func TestRunnerCancellation(t *testing.T) {
+	s := quickSuite(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := &Runner{Suite: s, Parallelism: 2}
+	// Uncached points: a cancelled context must stop the run before any
+	// serving work happens.
+	_, err := r.Run(ctx, []Point{
+		{Workflow: workflow.IntelligentAssistant(), Batch: 1, System: "nonexistent-a"},
+		{Workflow: workflow.IntelligentAssistant(), Batch: 1, System: "nonexistent-b"},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunnerUnknownSystemFails(t *testing.T) {
+	s := quickSuite(t)
+	r := &Runner{Suite: s}
+	_, err := r.Run(context.Background(), []Point{
+		{Workflow: workflow.IntelligentAssistant(), Batch: 1, System: "no-such-system"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "no-such-system") {
+		t.Fatalf("err = %v, want unknown-system failure", err)
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	s := quickSuite(t)
+	r := &Runner{Suite: s}
+	if _, err := r.Run(context.Background(), []Point{{Batch: 1, System: SysJanus}}); err == nil {
+		t.Error("nil workflow accepted")
+	}
+	if _, err := r.Run(context.Background(), []Point{{Workflow: workflow.IntelligentAssistant(), System: SysJanus}}); err == nil {
+		t.Error("batch 0 accepted")
+	}
+	if _, err := (&Runner{}).Run(context.Background(), nil); err == nil {
+		t.Error("nil suite accepted")
+	}
+	runs, err := r.Run(context.Background(), nil)
+	if err != nil || runs != nil {
+		t.Errorf("empty point set: (%v, %v)", runs, err)
+	}
+}
+
+func TestEvaluationPointsCoverTheGrid(t *testing.T) {
+	points, err := EvaluationPoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(panels()) * len(AllSystems()); len(points) != want {
+		t.Fatalf("%d points, want %d", len(points), want)
+	}
+	seen := make(map[string]bool)
+	for _, p := range points {
+		if seen[p.String()] {
+			t.Fatalf("duplicate point %s", p)
+		}
+		seen[p.String()] = true
+	}
+}

@@ -11,6 +11,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"janus/internal/baseline"
 	"janus/internal/cluster"
 	"janus/internal/core"
+	"janus/internal/flight"
 	"janus/internal/interfere"
 	"janus/internal/perfmodel"
 	"janus/internal/platform"
@@ -61,6 +63,11 @@ type Config struct {
 	Requests int
 	// ArrivalRatePerSec is the Poisson workload rate.
 	ArrivalRatePerSec float64
+	// Parallelism bounds how many suite points run concurrently (the
+	// Runner's worker pool); <= 0 means GOMAXPROCS. Results are identical
+	// at every setting — points are independent by construction — so this
+	// trades only wall-clock time, never fidelity.
+	Parallelism int
 }
 
 // NewSuite returns a paper-scale suite: 1000 requests per point, 2000
@@ -100,18 +107,48 @@ func NewSuiteWith(cfg Config) *Suite {
 	}
 }
 
-// Suite carries shared state across experiment drivers.
+// Suite carries shared state across experiment drivers. All methods are
+// safe for concurrent use: caches are filled through a singleflight group
+// so parallel workers needing the same artifact compute it exactly once.
 type Suite struct {
 	cfg       Config
 	functions map[string]*perfmodel.Function
 	interf    *interfere.Model
 
+	// flights deduplicates concurrent fills of the caches below.
+	flights flight.Group
+
 	mu          sync.Mutex
+	parallel    int // runtime override of cfg.Parallelism (SetParallelism)
+	exTemplate  *platform.Executor
 	profiles    map[string]*profile.Set
 	deployments map[string]*core.Deployment
 	workloads   map[string][]*platform.Request
 	runs        map[string]*SystemRun
 	fig6        []Fig6Row
+}
+
+// SetParallelism overrides the suite's point-level parallelism after
+// construction (cmd/janusbench's -parallelism flag lands here); n <= 0
+// restores the default (GOMAXPROCS).
+func (s *Suite) SetParallelism(n int) {
+	s.mu.Lock()
+	s.parallel = n
+	s.mu.Unlock()
+}
+
+// parallelism resolves the effective worker-pool bound.
+func (s *Suite) parallelism() int {
+	s.mu.Lock()
+	n := s.parallel
+	s.mu.Unlock()
+	if n <= 0 {
+		n = s.cfg.Parallelism
+	}
+	if n <= 0 {
+		n = defaultParallelism()
+	}
+	return n
 }
 
 // colocationFor returns the co-location mix each workflow's pods see: IA
@@ -132,27 +169,34 @@ func (s *Suite) colocationFor(wf string) *interfere.CountSampler {
 }
 
 // Profiles returns (cached) profiles for a workflow at a batch size.
+// Concurrent callers missing the same key share one computation.
 func (s *Suite) Profiles(w *workflow.Workflow, batch int) (*profile.Set, error) {
 	key := fmt.Sprintf("%s/b%d", w.Name(), batch)
-	s.mu.Lock()
-	set, ok := s.profiles[key]
-	s.mu.Unlock()
-	if ok {
+	v, err := s.flights.Do("profiles/"+key, func() (any, error) {
+		s.mu.Lock()
+		set, ok := s.profiles[key]
+		s.mu.Unlock()
+		if ok {
+			return set, nil
+		}
+		prof, err := profile.NewProfiler(s.functions, s.colocationFor(w.Name()), s.interf, s.cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		prof.SamplesPerConfig = s.cfg.ProfilerSamples
+		set, err = prof.ProfileWorkflow(w, batch)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.profiles[key] = set
+		s.mu.Unlock()
 		return set, nil
-	}
-	prof, err := profile.NewProfiler(s.functions, s.colocationFor(w.Name()), s.interf, s.cfg.Seed)
+	})
 	if err != nil {
 		return nil, err
 	}
-	prof.SamplesPerConfig = s.cfg.ProfilerSamples
-	set, err = prof.ProfileWorkflow(w, batch)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.profiles[key] = set
-	s.mu.Unlock()
-	return set, nil
+	return v.(*profile.Set), nil
 }
 
 // Deployment returns a (cached) Janus deployment for a workflow, batch,
@@ -160,34 +204,40 @@ func (s *Suite) Profiles(w *workflow.Workflow, batch int) (*profile.Set, error) 
 // deployment serves every SLO in a sweep.
 func (s *Suite) Deployment(w *workflow.Workflow, batch int, mode synth.Mode, weight float64) (*core.Deployment, error) {
 	key := fmt.Sprintf("%s/b%d/%v/w%.2f", w.Name(), batch, mode, weight)
-	s.mu.Lock()
-	d, ok := s.deployments[key]
-	s.mu.Unlock()
-	if ok {
+	v, err := s.flights.Do("deployment/"+key, func() (any, error) {
+		s.mu.Lock()
+		d, ok := s.deployments[key]
+		s.mu.Unlock()
+		if ok {
+			return d, nil
+		}
+		set, err := s.Profiles(w, batch)
+		if err != nil {
+			return nil, err
+		}
+		d, err = core.DeployProfiled(set, core.Options{
+			Functions:           s.functions,
+			Colocation:          s.colocationFor(w.Name()),
+			Interference:        s.interf,
+			Seed:                s.cfg.Seed,
+			Batch:               batch,
+			Weight:              weight,
+			Mode:                mode,
+			BudgetStepMs:        s.cfg.BudgetStepMs,
+			DisableRegeneration: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.deployments[key] = d
+		s.mu.Unlock()
 		return d, nil
-	}
-	set, err := s.Profiles(w, batch)
-	if err != nil {
-		return nil, err
-	}
-	d, err = core.DeployProfiled(set, core.Options{
-		Functions:           s.functions,
-		Colocation:          s.colocationFor(w.Name()),
-		Interference:        s.interf,
-		Seed:                s.cfg.Seed,
-		Batch:               batch,
-		Weight:              weight,
-		Mode:                mode,
-		BudgetStepMs:        s.cfg.BudgetStepMs,
-		DisableRegeneration: true,
 	})
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	s.deployments[key] = d
-	s.mu.Unlock()
-	return d, nil
+	return v.(*core.Deployment), nil
 }
 
 // Workload returns the (cached) request sequence for a workflow and batch.
@@ -195,38 +245,61 @@ func (s *Suite) Deployment(w *workflow.Workflow, batch int, mode synth.Mode, wei
 // every SLO point faces identical runtime conditions.
 func (s *Suite) Workload(w *workflow.Workflow, batch int) ([]*platform.Request, error) {
 	key := fmt.Sprintf("%s/b%d", w.Name(), batch)
-	s.mu.Lock()
-	reqs, ok := s.workloads[key]
-	s.mu.Unlock()
-	if ok {
+	v, err := s.flights.Do("workload/"+key, func() (any, error) {
+		s.mu.Lock()
+		reqs, ok := s.workloads[key]
+		s.mu.Unlock()
+		if ok {
+			return reqs, nil
+		}
+		reqs, err := platform.GenerateWorkload(platform.WorkloadConfig{
+			Workflow:          w,
+			Functions:         s.functions,
+			N:                 s.cfg.Requests,
+			Batch:             batch,
+			ArrivalRatePerSec: s.cfg.ArrivalRatePerSec,
+			Colocation:        s.colocationFor(w.Name()),
+			Interference:      s.interf,
+			StageCorrelation:  StageCorrelation,
+			Seed:              s.cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.workloads[key] = reqs
+		s.mu.Unlock()
 		return reqs, nil
-	}
-	reqs, err := platform.GenerateWorkload(platform.WorkloadConfig{
-		Workflow:          w,
-		Functions:         s.functions,
-		N:                 s.cfg.Requests,
-		Batch:             batch,
-		ArrivalRatePerSec: s.cfg.ArrivalRatePerSec,
-		Colocation:        s.colocationFor(w.Name()),
-		Interference:      s.interf,
-		StageCorrelation:  StageCorrelation,
-		Seed:              s.cfg.Seed,
 	})
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	s.workloads[key] = reqs
-	s.mu.Unlock()
-	return reqs, nil
+	return v.([]*platform.Request), nil
 }
 
-// executor builds the serving plane used by all experiments.
+// executor returns a serving plane private to the caller: a clone of the
+// suite's template executor, so every worker goroutine drives its own
+// single-goroutine discrete-event run.
 func (s *Suite) executor() (*platform.Executor, error) {
-	cfg := platform.DefaultExecutorConfig()
-	cfg.Cluster = cluster.Config{Nodes: 1, NodeMillicores: 52000, PoolSize: 6, IdleMillicores: 100}
-	cfg.Seed = s.cfg.Seed
-	return platform.NewExecutor(cfg, s.functions)
+	s.mu.Lock()
+	tmpl := s.exTemplate
+	s.mu.Unlock()
+	if tmpl == nil {
+		cfg := platform.DefaultExecutorConfig()
+		cfg.Cluster = cluster.Config{Nodes: 1, NodeMillicores: 52000, PoolSize: 6, IdleMillicores: 100}
+		cfg.Seed = s.cfg.Seed
+		ex, err := platform.NewExecutor(cfg, s.functions)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		if s.exTemplate == nil {
+			s.exTemplate = ex
+		}
+		tmpl = s.exTemplate
+		s.mu.Unlock()
+	}
+	return tmpl.Clone(), nil
 }
 
 // allocator materializes a serving system for (workflow, batch, slo).
@@ -282,51 +355,83 @@ type SystemRun struct {
 }
 
 // RunPoint serves the workload under each system and summarizes. Results
-// are cached per (workflow, SLO, batch, system): figure drivers share runs.
+// are cached per (workflow, SLO, batch, system): figure drivers share
+// runs. Uncached systems fan out over the suite's worker pool.
 func (s *Suite) RunPoint(w *workflow.Workflow, batch int, systems []string) (map[string]*SystemRun, error) {
+	points := make([]Point, len(systems))
+	for i, system := range systems {
+		points[i] = Point{Workflow: w, Batch: batch, System: system}
+	}
+	runs, err := s.RunPoints(points)
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[string]*SystemRun, len(systems))
-	var missing []string
-	for _, system := range systems {
-		key := fmt.Sprintf("%s/%v/b%d/%s", w.Name(), w.SLO(), batch, system)
+	for i, run := range runs {
+		out[points[i].System] = run
+	}
+	return out, nil
+}
+
+// RunPoints serves the points concurrently (bounded by the suite's
+// parallelism) and returns results in input order. It is the cache- and
+// determinism-preserving fan-out primitive every figure driver sits on;
+// use a Runner directly for progress reporting or cancellation.
+func (s *Suite) RunPoints(points []Point) ([]*SystemRun, error) {
+	r := &Runner{Suite: s}
+	return r.Run(context.Background(), points)
+}
+
+// runPointOne serves one (workflow, batch, system) point, filling the run
+// cache. Concurrent callers of the same point share one serving run. The
+// context is consulted only before joining the shared fill: once a fill is
+// in flight it runs to completion, so a cancelled caller can never poison
+// waiters from a healthy run with its own context error.
+func (s *Suite) runPointOne(ctx context.Context, p Point) (*SystemRun, error) {
+	w := p.Workflow
+	key := fmt.Sprintf("%s/%v/b%d/%s", w.Name(), w.SLO(), p.Batch, p.System)
+	s.mu.Lock()
+	run, ok := s.runs[key]
+	s.mu.Unlock()
+	if ok {
+		return run, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	v, err := s.flights.Do("run/"+key, func() (any, error) {
 		s.mu.Lock()
 		run, ok := s.runs[key]
 		s.mu.Unlock()
 		if ok {
-			out[system] = run
-		} else {
-			missing = append(missing, system)
+			return run, nil
 		}
-	}
-	if len(missing) == 0 {
-		return out, nil
-	}
-	reqs, err := s.Workload(w, batch)
-	if err != nil {
-		return nil, err
-	}
-	// Requests carry the sweep SLO via their workflow reference.
-	pointReqs := make([]*platform.Request, len(reqs))
-	for i, r := range reqs {
-		cp := *r
-		cp.Workflow = w
-		pointReqs[i] = &cp
-	}
-	ex, err := s.executor()
-	if err != nil {
-		return nil, err
-	}
-	for _, system := range missing {
-		alloc, err := s.allocator(system, w, batch)
+		reqs, err := s.Workload(w, p.Batch)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: %s on %s: %w", system, w.Name(), err)
+			return nil, err
+		}
+		// Requests carry the sweep SLO via their workflow reference.
+		pointReqs := make([]*platform.Request, len(reqs))
+		for i, r := range reqs {
+			cp := *r
+			cp.Workflow = w
+			pointReqs[i] = &cp
+		}
+		alloc, err := s.allocator(p.System, w, p.Batch)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s on %s: %w", p.System, w.Name(), err)
+		}
+		ex, err := s.executor()
+		if err != nil {
+			return nil, err
 		}
 		traces, err := ex.Run(pointReqs, alloc)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: serving %s on %s: %w", system, w.Name(), err)
+			return nil, fmt.Errorf("experiment: serving %s on %s: %w", p.System, w.Name(), err)
 		}
 		e2e := platform.E2ESample(traces)
-		run := &SystemRun{
-			System:         system,
+		run = &SystemRun{
+			System:         p.System,
 			Traces:         traces,
 			MeanMillicores: platform.MeanMillicores(traces),
 			P50E2E:         e2e.PercentileDuration(50),
@@ -335,11 +440,13 @@ func (s *Suite) RunPoint(w *workflow.Workflow, batch int, systems []string) (map
 			MissRate:       platform.MissRate(traces),
 			SLO:            w.SLO(),
 		}
-		key := fmt.Sprintf("%s/%v/b%d/%s", w.Name(), w.SLO(), batch, system)
 		s.mu.Lock()
 		s.runs[key] = run
 		s.mu.Unlock()
-		out[system] = run
+		return run, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return v.(*SystemRun), nil
 }

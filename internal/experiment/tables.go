@@ -19,13 +19,26 @@ type Table1 struct {
 	Reduction map[string]map[string]float64
 }
 
-// Table1 computes the reductions for IA and VA at concurrency 1.
+// Table1 computes the reductions for IA and VA at concurrency 1. Both
+// workflows' systems fan out over the suite's worker pool together, and
+// the input-ordered results are consumed by position.
 func (s *Suite) Table1() (*Table1, error) {
+	workflows := []*workflow.Workflow{workflow.IntelligentAssistant(), workflow.VideoAnalyze()}
+	var points []Point
+	for _, base := range workflows {
+		for _, sys := range AllSystems() {
+			points = append(points, Point{Workflow: base, Batch: 1, System: sys})
+		}
+	}
+	results, err := s.RunPoints(points)
+	if err != nil {
+		return nil, err
+	}
 	out := &Table1{Reduction: make(map[string]map[string]float64)}
-	for _, base := range []*workflow.Workflow{workflow.IntelligentAssistant(), workflow.VideoAnalyze()} {
-		runs, err := s.RunPoint(base, 1, AllSystems())
-		if err != nil {
-			return nil, err
+	for wi, base := range workflows {
+		runs := make(map[string]*SystemRun, len(AllSystems()))
+		for si, sys := range AllSystems() {
+			runs[sys] = results[wi*len(AllSystems())+si]
 		}
 		opt := runs[SysOptimal].MeanMillicores
 		janus := runs[SysJanus].MeanMillicores

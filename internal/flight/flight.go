@@ -1,0 +1,68 @@
+// Package flight provides call deduplication for concurrent cache fills
+// (a minimal singleflight). The experiment suite's caches — profiles,
+// deployments, workloads, serving runs — are expensive and keyed; when the
+// concurrent runner fans suite points out over a worker pool, several
+// workers can miss the same key at once. A Group guarantees the fill
+// function runs exactly once per key while duplicates block and share the
+// result, so parallel sweeps never duplicate a profile computation and
+// never observe a half-built cache entry.
+package flight
+
+import "sync"
+
+// Group deduplicates concurrent calls by key. The zero value is ready to
+// use. Callers are expected to keep their own result cache: Group forgets
+// a key as soon as its call completes.
+type Group struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+type call struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+	// dups counts callers sharing this call (test observability).
+	dups int
+}
+
+// pendingDups reports how many callers are sharing the in-flight call for
+// key, 0 if none is active. Tests use it to sequence deterministically.
+func (g *Group) pendingDups(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c.dups
+	}
+	return 0
+}
+
+// Do invokes fn once per concurrently active key. Callers that arrive
+// while a call for the same key is in flight wait for it and receive the
+// same result. After the call completes the key is forgotten, so a later
+// Do runs fn again — the caller's cache, filled by fn, is what makes
+// subsequent lookups cheap.
+func (g *Group) Do(key string, fn func() (any, error)) (any, error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*call)
+	}
+	if c, ok := g.calls[key]; ok {
+		c.dups++
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err
+	}
+	c := &call{}
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	c.wg.Done()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	return c.val, c.err
+}

@@ -238,6 +238,18 @@ func NewExecutor(cfg ExecutorConfig, fns map[string]*perfmodel.Function) (*Execu
 	return &Executor{cfg: cfg, fns: fns}, nil
 }
 
+// Clone returns an executor with the same configuration and function
+// catalog for a concurrent driver to hand each worker goroutine. Today an
+// Executor holds no per-run state — Run builds a fresh cluster and event
+// engine per call, each strictly single-goroutine (Cluster documents the
+// invariant) — so concurrent Runs on one Executor are already safe; Clone
+// makes per-worker ownership explicit and keeps callers correct if the
+// executor ever grows run-spanning state (pools, metrics). The catalog is
+// shared: Function models are immutable after construction.
+func (e *Executor) Clone() *Executor {
+	return &Executor{cfg: e.cfg, fns: e.fns}
+}
+
 type runState struct {
 	ex      *Executor
 	engine  *simclock.Engine

@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -12,24 +13,7 @@ import (
 
 func iaWorkload(t *testing.T, n int) []*Request {
 	t.Helper()
-	coloc, err := interfere.NewCountSampler([]float64{0.5, 0.35, 0.15})
-	if err != nil {
-		t.Fatal(err)
-	}
-	reqs, err := GenerateWorkload(WorkloadConfig{
-		Workflow:          workflow.IntelligentAssistant(),
-		Functions:         perfmodel.Catalog(),
-		N:                 n,
-		Batch:             1,
-		ArrivalRatePerSec: 2,
-		Colocation:        coloc,
-		Interference:      interfere.Default(),
-		Seed:              42,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return reqs
+	return iaWorkload2(n)
 }
 
 func defaultExecutor(t *testing.T) *Executor {
@@ -173,6 +157,63 @@ func TestRunDeterministic(t *testing.T) {
 			t.Fatal("identical runs diverged")
 		}
 	}
+}
+
+func TestCloneRunsIndependently(t *testing.T) {
+	e := defaultExecutor(t)
+	want, err := e.Run(iaWorkload(t, 30), &Fixed{System: "fixed", Sizes: []int{1500, 1500, 1500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent runs on per-goroutine clones must each reproduce the
+	// sequential result exactly: no shared executor state.
+	const workers = 4
+	var wg sync.WaitGroup
+	got := make([][]Trace, workers)
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		i := i
+		clone := e.Clone()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i], errs[i] = clone.Run(iaWorkload2(30), &Fixed{System: "fixed", Sizes: []int{1500, 1500, 1500}})
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		for j := range want {
+			if got[i][j].E2E != want[j].E2E || got[i][j].TotalMillicores != want[j].TotalMillicores {
+				t.Fatalf("clone %d diverged from the sequential run at trace %d", i, j)
+			}
+		}
+	}
+}
+
+// iaWorkload2 is iaWorkload without the testing.T, for use off the test
+// goroutine.
+func iaWorkload2(n int) []*Request {
+	coloc, err := interfere.NewCountSampler([]float64{0.5, 0.35, 0.15})
+	if err != nil {
+		panic(err)
+	}
+	reqs, err := GenerateWorkload(WorkloadConfig{
+		Workflow:          workflow.IntelligentAssistant(),
+		Functions:         perfmodel.Catalog(),
+		N:                 n,
+		Batch:             1,
+		ArrivalRatePerSec: 2,
+		Colocation:        coloc,
+		Interference:      interfere.Default(),
+		Seed:              42,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return reqs
 }
 
 func TestBiggerAllocationsRunFaster(t *testing.T) {

@@ -335,7 +335,10 @@ func ServeSP(w *SPWorkflow, a *Adapter, cfg SPProfilerConfig, n int, seed uint64
 
 // Experiments.
 
-// ExperimentSuite reproduces the paper's tables and figures.
+// ExperimentSuite reproduces the paper's tables and figures. Suite points
+// — (system, workflow, batch) serving runs — fan out over a bounded worker
+// pool (see ExperimentRunner); results are identical at every parallelism
+// because requests carry pre-sampled runtime conditions.
 type ExperimentSuite = experiment.Suite
 
 // ExperimentConfig scales an ExperimentSuite.
@@ -347,3 +350,19 @@ func NewExperimentSuite() *ExperimentSuite { return experiment.NewSuite() }
 
 // NewQuickExperimentSuite returns a reduced-scale suite for fast runs.
 func NewQuickExperimentSuite() *ExperimentSuite { return experiment.QuickSuite() }
+
+// ExperimentPoint identifies one suite point: one serving system executing
+// one workload (workflow at an SLO, batch size).
+type ExperimentPoint = experiment.Point
+
+// ExperimentProgress reports one completed suite point.
+type ExperimentProgress = experiment.Progress
+
+// ExperimentRunner fans suite points out over a bounded worker pool with
+// per-worker cloned executors, deterministic input-order results, progress
+// reporting, and context cancellation.
+type ExperimentRunner = experiment.Runner
+
+// EvaluationPoints enumerates the paper's full §V serving grid (every
+// evaluation panel crossed with every system) as runner points.
+func EvaluationPoints() ([]ExperimentPoint, error) { return experiment.EvaluationPoints() }
