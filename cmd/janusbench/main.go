@@ -10,7 +10,9 @@
 //	janusbench -list
 //
 // Experiments: fig1a fig1b fig1c fig2 fig4 fig5 fig6 fig7 fig8 fig9
-// table1 table2 overhead.
+// sp table1 table2 overhead. The sp experiment serves the series-parallel
+// Video Analyze scenario (fork-join on the cluster substrate) and its
+// arrival-rate sweep.
 //
 // Serving points fan out over a worker pool (-parallelism, default
 // GOMAXPROCS); results are identical at every setting because requests
@@ -90,6 +92,17 @@ var experiments = map[string]runner{
 		}
 		return wrap(experiment.FormatFig9(rows)), nil
 	},
+	"sp": func(s *experiment.Suite) (fmt.Stringer, error) {
+		rows, err := s.SPScenario()
+		if err != nil {
+			return nil, err
+		}
+		sweep, err := s.SPArrivalSweep()
+		if err != nil {
+			return nil, err
+		}
+		return wrap(experiment.FormatSPScenario(rows) + "\n" + experiment.FormatSPArrivalSweep(sweep)), nil
+	},
 	"table1":   func(s *experiment.Suite) (fmt.Stringer, error) { return s.Table1() },
 	"table2":   func(s *experiment.Suite) (fmt.Stringer, error) { return s.Table2() },
 	"overhead": func(s *experiment.Suite) (fmt.Stringer, error) { return s.Overhead() },
@@ -98,7 +111,7 @@ var experiments = map[string]runner{
 // order fixes the -experiment all sequence.
 var order = []string{
 	"fig1a", "fig1b", "fig1c", "fig2", "fig4", "fig5",
-	"fig6", "fig7", "fig8", "fig9", "table1", "table2", "overhead",
+	"fig6", "fig7", "fig8", "fig9", "sp", "table1", "table2", "overhead",
 }
 
 func main() {

@@ -16,6 +16,7 @@ package adapter
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"janus/internal/hints"
@@ -36,11 +37,14 @@ type Decision struct {
 }
 
 // Adapter serves adaptation decisions for one deployed bundle. It is safe
-// for concurrent use.
+// for concurrent use, including Replace swapping in a regenerated bundle
+// while decide traffic is in flight: the bundle is held behind an atomic
+// pointer, so every decision reads one consistent bundle without taking
+// the supervisor lock.
 type Adapter struct {
-	mu     sync.Mutex
-	bundle *hints.Bundle
+	bundle atomic.Pointer[hints.Bundle]
 
+	mu     sync.Mutex
 	hits   int64
 	misses int64
 
@@ -80,10 +84,10 @@ func New(b *hints.Bundle, opts ...Option) (*Adapter, error) {
 		return nil, err
 	}
 	a := &Adapter{
-		bundle:        b,
 		missThreshold: DefaultMissThreshold,
 		minDecisions:  100,
 	}
+	a.bundle.Store(b)
 	for _, o := range opts {
 		o(a)
 	}
@@ -94,19 +98,22 @@ func New(b *hints.Bundle, opts ...Option) (*Adapter, error) {
 }
 
 // Bundle returns the deployed hints bundle.
-func (a *Adapter) Bundle() *hints.Bundle { return a.bundle }
+func (a *Adapter) Bundle() *hints.Bundle { return a.bundle.Load() }
 
 // Decide returns the allocation for the head of the sub-workflow starting
 // at stage `suffix`, given the remaining budget until the SLO deadline.
+// The bundle is snapshotted once, so a concurrent Replace cannot tear a
+// decision across two bundles.
 func (a *Adapter) Decide(suffix int, remaining time.Duration) (Decision, error) {
-	if suffix < 0 || suffix >= a.bundle.Stages() {
-		return Decision{}, fmt.Errorf("adapter: suffix %d out of range [0, %d)", suffix, a.bundle.Stages())
+	b := a.bundle.Load()
+	if suffix < 0 || suffix >= b.Stages() {
+		return Decision{}, fmt.Errorf("adapter: suffix %d out of range [0, %d)", suffix, b.Stages())
 	}
-	r, ok := a.bundle.Tables[suffix].Lookup(remaining)
+	r, ok := b.Tables[suffix].Lookup(remaining)
 	a.record(ok)
 	if !ok {
 		// Miss: scale to the ceiling to protect the SLO (§III-D).
-		return Decision{Millicores: a.bundle.MaxMillicores, Hit: false, Percentile: 99}, nil
+		return Decision{Millicores: b.MaxMillicores, Hit: false, Percentile: 99}, nil
 	}
 	return Decision{Millicores: r.Millicores, Hit: true, Percentile: r.Percentile}, nil
 }
@@ -161,7 +168,7 @@ func (a *Adapter) Replace(b *hints.Bundle) error {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.bundle = b
+	a.bundle.Store(b)
 	a.notified = false
 	return nil
 }

@@ -2,6 +2,7 @@ package adapter
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -239,4 +240,46 @@ func TestAllocatorIntegration(t *testing.T) {
 		}
 	}()
 	al.Allocate(nil, 9, time.Second)
+}
+
+// TestReplaceWhileDeciding is the regression test for the bundle-swap data
+// race: Decide and Bundle must not read a.bundle unsynchronized while
+// Replace swaps it — the situation whenever janusd redeploys a regenerated
+// bundle mid-traffic.
+func TestReplaceWhileDeciding(t *testing.T) {
+	a, err := New(bundle(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two pre-built bundles swapped in a tight loop: the redeploy pressure
+	// janusd's regeneration applies, condensed in time so the race window
+	// (an unsynchronized bundle read between two of a reader's lock
+	// acquisitions) is hit reliably.
+	replacements := [2]*hints.Bundle{bundle(t), bundle(t)}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if _, err := a.Decide(0, 2500*time.Millisecond); err != nil {
+					t.Error(err)
+					return
+				}
+				if a.Bundle() == nil {
+					t.Error("nil bundle observed")
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 300000; i++ {
+		if err := a.Replace(replacements[i%2]); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
 }

@@ -217,10 +217,14 @@ func ORION(set *profile.Set, slo time.Duration, cfg ORIONConfig) (*platform.Fixe
 
 // Optimal is the clairvoyant late-binding oracle. For each request it reads
 // the pre-sampled draws (which make latency a pure function of allocation),
-// solves min sum(k_i) s.t. sum l_i(k_i) <= SLO by DP, and serves the plan.
-// Requests infeasible even at Kmax run entirely at Kmax.
+// solves min sum(B_i * k_i) s.t. sum l_i(k_i) <= SLO by DP, and serves the
+// plan. A fan-out stage completes at its slowest branch, so the stage's
+// latency at allocation k is the maximum branch latency and its cost is k
+// times the branch count. Requests infeasible even at Kmax run entirely at
+// Kmax.
 type Optimal struct {
-	fns      []*perfmodel.Function
+	// fns holds the latency models per stage, one per branch.
+	fns      [][]*perfmodel.Function
 	grid     profile.Grid
 	headroom time.Duration
 
@@ -228,11 +232,11 @@ type Optimal struct {
 	plans map[int][]int
 }
 
-// NewOptimal builds the oracle for a chain workflow. headroom is subtracted
-// from the SLO before planning, covering platform costs outside function
-// execution (pod specialization, adapter decisions).
+// NewOptimal builds the oracle for a chain or fork-join workflow. headroom
+// is subtracted from the SLO before planning, covering platform costs
+// outside function execution (pod specialization, adapter decisions).
 func NewOptimal(w *workflow.Workflow, fns map[string]*perfmodel.Function, grid profile.Grid, headroom time.Duration) (*Optimal, error) {
-	chain, err := w.Chain()
+	stages, err := w.SeriesParallel()
 	if err != nil {
 		return nil, err
 	}
@@ -243,12 +247,16 @@ func NewOptimal(w *workflow.Workflow, fns map[string]*perfmodel.Function, grid p
 		return nil, fmt.Errorf("baseline: negative headroom %v", headroom)
 	}
 	o := &Optimal{grid: grid, headroom: headroom, plans: make(map[int][]int)}
-	for _, node := range chain {
-		f, ok := fns[node.Function]
-		if !ok {
-			return nil, fmt.Errorf("baseline: Optimal missing function %q", node.Function)
+	for _, stage := range stages {
+		branches := make([]*perfmodel.Function, len(stage))
+		for b, node := range stage {
+			f, ok := fns[node.Function]
+			if !ok {
+				return nil, fmt.Errorf("baseline: Optimal missing function %q", node.Function)
+			}
+			branches[b] = f
 		}
-		o.fns = append(o.fns, f)
+		o.fns = append(o.fns, branches)
 	}
 	return o, nil
 }
@@ -278,14 +286,21 @@ func (o *Optimal) solve(req *platform.Request) []int {
 	if sloMs < 0 {
 		sloMs = 0
 	}
-	// latMs[j][ki]: the request's actual latency at each allocation,
-	// rounded up so the plan is never optimistic.
+	// latMs[j][ki]: the request's actual stage latency at each allocation —
+	// the slowest branch, since the join waits for it — rounded up so the
+	// plan is never optimistic.
 	latMs := make([][]int, n)
 	minSum, maxSum := 0, 0
-	for j, f := range o.fns {
+	for j, branches := range o.fns {
 		latMs[j] = make([]int, len(levels))
 		for ki, k := range levels {
-			latMs[j][ki] = int(f.Latency(req.Draws[j], k)/time.Millisecond) + 1
+			var worst time.Duration
+			for b, f := range branches {
+				if l := f.Latency(req.Draws[j][b], k); l > worst {
+					worst = l
+				}
+			}
+			latMs[j][ki] = int(worst/time.Millisecond) + 1
 		}
 		minSum += latMs[j][0]
 		maxSum += latMs[j][len(levels)-1]
@@ -313,6 +328,7 @@ func (o *Optimal) solve(req *platform.Request) []int {
 	for j := n - 1; j >= 0; j-- {
 		dp[j] = make([]int32, width)
 		choice[j] = make([]int16, width)
+		branches := int32(len(o.fns[j]))
 		for t := 0; t < width; t++ {
 			best := int32(-1)
 			bestKi := int16(-1)
@@ -324,7 +340,7 @@ func (o *Optimal) solve(req *platform.Request) []int {
 				if dp[j+1][t-lat] < 0 {
 					continue
 				}
-				cand := int32(levels[ki]) + dp[j+1][t-lat]
+				cand := int32(levels[ki])*branches + dp[j+1][t-lat]
 				if best < 0 || cand < best {
 					best, bestKi = cand, int16(ki)
 				}

@@ -228,7 +228,7 @@ func TestOptimalPlansMeetSLOAndAreMinimal(t *testing.T) {
 		// infeasible and the oracle sprints at Kmax).
 		var latency time.Duration
 		for stage, f := range fns {
-			latency += f.Latency(req.Draws[stage], plan[stage])
+			latency += f.Latency(req.Draws[stage][0], plan[stage])
 		}
 		atMax := plan[0] == 3000 && plan[1] == 3000 && plan[2] == 3000
 		if latency > 3*time.Second && !atMax {
@@ -261,9 +261,9 @@ func TestOptimalCheapestAmongFeasibleFixedPlans(t *testing.T) {
 		for _, k0 := range levels {
 			for _, k1 := range levels {
 				for _, k2 := range levels {
-					lat := fns[0].Latency(req.Draws[0], k0) +
-						fns[1].Latency(req.Draws[1], k1) +
-						fns[2].Latency(req.Draws[2], k2)
+					lat := fns[0].Latency(req.Draws[0][0], k0) +
+						fns[1].Latency(req.Draws[1][0], k1) +
+						fns[2].Latency(req.Draws[2][0], k2)
 					// The oracle rounds latencies up by <=1ms per stage;
 					// mirror that conservatism for a fair comparison.
 					if lat+3*time.Millisecond <= 3*time.Second && k0+k1+k2 < best {
@@ -304,13 +304,22 @@ func TestNewOptimalValidation(t *testing.T) {
 	if _, err := NewOptimal(workflow.IntelligentAssistant(), perfmodel.Catalog(), profile.Grid{}, 0); err == nil {
 		t.Error("invalid grid accepted")
 	}
-	nodes := []workflow.Node{{Name: "a", Function: "od"}, {Name: "b", Function: "qa"}, {Name: "c", Function: "ts"}}
-	dag, err := workflow.New("fan", time.Second, nodes, [][2]string{{"a", "b"}, {"a", "c"}})
+	// Fork-join workflows are in scope now; only non-series-parallel DAGs
+	// (here: a partial join) are rejected.
+	nodes := []workflow.Node{{Name: "a", Function: "od"}, {Name: "b", Function: "qa"}, {Name: "c", Function: "ts"}, {Name: "d", Function: "ico"}}
+	partial, err := workflow.New("partial", time.Second, nodes, [][2]string{{"a", "b"}, {"a", "c"}, {"b", "d"}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewOptimal(dag, perfmodel.Catalog(), profile.DefaultGrid(), 0); err == nil {
-		t.Error("non-chain workflow accepted")
+	if _, err := NewOptimal(partial, perfmodel.Catalog(), profile.DefaultGrid(), 0); err == nil {
+		t.Error("non-series-parallel workflow accepted")
+	}
+	fan, err := workflow.NewSeriesParallel("fan", time.Second, [][]string{{"od"}, {"qa", "ts"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewOptimal(fan, perfmodel.Catalog(), profile.DefaultGrid(), 0); err != nil {
+		t.Errorf("fork-join workflow rejected: %v", err)
 	}
 }
 

@@ -17,12 +17,18 @@ import (
 // platform.GenerateWorkload), so reordering or overlapping points cannot
 // change any result.
 type Point struct {
-	// Workflow carries the workload shape and the SLO under test.
+	// Workflow carries the workload shape and the SLO under test. Chains
+	// and fork-join (series-parallel) workflows are both valid.
 	Workflow *workflow.Workflow
 	// Batch is the paper's concurrency level.
 	Batch int
 	// System names the serving system (see AllSystems).
 	System string
+	// ArrivalRatePerSec overrides the suite's Poisson arrival rate for
+	// this point; <= 0 uses the suite default. Draws are rate-independent,
+	// so a rate sweep subjects the identical request sequence to
+	// increasing admission pressure.
+	ArrivalRatePerSec float64
 }
 
 func (p Point) String() string {
@@ -30,7 +36,11 @@ func (p Point) String() string {
 	if p.Workflow != nil {
 		name = fmt.Sprintf("%s/%v", p.Workflow.Name(), p.Workflow.SLO())
 	}
-	return fmt.Sprintf("%s/b%d/%s", name, p.Batch, p.System)
+	s := fmt.Sprintf("%s/b%d/%s", name, p.Batch, p.System)
+	if p.ArrivalRatePerSec > 0 {
+		s += fmt.Sprintf("/r%g", p.ArrivalRatePerSec)
+	}
+	return s
 }
 
 // Progress reports one completed point. Done counts completions so far

@@ -18,11 +18,11 @@ func dumpRuns(runs []*SystemRun) string {
 		fmt.Fprintf(&b, "%s slo=%v mc=%.9f p50=%v p99=%v viol=%.9f miss=%.9f\n",
 			r.System, r.SLO, r.MeanMillicores, r.P50E2E, r.P99E2E, r.ViolationRate, r.MissRate)
 		for _, tr := range r.Traces {
-			fmt.Fprintf(&b, "  req=%d arr=%v done=%v e2e=%v mc=%d miss=%d\n",
-				tr.RequestID, tr.Arrival, tr.Done, tr.E2E, tr.TotalMillicores, tr.Misses)
+			fmt.Fprintf(&b, "  req=%d arr=%v done=%v e2e=%v mc=%d dec=%d miss=%d parked=%d\n",
+				tr.RequestID, tr.Arrival, tr.Done, tr.E2E, tr.TotalMillicores, tr.Decisions, tr.Misses, tr.Parked)
 			for _, st := range tr.Stages {
-				fmt.Fprintf(&b, "    %s mc=%d start=%v end=%v startup=%v lat=%v cold=%t hit=%t\n",
-					st.Function, st.Millicores, st.Start, st.End, st.Startup, st.Latency, st.Cold, st.Hit)
+				fmt.Fprintf(&b, "    s%d.b%d %s mc=%d start=%v end=%v startup=%v lat=%v cold=%t hit=%t\n",
+					st.Stage, st.Branch, st.Function, st.Millicores, st.Start, st.End, st.Startup, st.Latency, st.Cold, st.Hit)
 			}
 		}
 	}
@@ -33,14 +33,21 @@ func dumpRuns(runs []*SystemRun) string {
 // test: a fresh QuickSuite serving the same points at parallelism 1 and at
 // parallelism 8 must produce byte-identical results — the pre-sampled
 // request randomness makes every point independent, so concurrency can
-// only reorder work, never change it.
+// only reorder work, never change it. The grid covers every chain system
+// on IA plus the full series-parallel scenario (fork-join serving and the
+// arrival-rate sweep), so SP branch fan-out, joins, and capacity parking
+// are all under the byte-identity requirement.
 func TestRunnerDeterministicAcrossParallelism(t *testing.T) {
 	points := func() []Point {
 		var out []Point
 		for _, sys := range AllSystems() {
 			out = append(out, Point{Workflow: workflow.IntelligentAssistant(), Batch: 1, System: sys})
 		}
-		return out
+		sp, err := SPPoints()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(out, sp...)
 	}
 	sequential := QuickSuite()
 	r1 := &Runner{Suite: sequential, Parallelism: 1}

@@ -21,6 +21,7 @@ import (
 	"janus/internal/core"
 	"janus/internal/flight"
 	"janus/internal/interfere"
+	"janus/internal/parallel"
 	"janus/internal/perfmodel"
 	"janus/internal/platform"
 	"janus/internal/profile"
@@ -152,11 +153,12 @@ func (s *Suite) parallelism() int {
 }
 
 // colocationFor returns the co-location mix each workflow's pods see: IA
-// under moderate load, VA with its per-function parallelism (§V-A).
+// under moderate load, VA (chain and series-parallel form alike) with its
+// per-function parallelism (§V-A).
 func (s *Suite) colocationFor(wf string) *interfere.CountSampler {
 	var weights []float64
 	switch wf {
-	case "va":
+	case "va", SPWorkflowName:
 		weights = []float64{0.4, 0.4, 0.2}
 	default:
 		weights = []float64{0.5, 0.35, 0.15}
@@ -169,7 +171,10 @@ func (s *Suite) colocationFor(wf string) *interfere.CountSampler {
 }
 
 // Profiles returns (cached) profiles for a workflow at a batch size.
-// Concurrent callers missing the same key share one computation.
+// Chain workflows run the per-function profiler; fork-join workflows run
+// the series-parallel reduction, whose composite (max-of-branches) profiles
+// feed the unmodified synthesizer and sizing baselines. Concurrent callers
+// missing the same key share one computation.
 func (s *Suite) Profiles(w *workflow.Workflow, batch int) (*profile.Set, error) {
 	key := fmt.Sprintf("%s/b%d", w.Name(), batch)
 	v, err := s.flights.Do("profiles/"+key, func() (any, error) {
@@ -179,19 +184,38 @@ func (s *Suite) Profiles(w *workflow.Workflow, batch int) (*profile.Set, error) 
 		if ok {
 			return set, nil
 		}
-		prof, err := profile.NewProfiler(s.functions, s.colocationFor(w.Name()), s.interf, s.cfg.Seed)
-		if err != nil {
-			return nil, err
+		var set2 *profile.Set
+		var err error
+		if w.IsChain() {
+			var prof *profile.Profiler
+			prof, err = profile.NewProfiler(s.functions, s.colocationFor(w.Name()), s.interf, s.cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			prof.SamplesPerConfig = s.cfg.ProfilerSamples
+			set2, err = prof.ProfileWorkflow(w, batch)
+		} else {
+			var pw *parallel.Workflow
+			pw, err = parallel.FromDAG(w)
+			if err != nil {
+				return nil, err
+			}
+			set2, err = parallel.Reduce(pw, parallel.ProfilerConfig{
+				Functions:        s.functions,
+				Colocation:       s.colocationFor(w.Name()),
+				Interference:     s.interf,
+				SamplesPerConfig: s.cfg.ProfilerSamples,
+				Batch:            batch,
+				Seed:             s.cfg.Seed,
+			})
 		}
-		prof.SamplesPerConfig = s.cfg.ProfilerSamples
-		set, err = prof.ProfileWorkflow(w, batch)
 		if err != nil {
 			return nil, err
 		}
 		s.mu.Lock()
-		s.profiles[key] = set
+		s.profiles[key] = set2
 		s.mu.Unlock()
-		return set, nil
+		return set2, nil
 	})
 	if err != nil {
 		return nil, err
@@ -240,11 +264,23 @@ func (s *Suite) Deployment(w *workflow.Workflow, batch int, mode synth.Mode, wei
 	return v.(*core.Deployment), nil
 }
 
-// Workload returns the (cached) request sequence for a workflow and batch.
-// Draws are independent of SLO and serving system, so every system and
-// every SLO point faces identical runtime conditions.
+// Workload returns the (cached) request sequence for a workflow and batch
+// at the suite's configured arrival rate. Draws are independent of SLO and
+// serving system, so every system and every SLO point faces identical
+// runtime conditions.
 func (s *Suite) Workload(w *workflow.Workflow, batch int) ([]*platform.Request, error) {
-	key := fmt.Sprintf("%s/b%d", w.Name(), batch)
+	return s.WorkloadAtRate(w, batch, 0)
+}
+
+// WorkloadAtRate is Workload at an explicit Poisson arrival rate; rate <= 0
+// uses the suite's configured rate. Workloads are cached per (workflow,
+// batch, rate), and draws do not depend on the rate — an arrival-rate sweep
+// subjects the identical request sequence to increasing admission pressure.
+func (s *Suite) WorkloadAtRate(w *workflow.Workflow, batch int, rate float64) ([]*platform.Request, error) {
+	if rate <= 0 {
+		rate = s.cfg.ArrivalRatePerSec
+	}
+	key := fmt.Sprintf("%s/b%d/r%g", w.Name(), batch, rate)
 	v, err := s.flights.Do("workload/"+key, func() (any, error) {
 		s.mu.Lock()
 		reqs, ok := s.workloads[key]
@@ -257,7 +293,7 @@ func (s *Suite) Workload(w *workflow.Workflow, batch int) ([]*platform.Request, 
 			Functions:         s.functions,
 			N:                 s.cfg.Requests,
 			Batch:             batch,
-			ArrivalRatePerSec: s.cfg.ArrivalRatePerSec,
+			ArrivalRatePerSec: rate,
 			Colocation:        s.colocationFor(w.Name()),
 			Interference:      s.interf,
 			StageCorrelation:  StageCorrelation,
@@ -312,11 +348,11 @@ func (s *Suite) allocator(system string, w *workflow.Workflow, batch int) (platf
 	case SysOptimal:
 		// Headroom covers per-stage platform costs outside function
 		// execution: the adapter decision and warm-pod specialization.
-		chain, err := w.Chain()
+		stages, err := w.SeriesParallel()
 		if err != nil {
 			return nil, err
 		}
-		headroom := time.Duration(len(chain)) * 4 * time.Millisecond
+		headroom := time.Duration(len(stages)) * 4 * time.Millisecond
 		return baseline.NewOptimal(w, s.functions, set.At(0).Grid, headroom)
 	case SysORION:
 		return baseline.ORION(set, w.SLO(), baseline.ORIONConfig{Seed: s.cfg.Seed, Correlation: StageCorrelation})
@@ -389,7 +425,11 @@ func (s *Suite) RunPoints(points []Point) ([]*SystemRun, error) {
 // waiters from a healthy run with its own context error.
 func (s *Suite) runPointOne(ctx context.Context, p Point) (*SystemRun, error) {
 	w := p.Workflow
-	key := fmt.Sprintf("%s/%v/b%d/%s", w.Name(), w.SLO(), p.Batch, p.System)
+	rate := p.ArrivalRatePerSec
+	if rate <= 0 {
+		rate = s.cfg.ArrivalRatePerSec
+	}
+	key := fmt.Sprintf("%s/%v/b%d/r%g/%s", w.Name(), w.SLO(), p.Batch, rate, p.System)
 	s.mu.Lock()
 	run, ok := s.runs[key]
 	s.mu.Unlock()
@@ -406,7 +446,7 @@ func (s *Suite) runPointOne(ctx context.Context, p Point) (*SystemRun, error) {
 		if ok {
 			return run, nil
 		}
-		reqs, err := s.Workload(w, p.Batch)
+		reqs, err := s.WorkloadAtRate(w, p.Batch, rate)
 		if err != nil {
 			return nil, err
 		}

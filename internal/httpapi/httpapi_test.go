@@ -200,3 +200,49 @@ func TestRemoteAllocator(t *testing.T) {
 		t.Fatalf("dead service Allocate = %d, %v", mc, hit)
 	}
 }
+
+// TestDeployWhileDeciding is the regression test for the bundle-swap data
+// race: janusd redeploying a bundle (Server.Deploy -> adapter.Replace,
+// swapping the bundle under the adapter's lock) while HTTP decide traffic
+// reads it must be safe under the race detector.
+func TestDeployWhileDeciding(t *testing.T) {
+	srv, c := serve(t)
+	if err := c.SubmitBundle(bundle(t)); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := c.Decide("ia", 0, 2001*time.Millisecond); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// Redeploy mid-traffic, repeatedly, through the server's in-process
+	// deploy path (what janusd's regeneration loop drives).
+	bundles := make([]*hints.Bundle, 200)
+	for i := range bundles {
+		b := bundle(t)
+		b.Tables[0].Ranges[1].Millicores = 1000 + i
+		bundles[i] = b
+	}
+	for _, b := range bundles {
+		if err := srv.Deploy(b); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -18,6 +18,14 @@
 // toward the branches' joint tail — exactly the distribution the hints
 // must budget for. Everything downstream of the reduction (Algorithm 1,
 // condensing, the adapter, miss supervision) is reused unchanged.
+//
+// Serving does NOT go through the reduction: Serve and ServeTraces run the
+// workflow's fork-join DAG on the discrete-event serving plane
+// (platform.Executor), where every branch holds its own pod and is
+// independently subject to warm-pool hits, cold starts, capacity queueing,
+// and live co-location interference. The reduction exists so the chain
+// synthesizer can produce hints; the cluster substrate is shared with the
+// chain experiments.
 package parallel
 
 import (
@@ -75,6 +83,57 @@ func (w *Workflow) Validate() error {
 
 // Branches reports the branch count of stage i.
 func (w *Workflow) Branches(i int) int { return len(w.Stages[i].Functions) }
+
+// DAG converts the series-parallel definition into a fork-join
+// workflow.Workflow — full bipartite joins between consecutive stages —
+// which the platform executor serves directly (per-branch pods, slowest-
+// branch joins).
+func (w *Workflow) DAG() (*workflow.Workflow, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	stages := make([][]string, len(w.Stages))
+	for i, st := range w.Stages {
+		stages[i] = st.Functions
+	}
+	return workflow.NewSeriesParallel(w.Name, w.SLO, stages)
+}
+
+// FromDAG recovers a series-parallel definition from a fork-join workflow
+// DAG (the inverse of DAG, up to step naming).
+func FromDAG(w *workflow.Workflow) (*Workflow, error) {
+	decomp, err := w.SeriesParallel()
+	if err != nil {
+		return nil, err
+	}
+	out := &Workflow{Name: w.Name(), SLO: w.SLO(), Stages: make([]Stage, len(decomp))}
+	for i, nodes := range decomp {
+		fns := make([]string, len(nodes))
+		for b, n := range nodes {
+			fns[b] = n.Function
+		}
+		out.Stages[i] = Stage{Functions: fns}
+	}
+	return out, nil
+}
+
+// VideoAnalyze returns the series-parallel form of the paper's Video
+// Analyze application: after frame extraction, image classification (for
+// analysis) and image compression (for storage) process the frames
+// concurrently and join. The SLO is 1.1 s — the chain's 1.5 s objective
+// tightened in proportion to the two-stage critical path, so that sizing
+// stays non-trivial (the 1000 mc floor misses it, Kmax meets it) exactly
+// as the paper's workloads are calibrated.
+func VideoAnalyze() *Workflow {
+	return &Workflow{
+		Name: "va-sp",
+		SLO:  1100 * time.Millisecond,
+		Stages: []Stage{
+			{Functions: []string{"fe"}},
+			{Functions: []string{"icl", "ico"}},
+		},
+	}
+}
 
 // ProfilerConfig parameterizes composite-stage profiling.
 type ProfilerConfig struct {

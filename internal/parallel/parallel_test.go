@@ -6,9 +6,12 @@ import (
 	"time"
 
 	"janus/internal/adapter"
+	"janus/internal/baseline"
+	"janus/internal/cluster"
 	"janus/internal/core"
 	"janus/internal/interfere"
 	"janus/internal/perfmodel"
+	"janus/internal/platform"
 	"janus/internal/synth"
 )
 
@@ -224,4 +227,154 @@ func TestServeValidation(t *testing.T) {
 		t.Error("stage-count mismatch accepted")
 	}
 	var _ *adapter.Adapter = dep.Adapter
+}
+
+// TestVideoAnalyzeSPOnClusterSubstrate is the acceptance test for serving
+// series-parallel workflows on the real serving plane: the SP Video Analyze
+// application runs end-to-end through platform.Executor under Janus and an
+// early-binding baseline, with cold starts, capacity parking, and live
+// co-location interference all exercised, and results reproducible byte for
+// byte.
+func TestVideoAnalyzeSPOnClusterSubstrate(t *testing.T) {
+	w := VideoAnalyze()
+	cfg := testConfig(t)
+	set, err := Reduce(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := core.DeployProfiled(set, core.Options{
+		Functions:           cfg.Functions,
+		Colocation:          cfg.Colocation,
+		Interference:        cfg.Interference,
+		Seed:                5,
+		Mode:                synth.ModeJanus,
+		BudgetStepMs:        10,
+		DisableRegeneration: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gsp, err := baseline.GrandSLAMPlus(set, w.SLO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cramped, barely-warmed cluster with live interference: branches
+	// cold-start, queue for capacity, and see the live co-location census.
+	ecfg := platform.DefaultExecutorConfig()
+	ecfg.Cluster = cluster.Config{Nodes: 1, NodeMillicores: 9000, PoolSize: 1, IdleMillicores: 100}
+	ecfg.LiveInterference = true
+	ecfg.Interference = cfg.Interference
+	ecfg.Seed = 7
+	ex, err := platform.NewExecutor(ecfg, cfg.Functions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := ServeConfig{N: 150, Seed: 9, ArrivalRatePerSec: 6, Executor: ex}
+	for _, alloc := range []platform.Allocator{dep.Allocator("janus"), gsp} {
+		a, err := ServeTraces(w, alloc, cfg, sc)
+		if err != nil {
+			t.Fatalf("%s: %v", alloc.Name(), err)
+		}
+		b, err := ServeTraces(w, alloc, cfg, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != sc.N {
+			t.Fatalf("%s: %d traces", alloc.Name(), len(a))
+		}
+		cold, parked := 0, 0
+		for i := range a {
+			parked += a[i].Parked
+			fanOut := 0
+			for s := range a[i].Stages {
+				if a[i].Stages[s].Cold {
+					cold++
+				}
+				if a[i].Stages[s].Stage == 1 {
+					fanOut++
+				}
+				if a[i].Stages[s] != b[i].Stages[s] {
+					t.Fatalf("%s: trace %d stage %d diverged across identical runs", alloc.Name(), i, s)
+				}
+			}
+			if fanOut != 2 {
+				t.Fatalf("%s: trace %d ran %d fan-out branches, want 2", alloc.Name(), i, fanOut)
+			}
+			if len(a[i].Stages) != 3 {
+				t.Fatalf("%s: trace %d ran %d branches, want 3 (fe, icl, ico)", alloc.Name(), i, len(a[i].Stages))
+			}
+			if a[i].E2E != b[i].E2E || a[i].TotalMillicores != b[i].TotalMillicores {
+				t.Fatalf("%s: summary diverged across identical runs", alloc.Name())
+			}
+		}
+		if cold == 0 {
+			t.Fatalf("%s: no cold starts on a PoolSize-1 cluster", alloc.Name())
+		}
+		if parked == 0 {
+			t.Fatalf("%s: no capacity parking on a 9000mc node", alloc.Name())
+		}
+	}
+}
+
+func TestServeInheritsQueueingFromTheSubstrate(t *testing.T) {
+	// The same workload on an uncongested vs. a cramped cluster: the
+	// cramped plane must show strictly higher end-to-end latency — the
+	// queueing the old sequential-loop Serve could never produce.
+	w := diamond()
+	cfg := testConfig(t)
+	set, err := Reduce(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gsp, err := baseline.GrandSLAMPlus(set, w.SLO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveOn := func(nodeMC int) []platform.Trace {
+		ecfg := platform.DefaultExecutorConfig()
+		ecfg.Cluster = cluster.Config{Nodes: 1, NodeMillicores: nodeMC, PoolSize: 2, IdleMillicores: 100}
+		ex, err := platform.NewExecutor(ecfg, cfg.Functions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces, err := ServeTraces(w, gsp, cfg, ServeConfig{N: 120, Seed: 11, ArrivalRatePerSec: 6, Executor: ex})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return traces
+	}
+	roomy := platform.E2ESample(serveOn(52000))
+	cramped := platform.E2ESample(serveOn(10000))
+	if cramped.Mean() <= roomy.Mean() {
+		t.Fatalf("cramped cluster mean e2e %.1fms not above roomy %.1fms", cramped.Mean(), roomy.Mean())
+	}
+}
+
+func TestWorkflowDAGRoundTrip(t *testing.T) {
+	w := diamond()
+	dag, err := w.DAG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dag.IsChain() {
+		t.Fatal("diamond DAG reported as chain")
+	}
+	back, err := FromDAG(dag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Stages) != len(w.Stages) || back.SLO != w.SLO || back.Name != w.Name {
+		t.Fatalf("round trip lost shape: %+v", back)
+	}
+	for i := range w.Stages {
+		if len(back.Stages[i].Functions) != len(w.Stages[i].Functions) {
+			t.Fatalf("stage %d branch count changed", i)
+		}
+	}
+	if VideoAnalyze().Validate() != nil {
+		t.Fatal("catalog VA-SP invalid")
+	}
+	if _, err := VideoAnalyze().DAG(); err != nil {
+		t.Fatal(err)
+	}
 }

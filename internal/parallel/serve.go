@@ -5,85 +5,149 @@ import (
 	"time"
 
 	"janus/internal/adapter"
-	"janus/internal/perfmodel"
-	"janus/internal/rng"
+	"janus/internal/platform"
 )
+
+// DefaultArrivalRatePerSec is the Poisson workload rate Serve uses when the
+// caller does not pick one — the same moderate load the paper-shaped
+// experiment suite serves.
+const DefaultArrivalRatePerSec = 2
 
 // Invocation is one served series-parallel request.
 type Invocation struct {
-	// E2E is the end-to-end latency (sum over stages of the slowest
-	// branch).
+	// E2E is the end-to-end latency on the serving plane: function
+	// execution of the slowest branch per stage, plus the platform costs a
+	// real cluster charges — decision overhead, pod specialization or cold
+	// start, and queueing for capacity.
 	E2E time.Duration
-	// Millicores is the total allocation: sum over stages of branches *
-	// decided allocation.
+	// Millicores is the total allocation: the sum over every executed
+	// branch of its pod's decided size.
 	Millicores int
 	// Misses counts hints-table misses across stage decisions.
 	Misses int
+	// ColdStarts counts branches whose pod was created cold (no warm pod).
+	ColdStarts int
+	// Parked counts branch acquisitions that queued on exhausted capacity.
+	Parked int
 }
 
 // SLOMet reports whether the invocation met the workflow's SLO.
 func (iv Invocation) SLOMet(slo time.Duration) bool { return iv.E2E <= slo }
 
-// Serve executes n requests of the series-parallel workflow under the
-// adapter's runtime adaptation: before each stage the remaining budget is
-// looked up and every branch of the stage runs at the decided allocation.
-// Runtime conditions are drawn from the same contention mix the profiles
-// used.
-func Serve(w *Workflow, a *adapter.Adapter, cfg ProfilerConfig, n int, seed uint64) ([]Invocation, error) {
+// ServeConfig parameterizes serving beyond the profile-time inputs.
+type ServeConfig struct {
+	// N is the request count (required, > 0).
+	N int
+	// Seed roots the workload's pre-sampled randomness.
+	Seed uint64
+	// ArrivalRatePerSec is the Poisson arrival rate; 0 means
+	// DefaultArrivalRatePerSec, negative means back-to-back arrivals at a
+	// fixed small spacing (platform.GenerateWorkload's closed-loop style).
+	ArrivalRatePerSec float64
+	// StageCorrelation couples runtime conditions across a request's
+	// stages (see platform.WorkloadConfig.StageCorrelation).
+	StageCorrelation float64
+	// Executor overrides the serving plane; nil builds one from
+	// platform.DefaultExecutorConfig seeded with Seed. Pass a custom
+	// executor to shrink the cluster, disable warm pools, or enable
+	// LiveInterference.
+	Executor *platform.Executor
+}
+
+// ServeTraces executes the series-parallel workflow on the discrete-event
+// serving plane under any allocator: every stage decision is made once and
+// applied to all branches, each branch independently pays warm-pool
+// specialization or a cold start and queues when the cluster is out of
+// capacity, and the join waits for the slowest branch. This is the same
+// substrate the chain experiments run on — SP serving inherits queueing,
+// cold starts, and live co-location interference rather than replaying
+// draws in a sequential loop.
+func ServeTraces(w *Workflow, alloc platform.Allocator, cfg ProfilerConfig, sc ServeConfig) ([]platform.Trace, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
+	if alloc == nil {
+		return nil, fmt.Errorf("parallel: nil allocator")
+	}
+	if sc.N <= 0 {
+		return nil, fmt.Errorf("parallel: need N > 0 requests")
+	}
+	rate := sc.ArrivalRatePerSec
+	if rate == 0 {
+		rate = DefaultArrivalRatePerSec
+	}
+	dag, err := w.DAG()
+	if err != nil {
+		return nil, err
+	}
+	reqs, err := platform.GenerateWorkload(platform.WorkloadConfig{
+		Workflow:          dag,
+		Functions:         cfg.Functions,
+		N:                 sc.N,
+		Batch:             cfg.Batch,
+		ArrivalRatePerSec: rate,
+		Colocation:        cfg.Colocation,
+		Interference:      cfg.Interference,
+		StageCorrelation:  sc.StageCorrelation,
+		Seed:              sc.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ex := sc.Executor
+	if ex == nil {
+		ecfg := platform.DefaultExecutorConfig()
+		ecfg.Seed = sc.Seed
+		ex, err = platform.NewExecutor(ecfg, cfg.Functions)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ex.Run(reqs, alloc)
+}
+
+// Serve executes n requests of the series-parallel workflow under the
+// adapter's runtime adaptation on the default serving plane: before each
+// stage the remaining budget is looked up and every branch of the stage
+// runs at the decided allocation.
+func Serve(w *Workflow, a *adapter.Adapter, cfg ProfilerConfig, n int, seed uint64) ([]Invocation, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
 	if a == nil {
 		return nil, fmt.Errorf("parallel: nil adapter")
-	}
-	if n <= 0 {
-		return nil, fmt.Errorf("parallel: need n > 0 requests")
 	}
 	if a.Bundle().Stages() != len(w.Stages) {
 		return nil, fmt.Errorf("parallel: bundle covers %d stages, workflow has %d", a.Bundle().Stages(), len(w.Stages))
 	}
-	fns := make([][]*perfmodel.Function, len(w.Stages))
-	for i, st := range w.Stages {
-		for _, name := range st.Functions {
-			fn, ok := cfg.Functions[name]
-			if !ok {
-				return nil, fmt.Errorf("parallel: unknown function %q", name)
-			}
-			fns[i] = append(fns[i], fn)
-		}
+	traces, err := ServeTraces(w, &adapter.Allocator{Adapter: a, System: "janus"}, cfg, ServeConfig{N: n, Seed: seed})
+	if err != nil {
+		return nil, err
 	}
-	root := rng.New(seed).Split("parallel-serve/" + w.Name)
-	out := make([]Invocation, n)
-	for r := 0; r < n; r++ {
-		stream := root.Split(fmt.Sprintf("req/%d", r))
-		var iv Invocation
-		elapsed := time.Duration(0)
-		for si := range w.Stages {
-			dec, err := a.Decide(si, w.SLO-elapsed)
-			if err != nil {
-				return nil, err
-			}
-			if !dec.Hit {
-				iv.Misses++
-			}
-			var worst time.Duration
-			for _, fn := range fns[si] {
-				coloc := cfg.Colocation.Sample(stream)
-				d := fn.NewDraw(stream, cfg.Batch, coloc, cfg.Interference)
-				if l := fn.Latency(d, dec.Millicores); l > worst {
-					worst = l
-				}
-			}
-			elapsed += worst
-			iv.Millicores += dec.Millicores * len(fns[si])
+	return Invocations(traces), nil
+}
+
+// Invocations summarizes serving-plane traces as invocations.
+func Invocations(traces []platform.Trace) []Invocation {
+	out := make([]Invocation, len(traces))
+	for i, tr := range traces {
+		iv := Invocation{
+			E2E:        tr.E2E,
+			Millicores: tr.TotalMillicores,
+			Misses:     tr.Misses,
+			Parked:     tr.Parked,
 		}
-		iv.E2E = elapsed
-		out[r] = iv
+		for _, st := range tr.Stages {
+			if st.Cold {
+				iv.ColdStarts++
+			}
+		}
+		out[i] = iv
 	}
-	return out, nil
+	return out
 }
 
 // MeanMillicores averages total allocations over invocations.

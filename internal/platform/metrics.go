@@ -13,7 +13,8 @@ import (
 type Fixed struct {
 	// System is the display name.
 	System string
-	// Sizes holds one millicore allocation per chain stage.
+	// Sizes holds one millicore allocation per stage; a fan-out stage
+	// runs every branch at its stage's size.
 	Sizes []int
 }
 
@@ -68,11 +69,12 @@ func SLOViolationRate(traces []Trace) float64 {
 }
 
 // MissRate reports the fraction of allocation decisions that missed the
-// hints table (always 0 for systems without one).
+// hints table (always 0 for systems without one). A fan-out stage counts
+// one decision regardless of its branch count.
 func MissRate(traces []Trace) float64 {
 	decisions, misses := 0, 0
 	for i := range traces {
-		decisions += len(traces[i].Stages)
+		decisions += traces[i].Decisions
 		misses += traces[i].Misses
 	}
 	if decisions == 0 {

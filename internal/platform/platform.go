@@ -3,6 +3,13 @@
 // cluster substrate, and consults a pluggable Allocator for the millicore
 // allocation of every stage.
 //
+// Workflows may be chains or general fork-join (series-parallel) DAGs.
+// A fan-out stage acquires one pod per branch — each branch independently
+// subject to warm-pool hits, cold starts, and capacity parking — runs the
+// branches concurrently on the simulated clock, and joins when the slowest
+// branch releases its pod. The stage's allocation decision is made once and
+// applies to every branch.
+//
 // The Allocator interface is the single point where serving systems differ:
 //
 //   - early-binding baselines (GrandSLAM, GrandSLAM+, ORION) return fixed
@@ -36,10 +43,13 @@ type Request struct {
 	ID int
 	// Workflow is the application being served.
 	Workflow *workflow.Workflow
-	// Chain caches the workflow's chain nodes in execution order.
-	Chain []workflow.Node
-	// Draws holds one pre-sampled draw per stage.
-	Draws []perfmodel.Draw
+	// Stages caches the workflow's fork-join decomposition in execution
+	// order: Stages[s] lists the branch nodes running concurrently in
+	// stage s. Chain workflows have exactly one branch per stage.
+	Stages [][]workflow.Node
+	// Draws holds one pre-sampled draw per branch, Draws[s][b] matching
+	// Stages[s][b].
+	Draws [][]perfmodel.Draw
 	// Arrival is the request's admission time.
 	Arrival time.Duration
 	// Batch is the batch size (the paper's "concurrency") the request's
@@ -47,7 +57,9 @@ type Request struct {
 	Batch int
 }
 
-// Allocator decides the millicore allocation for a request stage.
+// Allocator decides the millicore allocation for a request stage. One
+// decision is made per stage; a fan-out stage runs every branch at the
+// decided size (a stage with B branches consumes B times the decision).
 type Allocator interface {
 	// Name identifies the serving system in experiment output.
 	Name() string
@@ -58,9 +70,11 @@ type Allocator interface {
 	Allocate(req *Request, stage int, remaining time.Duration) (millicores int, hit bool)
 }
 
-// StageTrace records one executed stage.
+// StageTrace records one executed branch of a stage.
 type StageTrace struct {
 	Function   string
+	Stage      int
+	Branch     int
 	Millicores int
 	Start      time.Duration
 	End        time.Duration
@@ -72,15 +86,24 @@ type StageTrace struct {
 
 // Trace records one served request.
 type Trace struct {
-	RequestID       int
-	System          string
-	Arrival         time.Duration
-	Done            time.Duration
-	E2E             time.Duration
-	SLO             time.Duration
+	RequestID int
+	System    string
+	Arrival   time.Duration
+	Done      time.Duration
+	E2E       time.Duration
+	SLO       time.Duration
+	// Stages holds one entry per executed branch, in completion order.
 	Stages          []StageTrace
 	TotalMillicores int
-	Misses          int
+	// Decisions counts allocation decisions (one per stage — a fan-out
+	// stage's branches share one decision).
+	Decisions int
+	// Misses counts hints-table misses among those decisions.
+	Misses int
+	// Parked counts the request's branch acquisitions that queued on
+	// exhausted cluster capacity — one per queueing episode, however many
+	// pod releases the branch slept through before fitting.
+	Parked int
 }
 
 // SLOMet reports whether the request met its latency objective.
@@ -88,7 +111,8 @@ func (t *Trace) SLOMet() bool { return t.E2E <= t.SLO }
 
 // WorkloadConfig drives request generation.
 type WorkloadConfig struct {
-	// Workflow to execute; must be a chain.
+	// Workflow to execute; must decompose into fork-join stages (chains
+	// included — see workflow.Workflow.SeriesParallel).
 	Workflow *workflow.Workflow
 	// Functions resolves node function names to latency models.
 	Functions map[string]*perfmodel.Function
@@ -117,12 +141,13 @@ type WorkloadConfig struct {
 }
 
 // GenerateWorkload materializes the request sequence with pre-sampled
-// draws.
+// draws — one per branch of every stage, so fan-out stages face
+// independently drawn runtime conditions across their branches.
 func GenerateWorkload(cfg WorkloadConfig) ([]*Request, error) {
 	if cfg.Workflow == nil {
 		return nil, fmt.Errorf("platform: workload needs a workflow")
 	}
-	chain, err := cfg.Workflow.Chain()
+	stages, err := cfg.Workflow.SeriesParallel()
 	if err != nil {
 		return nil, err
 	}
@@ -138,16 +163,19 @@ func GenerateWorkload(cfg WorkloadConfig) ([]*Request, error) {
 	if cfg.StageCorrelation < 0 || cfg.StageCorrelation > 1 {
 		return nil, fmt.Errorf("platform: StageCorrelation %v outside [0, 1]", cfg.StageCorrelation)
 	}
-	fns := make([]*perfmodel.Function, len(chain))
-	for i, n := range chain {
-		f, ok := cfg.Functions[n.Function]
-		if !ok {
-			return nil, fmt.Errorf("platform: workflow %s references unknown function %q", cfg.Workflow.Name(), n.Function)
+	fns := make([][]*perfmodel.Function, len(stages))
+	for s, stage := range stages {
+		fns[s] = make([]*perfmodel.Function, len(stage))
+		for b, n := range stage {
+			f, ok := cfg.Functions[n.Function]
+			if !ok {
+				return nil, fmt.Errorf("platform: workflow %s references unknown function %q", cfg.Workflow.Name(), n.Function)
+			}
+			if !f.SupportsBatch(cfg.Batch) {
+				return nil, fmt.Errorf("platform: function %s does not support batch size %d", n.Function, cfg.Batch)
+			}
+			fns[s][b] = f
 		}
-		if !f.SupportsBatch(cfg.Batch) {
-			return nil, fmt.Errorf("platform: function %s does not support batch size %d", n.Function, cfg.Batch)
-		}
-		fns[i] = f
 	}
 	root := rng.New(cfg.Seed).Split("workload/" + cfg.Workflow.Name())
 	arrivals := root.Split("arrivals")
@@ -163,21 +191,24 @@ func GenerateWorkload(cfg WorkloadConfig) ([]*Request, error) {
 		stream := root.Split(fmt.Sprintf("req/%d", i))
 		shared := stream.Float64() < cfg.StageCorrelation
 		common := stream.Split("common")
-		draws := make([]perfmodel.Draw, len(chain))
-		for s, f := range fns {
-			drawStream := stream
-			if shared {
-				// Every stage replays an identical stream: comonotonic
-				// inputs, contention, and jitter along the chain.
-				drawStream = common.Split("replay")
+		draws := make([][]perfmodel.Draw, len(stages))
+		for s := range stages {
+			draws[s] = make([]perfmodel.Draw, len(stages[s]))
+			for b, f := range fns[s] {
+				drawStream := stream
+				if shared {
+					// Every draw replays an identical stream: comonotonic
+					// inputs, contention, and jitter along the workflow.
+					drawStream = common.Split("replay")
+				}
+				coloc := cfg.Colocation.Sample(drawStream)
+				draws[s][b] = f.NewDraw(drawStream, cfg.Batch, coloc, cfg.Interference)
 			}
-			coloc := cfg.Colocation.Sample(drawStream)
-			draws[s] = f.NewDraw(drawStream, cfg.Batch, coloc, cfg.Interference)
 		}
 		reqs[i] = &Request{
 			ID:       i,
 			Workflow: cfg.Workflow,
-			Chain:    chain,
+			Stages:   stages,
 			Draws:    draws,
 			Arrival:  at,
 			Batch:    cfg.Batch,
@@ -257,15 +288,30 @@ type runState struct {
 	alloc   Allocator
 	stream  *rng.Stream
 	traces  []Trace
-	// waiting holds stage continuations blocked on pod capacity, FIFO.
+	// done counts requests whose final stage joined; Run compares it to
+	// the request count so starved requests surface as an error instead of
+	// draining out as zero-value traces.
+	done int
+	// waiting holds branch continuations blocked on pod capacity, FIFO.
 	// Capacity freed by any release can unblock any function's waiter (a
 	// node hosts pods of every function), so the queue is global.
 	waiting []func()
 	failed  error
 }
 
+// join tracks one fan-out stage's outstanding branches; the stage
+// completes — and the next stage (or the request) may proceed — when the
+// slowest branch releases its pod.
+type join struct {
+	pending int
+}
+
 // Run serves the requests with the given allocator and returns one trace
-// per request, ordered by request ID.
+// per request, ordered by request ID. Requests that never finish — their
+// allocation can never be placed on any node, so their continuations stay
+// parked after the event queue drains — fail the run explicitly: a
+// zero-value trace (E2E 0, zero millicores) would silently flatter every
+// violation-rate and cost metric downstream.
 func (e *Executor) Run(reqs []*Request, alloc Allocator) ([]Trace, error) {
 	if len(reqs) == 0 {
 		return nil, fmt.Errorf("platform: no requests")
@@ -279,15 +325,17 @@ func (e *Executor) Run(reqs []*Request, alloc Allocator) ([]Trace, error) {
 	}
 	deployed := map[string]bool{}
 	for _, r := range reqs {
-		for _, n := range r.Chain {
-			if _, ok := e.fns[n.Function]; !ok {
-				return nil, fmt.Errorf("platform: request %d references unknown function %q", r.ID, n.Function)
-			}
-			if !deployed[n.Function] {
-				if err := cl.Deploy(n.Function); err != nil {
-					return nil, err
+		for _, stage := range r.Stages {
+			for _, n := range stage {
+				if _, ok := e.fns[n.Function]; !ok {
+					return nil, fmt.Errorf("platform: request %d references unknown function %q", r.ID, n.Function)
 				}
-				deployed[n.Function] = true
+				if !deployed[n.Function] {
+					if err := cl.Deploy(n.Function); err != nil {
+						return nil, err
+					}
+					deployed[n.Function] = true
+				}
 			}
 		}
 	}
@@ -307,11 +355,15 @@ func (e *Executor) Run(reqs []*Request, alloc Allocator) ([]Trace, error) {
 	if st.failed != nil {
 		return nil, st.failed
 	}
+	if st.done != len(reqs) {
+		return nil, fmt.Errorf("platform: %d of %d requests never completed (allocation cannot be placed on any node; %d branch continuation(s) still parked)",
+			len(reqs)-st.done, len(reqs), len(st.waiting))
+	}
 	return st.traces, nil
 }
 
-// startStage makes the allocation decision and begins stage execution,
-// queueing if the cluster lacks capacity.
+// startStage makes the stage's allocation decision — exactly once, even if
+// branches later stall on capacity — and launches every branch.
 func (st *runState) startStage(r *Request, stage int, acc *Trace) {
 	if st.failed != nil {
 		return
@@ -326,22 +378,45 @@ func (st *runState) startStage(r *Request, stage int, acc *Trace) {
 		st.fail(fmt.Errorf("platform: allocator %s returned non-positive allocation %d", st.alloc.Name(), mc))
 		return
 	}
+	acc.Decisions++
 	if !hit {
 		acc.Misses++
 	}
-	fn := r.Chain[stage].Function
+	j := &join{pending: len(r.Stages[stage])}
+	for b := range r.Stages[stage] {
+		st.startBranch(r, stage, b, mc, hit, acc, j, false)
+		if st.failed != nil {
+			return
+		}
+	}
+}
+
+// startBranch acquires a pod for one branch of a stage, parking the
+// acquisition (not the decision — that is already made and paid for) when
+// the cluster lacks capacity. retried marks a wake()-driven re-attempt: a
+// branch counts one Parked queueing episode no matter how many releases it
+// sleeps through before fitting.
+func (st *runState) startBranch(r *Request, stage, branch, mc int, hit bool, acc *Trace, j *join, retried bool) {
+	if st.failed != nil {
+		return
+	}
+	fn := r.Stages[stage][branch].Function
 	pod, cold, err := st.cluster.Acquire(fn, mc)
 	if err != nil {
 		// No capacity right now: park the continuation until a release.
-		st.waiting = append(st.waiting, func() { st.startStage(r, stage, acc) })
+		// Each branch parks independently — its siblings keep running.
+		if !retried {
+			acc.Parked++
+		}
+		st.waiting = append(st.waiting, func() { st.startBranch(r, stage, branch, mc, hit, acc, j, true) })
 		return
 	}
-	st.execute(r, stage, acc, pod, cold, hit)
+	st.execute(r, stage, branch, acc, j, pod, cold, hit)
 }
 
-func (st *runState) execute(r *Request, stage int, acc *Trace, pod *cluster.Pod, cold, hit bool) {
-	fn := st.ex.fns[r.Chain[stage].Function]
-	draw := r.Draws[stage]
+func (st *runState) execute(r *Request, stage, branch int, acc *Trace, j *join, pod *cluster.Pod, cold, hit bool) {
+	fn := st.ex.fns[r.Stages[stage][branch].Function]
+	draw := r.Draws[stage][branch]
 	if st.ex.cfg.LiveInterference {
 		census := st.cluster.Colocated(pod)
 		draw.Slowdown = st.ex.cfg.Interference.Sample(fn.Dimension(), census, st.stream)
@@ -351,11 +426,18 @@ func (st *runState) execute(r *Request, stage int, acc *Trace, pod *cluster.Pod,
 		startup = st.ex.cfg.ColdStartup
 	}
 	latency := fn.Latency(draw, pod.Millicores())
-	stageSpan := st.ex.cfg.DecisionOverhead + startup + latency
+	// The stage's decision gates every branch launch, so each branch span
+	// carries the decision overhead alongside its own startup and latency.
+	branchSpan := st.ex.cfg.DecisionOverhead + startup + latency
 	start := st.engine.Now()
-	st.engine.Schedule(stageSpan, func(end time.Duration) {
+	st.engine.Schedule(branchSpan, func(end time.Duration) {
+		if st.failed != nil {
+			return
+		}
 		acc.Stages = append(acc.Stages, StageTrace{
-			Function:   r.Chain[stage].Function,
+			Function:   r.Stages[stage][branch].Function,
+			Stage:      stage,
+			Branch:     branch,
 			Millicores: pod.Millicores(),
 			Start:      start,
 			End:        end,
@@ -370,13 +452,19 @@ func (st *runState) execute(r *Request, stage int, acc *Trace, pod *cluster.Pod,
 			return
 		}
 		st.wake()
-		if stage+1 < len(r.Chain) {
+		j.pending--
+		if j.pending > 0 {
+			// The join waits for the stage's slowest branch.
+			return
+		}
+		if stage+1 < len(r.Stages) {
 			st.startStage(r, stage+1, acc)
 			return
 		}
 		acc.Done = end
 		acc.E2E = end - r.Arrival
 		st.traces[r.ID] = *acc
+		st.done++
 	})
 }
 

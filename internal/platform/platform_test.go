@@ -35,16 +35,21 @@ func TestGenerateWorkloadShape(t *testing.T) {
 		if r.ID != i {
 			t.Fatalf("request %d has ID %d", i, r.ID)
 		}
-		if len(r.Draws) != 3 || len(r.Chain) != 3 {
-			t.Fatalf("request %d has %d draws / %d stages", i, len(r.Draws), len(r.Chain))
+		if len(r.Draws) != 3 || len(r.Stages) != 3 {
+			t.Fatalf("request %d has %d draws / %d stages", i, len(r.Draws), len(r.Stages))
 		}
 		if r.Arrival <= prev {
 			t.Fatalf("arrivals not strictly increasing at %d", i)
 		}
 		prev = r.Arrival
-		for s, d := range r.Draws {
-			if d.WS <= 0 || d.Slowdown < 1 || d.Noise <= 0 {
-				t.Fatalf("request %d stage %d has invalid draw %+v", i, s, d)
+		for s, branches := range r.Draws {
+			if len(branches) != 1 {
+				t.Fatalf("request %d chain stage %d has %d branch draws", i, s, len(branches))
+			}
+			for b, d := range branches {
+				if d.WS <= 0 || d.Slowdown < 1 || d.Noise <= 0 {
+					t.Fatalf("request %d stage %d branch %d has invalid draw %+v", i, s, b, d)
+				}
 			}
 		}
 	}
@@ -58,8 +63,10 @@ func TestGenerateWorkloadDeterministic(t *testing.T) {
 			t.Fatal("arrivals differ across identical generations")
 		}
 		for s := range a[i].Draws {
-			if a[i].Draws[s] != b[i].Draws[s] {
-				t.Fatal("draws differ across identical generations")
+			for br := range a[i].Draws[s] {
+				if a[i].Draws[s][br] != b[i].Draws[s][br] {
+					t.Fatal("draws differ across identical generations")
+				}
 			}
 		}
 	}
@@ -311,8 +318,8 @@ func TestNonPositiveAllocationFailsRun(t *testing.T) {
 
 func TestMetricsHelpers(t *testing.T) {
 	traces := []Trace{
-		{E2E: time.Second, SLO: 2 * time.Second, TotalMillicores: 3000, Stages: make([]StageTrace, 3)},
-		{E2E: 3 * time.Second, SLO: 2 * time.Second, TotalMillicores: 5000, Stages: make([]StageTrace, 3), Misses: 1},
+		{E2E: time.Second, SLO: 2 * time.Second, TotalMillicores: 3000, Stages: make([]StageTrace, 3), Decisions: 3},
+		{E2E: 3 * time.Second, SLO: 2 * time.Second, TotalMillicores: 5000, Stages: make([]StageTrace, 3), Decisions: 3, Misses: 1},
 	}
 	if got := MeanMillicores(traces); got != 4000 {
 		t.Errorf("MeanMillicores = %v", got)
@@ -343,4 +350,204 @@ func TestFixedPanicsOutOfRange(t *testing.T) {
 	}()
 	f := &Fixed{System: "x", Sizes: []int{1000}}
 	f.Allocate(nil, 1, 0)
+}
+
+// diamondSP is od fanning out to concurrent (qa, ts) branches joining into
+// ico — the canonical series-parallel shape, on catalog functions.
+func diamondSP(t *testing.T) *workflow.Workflow {
+	t.Helper()
+	w, err := workflow.NewSeriesParallel("diamond", 3500*time.Millisecond, [][]string{{"od"}, {"qa", "ts"}, {"ico"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func spWorkload(t *testing.T, w *workflow.Workflow, n int) []*Request {
+	t.Helper()
+	coloc, err := interfere.NewCountSampler([]float64{0.5, 0.35, 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := GenerateWorkload(WorkloadConfig{
+		Workflow:          w,
+		Functions:         perfmodel.Catalog(),
+		N:                 n,
+		Batch:             1,
+		ArrivalRatePerSec: 2,
+		Colocation:        coloc,
+		Interference:      interfere.Default(),
+		Seed:              42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+func TestGenerateWorkloadSeriesParallel(t *testing.T) {
+	reqs := spWorkload(t, diamondSP(t), 20)
+	for i, r := range reqs {
+		if len(r.Stages) != 3 || len(r.Draws) != 3 {
+			t.Fatalf("request %d: %d stages / %d draw stages", i, len(r.Stages), len(r.Draws))
+		}
+		if len(r.Stages[1]) != 2 || len(r.Draws[1]) != 2 {
+			t.Fatalf("request %d: fan-out stage has %d branches / %d draws", i, len(r.Stages[1]), len(r.Draws[1]))
+		}
+	}
+}
+
+// TestSeriesParallelJoinSemantics serves the diamond and checks fork-join
+// execution on the substrate: one pod (and one StageTrace) per branch, both
+// branches launched together after stage 0, and the join — stage 2's start —
+// gated by the slowest branch.
+func TestSeriesParallelJoinSemantics(t *testing.T) {
+	traces, err := defaultExecutor(t).Run(spWorkload(t, diamondSP(t), 40), &Fixed{System: "fixed", Sizes: []int{2000, 2000, 2000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range traces {
+		if len(tr.Stages) != 4 {
+			t.Fatalf("trace %d has %d branch executions, want 4", i, len(tr.Stages))
+		}
+		if tr.Decisions != 3 {
+			t.Fatalf("trace %d has %d decisions, want 3 (one per stage)", i, tr.Decisions)
+		}
+		if tr.TotalMillicores != 8000 {
+			t.Fatalf("trace %d total millicores = %d, want 8000 (branches included)", i, tr.TotalMillicores)
+		}
+		byStage := map[int][]StageTrace{}
+		for _, st := range tr.Stages {
+			byStage[st.Stage] = append(byStage[st.Stage], st)
+		}
+		if len(byStage[1]) != 2 {
+			t.Fatalf("trace %d stage 1 ran %d branches", i, len(byStage[1]))
+		}
+		if byStage[1][0].Branch == byStage[1][1].Branch {
+			t.Fatalf("trace %d stage 1 branches share index %d", i, byStage[1][0].Branch)
+		}
+		end0 := byStage[0][0].End
+		var slowest time.Duration
+		for _, b := range byStage[1] {
+			if b.Start < end0 {
+				t.Fatalf("trace %d: branch %s started %v before stage 0 ended %v", i, b.Function, b.Start, end0)
+			}
+			if b.End > slowest {
+				slowest = b.End
+			}
+		}
+		if got := byStage[2][0].Start; got < slowest {
+			t.Fatalf("trace %d: join fired at %v before slowest branch ended %v", i, got, slowest)
+		}
+		if tr.Done != byStage[2][0].End || tr.E2E != tr.Done-tr.Arrival {
+			t.Fatalf("trace %d: done %v / e2e %v inconsistent", i, tr.Done, tr.E2E)
+		}
+	}
+}
+
+// countingAllocator records how many times Allocate is invoked per
+// (request, stage) and always reports a miss.
+type countingAllocator struct {
+	size  int
+	calls map[[2]int]int
+}
+
+func (c *countingAllocator) Name() string { return "counting" }
+func (c *countingAllocator) Allocate(req *Request, stage int, _ time.Duration) (int, bool) {
+	c.calls[[2]int{req.ID, stage}]++
+	return c.size, false
+}
+
+// TestAllocateOncePerStageUnderParking is the regression test for the
+// retry-miss bug: a stage whose branch parks on exhausted capacity must NOT
+// re-invoke the allocator (re-paying decision overhead and re-counting the
+// miss) on every retry — the decision is made once per stage and reused.
+func TestAllocateOncePerStageUnderParking(t *testing.T) {
+	cfg := DefaultExecutorConfig()
+	// One 3000mc pod fits at a time: heavy parking.
+	cfg.Cluster = cluster.Config{Nodes: 1, NodeMillicores: 3500, PoolSize: 1, IdleMillicores: 100}
+	e, err := NewExecutor(cfg, perfmodel.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := &countingAllocator{size: 3000, calls: make(map[[2]int]int)}
+	traces, err := e.Run(iaWorkload(t, 20), alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parked := 0
+	for _, tr := range traces {
+		parked += tr.Parked
+		if tr.Misses != 3 || tr.Decisions != 3 {
+			t.Fatalf("request %d: %d misses / %d decisions, want 3/3 (one decision per stage)", tr.RequestID, tr.Misses, tr.Decisions)
+		}
+	}
+	if parked == 0 {
+		t.Fatal("no branch ever parked; the regression scenario did not trigger")
+	}
+	for key, n := range alloc.calls {
+		if n != 1 {
+			t.Fatalf("request %d stage %d decided %d times, want once", key[0], key[1], n)
+		}
+	}
+}
+
+// TestStarvedRequestsFailTheRun is the regression test for the silent
+// zero-trace drain: an allocation no node can ever host must fail the run
+// explicitly instead of returning E2E=0, zero-cost traces that count as
+// SLO-met and free.
+func TestStarvedRequestsFailTheRun(t *testing.T) {
+	cfg := DefaultExecutorConfig()
+	cfg.Cluster = cluster.Config{Nodes: 1, NodeMillicores: 3500, PoolSize: 1, IdleMillicores: 100}
+	e, err := NewExecutor(cfg, perfmodel.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Run(iaWorkload(t, 5), &Fixed{System: "fixed", Sizes: []int{4000, 4000, 4000}})
+	if err == nil {
+		t.Fatal("requests that can never acquire capacity drained out without an error")
+	}
+}
+
+// TestSeriesParallelColdStartsAndParkingDeterministic runs the diamond on a
+// pool-less tiny cluster with live interference: every branch cold-starts,
+// parking is rampant, and two identical runs stay byte-identical.
+func TestSeriesParallelColdStartsAndParkingDeterministic(t *testing.T) {
+	cfg := DefaultExecutorConfig()
+	cfg.Cluster = cluster.Config{Nodes: 1, NodeMillicores: 7000, PoolSize: 0, IdleMillicores: 100}
+	cfg.LiveInterference = true
+	cfg.Interference = interfere.Default()
+	e, err := NewExecutor(cfg, perfmodel.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []Trace {
+		traces, err := e.Run(spWorkload(t, diamondSP(t), 30), &Fixed{System: "fixed", Sizes: []int{2000, 2000, 2000}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return traces
+	}
+	a, b := run(), run()
+	cold, parked := 0, 0
+	for i := range a {
+		parked += a[i].Parked
+		for s := range a[i].Stages {
+			if a[i].Stages[s].Cold {
+				cold++
+			}
+			if a[i].Stages[s] != b[i].Stages[s] {
+				t.Fatalf("trace %d stage %d diverged across identical runs", i, s)
+			}
+		}
+		if a[i].E2E != b[i].E2E || a[i].TotalMillicores != b[i].TotalMillicores || a[i].Parked != b[i].Parked {
+			t.Fatal("summary diverged across identical runs")
+		}
+	}
+	if cold == 0 {
+		t.Fatal("pool-less cluster produced no cold starts")
+	}
+	if parked == 0 {
+		t.Fatal("tiny cluster produced no parking")
+	}
 }

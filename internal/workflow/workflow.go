@@ -66,6 +66,7 @@ func New(name string, slo time.Duration, nodes []Node, edges [][2]string) (*Work
 		}
 		w.index[n.Name] = i
 	}
+	seenEdges := make(map[[2]string]bool, len(edges))
 	for _, e := range edges {
 		from, to := e[0], e[1]
 		if _, ok := w.index[from]; !ok {
@@ -77,6 +78,12 @@ func New(name string, slo time.Duration, nodes []Node, edges [][2]string) (*Work
 		if from == to {
 			return nil, fmt.Errorf("workflow %s: self edge on %q", name, from)
 		}
+		// Duplicates would corrupt predecessor counts (the series-parallel
+		// full-join check relies on them) and are always spec errors.
+		if seenEdges[e] {
+			return nil, fmt.Errorf("workflow %s: duplicate edge %q -> %q", name, from, to)
+		}
+		seenEdges[e] = true
 		w.succ[from] = append(w.succ[from], to)
 		w.pred[to] = append(w.pred[to], from)
 	}
@@ -100,6 +107,50 @@ func NewChain(name string, slo time.Duration, functions ...string) (*Workflow, e
 		nodes[i] = Node{Name: f, Function: f}
 		if i > 0 {
 			edges = append(edges, [2]string{functions[i-1], f})
+		}
+	}
+	return New(name, slo, nodes, edges)
+}
+
+// NewSeriesParallel builds a fork-join workflow: stages execute in order,
+// the functions inside a stage run as concurrent branches, and every stage
+// joins (waits for its slowest branch) before the next stage starts. Edges
+// form the full bipartite join between consecutive stages — the Parallel
+// state of Amazon States Language. Step names default to the function name;
+// a function appearing more than once is disambiguated with its stage and
+// branch position.
+func NewSeriesParallel(name string, slo time.Duration, stages [][]string) (*Workflow, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("workflow %s: needs at least one stage", name)
+	}
+	seen := make(map[string]int)
+	for _, st := range stages {
+		for _, f := range st {
+			seen[f]++
+		}
+	}
+	var nodes []Node
+	names := make([][]string, len(stages))
+	for i, st := range stages {
+		if len(st) == 0 {
+			return nil, fmt.Errorf("workflow %s: stage %d is empty", name, i)
+		}
+		names[i] = make([]string, len(st))
+		for b, f := range st {
+			stepName := f
+			if seen[f] > 1 {
+				stepName = fmt.Sprintf("s%d.%d:%s", i, b, f)
+			}
+			names[i][b] = stepName
+			nodes = append(nodes, Node{Name: stepName, Function: f})
+		}
+	}
+	var edges [][2]string
+	for i := 1; i < len(stages); i++ {
+		for _, from := range names[i-1] {
+			for _, to := range names[i] {
+				edges = append(edges, [2]string{from, to})
+			}
 		}
 	}
 	return New(name, slo, nodes, edges)
@@ -205,6 +256,73 @@ func (w *Workflow) Chain() ([]Node, error) {
 		return nil, fmt.Errorf("workflow %s: not a chain", w.name)
 	}
 	return w.TopoOrder(), nil
+}
+
+// IsSeriesParallel reports whether the workflow decomposes into fork-join
+// stages (chains included — every chain is a one-branch-per-stage
+// series-parallel workflow).
+func (w *Workflow) IsSeriesParallel() bool {
+	_, err := w.SeriesParallel()
+	return err == nil
+}
+
+// SeriesParallel returns the workflow's fork-join stage decomposition:
+// stages execute in order and the nodes within a stage run as concurrent
+// branches, joining before the next stage. The decomposition exists when
+// the DAG is a sequence of full bipartite joins — every node's predecessor
+// set is exactly the whole previous stage. Chains decompose into
+// single-branch stages; more general DAGs (a branch spanning two steps, a
+// partial join) are rejected. Branch order within a stage follows node
+// declaration order, so the decomposition is deterministic.
+func (w *Workflow) SeriesParallel() ([][]Node, error) {
+	// Depth = longest path from a root, computed over the topological
+	// order; nodes at equal depth are candidate branches of one stage.
+	depth := make(map[string]int, len(w.nodes))
+	maxDepth := 0
+	for _, idx := range w.order {
+		n := w.nodes[idx]
+		d := 0
+		for _, p := range w.pred[n.Name] {
+			if depth[p]+1 > d {
+				d = depth[p] + 1
+			}
+		}
+		depth[n.Name] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	stages := make([][]Node, maxDepth+1)
+	for _, n := range w.nodes { // declaration order within a stage
+		stages[depth[n.Name]] = append(stages[depth[n.Name]], n)
+	}
+	// Validate the full-join property: each node depends on exactly the
+	// whole previous stage (and roots only live in stage 0).
+	for d, stage := range stages {
+		for _, n := range stage {
+			preds := w.pred[n.Name]
+			if d == 0 {
+				if len(preds) != 0 {
+					return nil, fmt.Errorf("workflow %s: not series-parallel (node %q at stage 0 has predecessors)", w.name, n.Name)
+				}
+				continue
+			}
+			if len(preds) != len(stages[d-1]) {
+				return nil, fmt.Errorf("workflow %s: not series-parallel (node %q joins %d of stage %d's %d branches)",
+					w.name, n.Name, len(preds), d-1, len(stages[d-1]))
+			}
+			prev := make(map[string]bool, len(stages[d-1]))
+			for _, p := range stages[d-1] {
+				prev[p.Name] = true
+			}
+			for _, p := range preds {
+				if !prev[p] {
+					return nil, fmt.Errorf("workflow %s: not series-parallel (edge %q -> %q skips a stage)", w.name, p, n.Name)
+				}
+			}
+		}
+	}
+	return stages, nil
 }
 
 // Suffix returns the sub-workflow nodes from stage i onward (the remaining

@@ -217,3 +217,111 @@ func TestNewChainEmpty(t *testing.T) {
 		t.Fatal("empty chain accepted")
 	}
 }
+
+func TestNewSeriesParallelShape(t *testing.T) {
+	w, err := NewSeriesParallel("diamond", 3*time.Second, [][]string{{"od"}, {"qa", "ts"}, {"ico"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.IsChain() {
+		t.Fatal("fan-out workflow reported as chain")
+	}
+	stages, err := w.SeriesParallel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 3 || len(stages[0]) != 1 || len(stages[1]) != 2 || len(stages[2]) != 1 {
+		t.Fatalf("decomposition shape %v", stages)
+	}
+	if stages[1][0].Function != "qa" || stages[1][1].Function != "ts" {
+		t.Fatalf("stage 1 branch order %v", stages[1])
+	}
+	// Full bipartite join: ico depends on both branches.
+	if got := w.Predecessors("ico"); len(got) != 2 {
+		t.Fatalf("ico predecessors %v", got)
+	}
+}
+
+func TestNewSeriesParallelDuplicateFunctions(t *testing.T) {
+	w, err := NewSeriesParallel("dup", time.Second, [][]string{{"fe"}, {"icl", "icl"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages, err := w.SeriesParallel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages[1]) != 2 || stages[1][0].Function != "icl" || stages[1][1].Function != "icl" {
+		t.Fatalf("duplicate-function stage %v", stages[1])
+	}
+	if stages[1][0].Name == stages[1][1].Name {
+		t.Fatal("duplicate branches share a step name")
+	}
+}
+
+func TestNewSeriesParallelValidation(t *testing.T) {
+	if _, err := NewSeriesParallel("x", time.Second, nil); err == nil {
+		t.Error("empty stage list accepted")
+	}
+	if _, err := NewSeriesParallel("x", time.Second, [][]string{{"od"}, {}}); err == nil {
+		t.Error("empty stage accepted")
+	}
+	if _, err := NewSeriesParallel("x", 0, [][]string{{"od"}}); err == nil {
+		t.Error("zero SLO accepted")
+	}
+}
+
+func TestSeriesParallelOfChain(t *testing.T) {
+	stages, err := IntelligentAssistant().SeriesParallel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 3 {
+		t.Fatalf("%d stages", len(stages))
+	}
+	for i, st := range stages {
+		if len(st) != 1 {
+			t.Fatalf("chain stage %d has %d branches", i, len(st))
+		}
+	}
+	if !IntelligentAssistant().IsSeriesParallel() {
+		t.Fatal("chain not series-parallel")
+	}
+}
+
+func TestSeriesParallelRejectsGeneralDAGs(t *testing.T) {
+	// Partial join: d depends on only one of stage 1's two branches.
+	partial, err := New("partial", time.Second,
+		[]Node{{Name: "a", Function: "od"}, {Name: "b", Function: "qa"}, {Name: "c", Function: "ts"}, {Name: "d", Function: "ico"}},
+		[][2]string{{"a", "b"}, {"a", "c"}, {"b", "d"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := partial.SeriesParallel(); err == nil {
+		t.Error("partial join accepted")
+	}
+	// Stage-skipping edge: a -> c alongside a -> b -> c.
+	skip, err := New("skip", time.Second,
+		[]Node{{Name: "a", Function: "od"}, {Name: "b", Function: "qa"}, {Name: "c", Function: "ts"}},
+		[][2]string{{"a", "b"}, {"b", "c"}, {"a", "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := skip.SeriesParallel(); err == nil {
+		t.Error("stage-skipping edge accepted")
+	}
+	// Two roots at different effective depths joined later.
+	if partial.IsSeriesParallel() {
+		t.Error("IsSeriesParallel true for partial join")
+	}
+}
+
+func TestDuplicateEdgesRejected(t *testing.T) {
+	nodes := []Node{{Name: "a", Function: "od"}, {Name: "b", Function: "qa"}, {Name: "c", Function: "ts"}}
+	if _, err := New("dup", time.Second, nodes, [][2]string{{"a", "c"}, {"a", "c"}, {"a", "b"}}); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+	// Without the rejection, the duplicated a->c edge would give c two
+	// predecessors and fool the series-parallel full-join check into
+	// treating {a, b} -> c as a join that includes b.
+}

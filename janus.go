@@ -68,6 +68,14 @@ func NewChain(name string, slo time.Duration, functions ...string) (*Workflow, e
 	return workflow.NewChain(name, slo, functions...)
 }
 
+// NewSeriesParallelWorkflow builds a fork-join workflow DAG: stages execute
+// in order, the functions inside a stage run as concurrent branches, and
+// every stage joins before the next starts. The serving plane executes
+// such DAGs directly (per-branch pods, slowest-branch joins).
+func NewSeriesParallelWorkflow(name string, slo time.Duration, stages [][]string) (*Workflow, error) {
+	return workflow.NewSeriesParallel(name, slo, stages)
+}
+
 // ParseWorkflow decodes a JSON workflow spec (see workflow.Spec).
 func ParseWorkflow(data []byte) (*Workflow, error) { return workflow.ParseSpec(data) }
 
@@ -303,9 +311,12 @@ func NewAdapterClient(baseURL string) *AdapterClient { return httpapi.NewClient(
 // RemoteAllocator serves platform allocations through a remote adapter.
 type RemoteAllocator = httpapi.Allocator
 
-// Series-parallel workflows (the paper's future-work extension): reduce a
-// fan-out/join application to an effective chain the unmodified
-// synthesizer and adapter serve.
+// Series-parallel workflows (the paper's future-work extension): hints
+// come from reducing the fan-out/join application to an effective chain
+// the unmodified synthesizer consumes; serving runs the fork-join DAG on
+// the same discrete-event cluster substrate as the chain experiments, so
+// every branch pays warm-pool specialization or cold starts and queues on
+// exhausted capacity, and joins wait for the slowest branch.
 
 // SPWorkflow is a series-parallel application: stages in sequence, with
 // the functions inside a stage running concurrently until a join.
@@ -320,6 +331,15 @@ type SPProfilerConfig = parallel.ProfilerConfig
 // SPInvocation is one served series-parallel request.
 type SPInvocation = parallel.Invocation
 
+// SPServeConfig parameterizes SP serving beyond the profile-time inputs
+// (request count, seed, arrival rate, custom executor).
+type SPServeConfig = parallel.ServeConfig
+
+// VideoAnalyzeSP returns the series-parallel form of the Video Analyze
+// application: frame extraction fanning out to concurrent classification
+// and compression.
+func VideoAnalyzeSP() *SPWorkflow { return parallel.VideoAnalyze() }
+
 // ReduceSP profiles every stage (parallel stages by max-of-branches
 // Monte-Carlo) and returns the effective-chain profile set for
 // DeployProfiled.
@@ -328,10 +348,21 @@ func ReduceSP(w *SPWorkflow, cfg SPProfilerConfig) (*ProfileSet, error) {
 }
 
 // ServeSP executes n requests of the series-parallel workflow under the
-// adapter's runtime adaptation.
+// adapter's runtime adaptation, on the default serving plane.
 func ServeSP(w *SPWorkflow, a *Adapter, cfg SPProfilerConfig, n int, seed uint64) ([]SPInvocation, error) {
 	return parallel.Serve(w, a, cfg, n, seed)
 }
+
+// ServeSPTraces executes the series-parallel workflow on the serving plane
+// under any allocator and returns full per-branch traces; pass a custom
+// Executor via the config to shrink the cluster, disable warm pools, or
+// enable live interference.
+func ServeSPTraces(w *SPWorkflow, alloc Allocator, cfg SPProfilerConfig, sc SPServeConfig) ([]Trace, error) {
+	return parallel.ServeTraces(w, alloc, cfg, sc)
+}
+
+// SPInvocations summarizes serving-plane traces as SP invocations.
+func SPInvocations(traces []Trace) []SPInvocation { return parallel.Invocations(traces) }
 
 // Experiments.
 
@@ -366,3 +397,8 @@ type ExperimentRunner = experiment.Runner
 // EvaluationPoints enumerates the paper's full §V serving grid (every
 // evaluation panel crossed with every system) as runner points.
 func EvaluationPoints() ([]ExperimentPoint, error) { return experiment.EvaluationPoints() }
+
+// SPExperimentPoints enumerates the series-parallel scenario grid — the
+// fork-join Video Analyze workload under every scenario system plus the
+// arrival-rate sweep — as runner points.
+func SPExperimentPoints() ([]ExperimentPoint, error) { return experiment.SPPoints() }
