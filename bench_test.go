@@ -313,6 +313,79 @@ func BenchmarkEvaluationGridParallel(b *testing.B) {
 	benchmarkEvaluationGrid(b, runtime.GOMAXPROCS(0))
 }
 
+// BenchmarkMixedServing times the multi-tenant serving path in isolation:
+// three tenants' pre-generated workloads (IA chain, VA chain, both under
+// fixed allocators, plus a second VA stream) merged into one discrete-event
+// run on a shared two-node cluster. Workload generation is outside the
+// loop — the benchmark measures RunMixed itself: the merged event stream,
+// shared warm pools, capacity parking, and per-tenant trace splitting.
+func BenchmarkMixedServing(b *testing.B) {
+	coloc, err := janus.NewColocationSampler([]float64{0.5, 0.35, 0.15})
+	if err != nil {
+		b.Fatal(err)
+	}
+	workload := func(w *janus.Workflow, seed uint64) []*janus.Request {
+		reqs, err := janus.GenerateWorkload(janus.WorkloadConfig{
+			Workflow: w, Functions: janus.Catalog(), N: 500, Batch: 1,
+			ArrivalRatePerSec: 2, Colocation: coloc,
+			Interference: janus.DefaultInterference(), StageCorrelation: 0.5, Seed: seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return reqs
+	}
+	cfg := janus.DefaultExecutorConfig()
+	cfg.Cluster = janus.ClusterConfig{Nodes: 2, NodeMillicores: 26000, PoolSize: 6, IdleMillicores: 100}
+	ex, err := janus.NewExecutor(cfg, janus.Catalog())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tenants := []janus.TenantWorkload{
+		{Tenant: "ia", Requests: workload(janus.IntelligentAssistant(), 1),
+			Allocator: &janus.FixedAllocator{System: "f", Sizes: []int{2000, 2000, 2000}}},
+		{Tenant: "va", Requests: workload(janus.VideoAnalyze(), 2),
+			Allocator: &janus.FixedAllocator{System: "f", Sizes: []int{1500, 1500, 1500}}},
+		{Tenant: "va2", Requests: workload(janus.VideoAnalyze(), 3),
+			Allocator: &janus.FixedAllocator{System: "f", Sizes: []int{2500, 2500, 2500}}},
+	}
+	b.ResetTimer()
+	var served int
+	for i := 0; i < b.N; i++ {
+		out, err := ex.RunMixed(tenants)
+		if err != nil {
+			b.Fatal(err)
+		}
+		served = 0
+		for _, traces := range out {
+			served += len(traces)
+		}
+	}
+	b.ReportMetric(float64(served), "requests_per_run")
+}
+
+// BenchmarkMixTenantScenario times the full multi-tenant experiment at
+// paper scale through the shared suite: ia + va + va-sp under every mix
+// system on the shared two-node cluster (first iteration pays profiling
+// and synthesis; see the package comment).
+func BenchmarkMixTenantScenario(b *testing.B) {
+	s := suite()
+	var worstViolation float64
+	for i := 0; i < b.N; i++ {
+		runs, err := s.MixScenario()
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstViolation = 0
+		for _, run := range runs {
+			if run.Aggregate.ViolationRate > worstViolation {
+				worstViolation = run.Aggregate.ViolationRate
+			}
+		}
+	}
+	b.ReportMetric(worstViolation*100, "worst_aggregate_violation_%")
+}
+
 func BenchmarkOverheadOnlineAdaptation(b *testing.B) {
 	s := suite()
 	// Build the deployment once; the benchmark then times raw decisions,

@@ -10,9 +10,13 @@
 //	janusbench -list
 //
 // Experiments: fig1a fig1b fig1c fig2 fig4 fig5 fig6 fig7 fig8 fig9
-// sp table1 table2 overhead. The sp experiment serves the series-parallel
-// Video Analyze scenario (fork-join on the cluster substrate) and its
-// arrival-rate sweep.
+// sp mix table1 table2 overhead. The sp experiment serves the
+// series-parallel Video Analyze scenario (fork-join on the cluster
+// substrate) and its arrival-rate sweep. The mix experiment serves the
+// multi-tenant scenario — the IA chain, VA chain, and series-parallel
+// Video Analyze merged into one arrival stream on a shared multi-node
+// cluster — with per-tenant and aggregate tables, a placement-policy
+// comparison, and a node-count scale-out sweep.
 //
 // Serving points fan out over a worker pool (-parallelism, default
 // GOMAXPROCS); results are identical at every setting because requests
@@ -103,6 +107,23 @@ var experiments = map[string]runner{
 		}
 		return wrap(experiment.FormatSPScenario(rows) + "\n" + experiment.FormatSPArrivalSweep(sweep)), nil
 	},
+	"mix": func(s *experiment.Suite) (fmt.Stringer, error) {
+		scenario, err := s.MixScenario()
+		if err != nil {
+			return nil, err
+		}
+		placement, err := s.MixPlacement()
+		if err != nil {
+			return nil, err
+		}
+		sweep, err := s.MixScaleOut()
+		if err != nil {
+			return nil, err
+		}
+		return wrap(experiment.FormatMixScenario(scenario) + "\n" +
+			experiment.FormatMixPlacement(placement) + "\n" +
+			experiment.FormatMixScaleOut(sweep)), nil
+	},
 	"table1":   func(s *experiment.Suite) (fmt.Stringer, error) { return s.Table1() },
 	"table2":   func(s *experiment.Suite) (fmt.Stringer, error) { return s.Table2() },
 	"overhead": func(s *experiment.Suite) (fmt.Stringer, error) { return s.Overhead() },
@@ -111,14 +132,40 @@ var experiments = map[string]runner{
 // order fixes the -experiment all sequence.
 var order = []string{
 	"fig1a", "fig1b", "fig1c", "fig2", "fig4", "fig5",
-	"fig6", "fig7", "fig8", "fig9", "sp", "table1", "table2", "overhead",
+	"fig6", "fig7", "fig8", "fig9", "sp", "mix", "table1", "table2", "overhead",
+}
+
+// resolveTargets maps the -experiment flag to the ordered list of
+// experiments to run: the full sequence for "all", the single named
+// experiment otherwise.
+func resolveTargets(name string) ([]string, error) {
+	if name == "all" {
+		return order, nil
+	}
+	if _, ok := experiments[name]; !ok {
+		return nil, fmt.Errorf("unknown experiment %q (use -list)", name)
+	}
+	return []string{name}, nil
+}
+
+// resolveParallelism validates the -parallelism flag: 0 means GOMAXPROCS,
+// negative values are rejected (a silent fallback would hide typos like
+// -parallelism -8).
+func resolveParallelism(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("parallelism must be >= 0, got %d", n)
+	}
+	if n == 0 {
+		return runtime.GOMAXPROCS(0), nil
+	}
+	return n, nil
 }
 
 func main() {
 	name := flag.String("experiment", "all", "experiment to run (or 'all')")
 	quick := flag.Bool("quick", false, "reduced scale (fast sanity runs)")
-	parallelism := flag.Int("parallelism", runtime.GOMAXPROCS(0),
-		"concurrent suite points (<= 0 means GOMAXPROCS); any value yields identical results")
+	parallelism := flag.Int("parallelism", 0,
+		"concurrent suite points (0 means GOMAXPROCS); any value yields identical results")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -131,19 +178,21 @@ func main() {
 		fmt.Println(strings.Join(names, "\n"))
 		return
 	}
+	par, err := resolveParallelism(*parallelism)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "janusbench: %v\n", err)
+		os.Exit(2)
+	}
+	targets, err := resolveTargets(*name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "janusbench: %v\n", err)
+		os.Exit(2)
+	}
 	suite := experiment.NewSuite()
 	if *quick {
 		suite = experiment.QuickSuite()
 	}
-	suite.SetParallelism(*parallelism)
-	targets := order
-	if *name != "all" {
-		if _, ok := experiments[*name]; !ok {
-			fmt.Fprintf(os.Stderr, "janusbench: unknown experiment %q (use -list)\n", *name)
-			os.Exit(2)
-		}
-		targets = []string{*name}
-	}
+	suite.SetParallelism(par)
 	for _, n := range targets {
 		start := time.Now()
 		out, err := experiments[n](suite)

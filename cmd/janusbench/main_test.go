@@ -1,0 +1,83 @@
+package main
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestResolveTargetsAll(t *testing.T) {
+	targets, err := resolveTargets("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != len(order) {
+		t.Fatalf("all resolves to %d targets, want %d", len(targets), len(order))
+	}
+	found := false
+	for _, n := range targets {
+		if n == "mix" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("the all sequence does not include the mix experiment")
+	}
+}
+
+func TestResolveTargetsSingle(t *testing.T) {
+	for _, name := range []string{"mix", "sp", "fig4", "overhead"} {
+		targets, err := resolveTargets(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(targets) != 1 || targets[0] != name {
+			t.Fatalf("resolveTargets(%s) = %v", name, targets)
+		}
+	}
+}
+
+func TestResolveTargetsUnknown(t *testing.T) {
+	_, err := resolveTargets("fig99")
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if !strings.Contains(err.Error(), "fig99") || !strings.Contains(err.Error(), "-list") {
+		t.Fatalf("error %q should name the experiment and point at -list", err)
+	}
+}
+
+func TestResolveParallelism(t *testing.T) {
+	if _, err := resolveParallelism(-1); err == nil {
+		t.Fatal("negative parallelism accepted")
+	}
+	n, err := resolveParallelism(0)
+	if err != nil || n != runtime.GOMAXPROCS(0) {
+		t.Fatalf("resolveParallelism(0) = %d, %v; want GOMAXPROCS", n, err)
+	}
+	n, err = resolveParallelism(4)
+	if err != nil || n != 4 {
+		t.Fatalf("resolveParallelism(4) = %d, %v", n, err)
+	}
+}
+
+// TestOrderMatchesExperiments keeps the -experiment all sequence and the
+// experiment registry in lockstep: every registered experiment runs under
+// "all", and the sequence names only registered experiments.
+func TestOrderMatchesExperiments(t *testing.T) {
+	inOrder := map[string]bool{}
+	for _, n := range order {
+		if inOrder[n] {
+			t.Errorf("experiment %s appears twice in the all sequence", n)
+		}
+		inOrder[n] = true
+		if _, ok := experiments[n]; !ok {
+			t.Errorf("ordered experiment %s is not registered", n)
+		}
+	}
+	for n := range experiments {
+		if !inOrder[n] {
+			t.Errorf("registered experiment %s missing from the all sequence", n)
+		}
+	}
+}

@@ -99,3 +99,49 @@ func ExampleGenerateWorkload() {
 	// requests: 100
 	// draws per request: 3
 }
+
+// ExampleExecutor_RunMixed serves two tenants' workloads — each with its
+// own allocator — as one merged arrival stream on one shared two-node
+// cluster, then splits per-tenant metrics out of the mixed trace set.
+func ExampleExecutor_RunMixed() {
+	coloc, err := janus.NewColocationSampler([]float64{0.6, 0.3, 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	workload := func(w *janus.Workflow, seed uint64) []*janus.Request {
+		reqs, err := janus.GenerateWorkload(janus.WorkloadConfig{
+			Workflow: w, Functions: janus.Catalog(), N: 50, Batch: 1,
+			ArrivalRatePerSec: 2, Colocation: coloc,
+			Interference: janus.DefaultInterference(), StageCorrelation: 0.5, Seed: 3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return reqs
+	}
+	cfg := janus.DefaultExecutorConfig()
+	cfg.Cluster = janus.ClusterConfig{
+		Nodes: 2, NodeMillicores: 26000, PoolSize: 3, IdleMillicores: 100,
+		Placement: janus.PlacementSpread,
+	}
+	ex, err := janus.NewExecutor(cfg, janus.Catalog())
+	if err != nil {
+		log.Fatal(err)
+	}
+	byTenant, err := ex.RunMixed([]janus.TenantWorkload{
+		{Tenant: "assistant", Requests: workload(janus.IntelligentAssistant(), 3),
+			Allocator: &janus.FixedAllocator{System: "fixed", Sizes: []int{2000, 2000, 2000}}},
+		{Tenant: "video", Requests: workload(janus.VideoAnalyze(), 4),
+			Allocator: &janus.FixedAllocator{System: "fixed", Sizes: []int{1500, 1500, 1500}}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, tenant := range []string{"assistant", "video"} {
+		traces := byTenant[tenant]
+		fmt.Printf("%s: %d traces, tenant tag %q\n", tenant, len(traces), traces[0].Tenant)
+	}
+	// Output:
+	// assistant: 50 traces, tenant tag "assistant"
+	// video: 50 traces, tenant tag "video"
+}

@@ -41,12 +41,32 @@ type Decision struct {
 // while decide traffic is in flight: the bundle is held behind an atomic
 // pointer, so every decision reads one consistent bundle without taking
 // the supervisor lock.
-type Adapter struct {
-	bundle atomic.Pointer[hints.Bundle]
+// deployed pairs a bundle with its epoch number so a decision's outcome
+// can be attributed to the bundle that actually produced it, even when
+// Replace lands between the lookup and the recording.
+type deployed struct {
+	b *hints.Bundle
+	// epoch increments on every Replace.
+	epoch int64
+}
 
-	mu     sync.Mutex
+type Adapter struct {
+	bundle atomic.Pointer[deployed]
+
+	mu sync.Mutex
+	// hits/misses accumulate across the adapter's lifetime (Stats).
 	hits   int64
 	misses int64
+	// epoch is the current bundle's epoch number; epochHits/epochMisses
+	// count only decisions made against that bundle. The regeneration
+	// trigger reads these: after Replace swaps a regenerated bundle in,
+	// pre-swap misses must not be able to re-fire the notification — the
+	// new bundle deserves a fresh observation window. Decisions in flight
+	// against the old bundle when Replace lands carry the old epoch and
+	// are excluded from the new window (they still count in Stats).
+	epoch       int64
+	epochHits   int64
+	epochMisses int64
 
 	missThreshold float64
 	minDecisions  int64
@@ -87,7 +107,7 @@ func New(b *hints.Bundle, opts ...Option) (*Adapter, error) {
 		missThreshold: DefaultMissThreshold,
 		minDecisions:  100,
 	}
-	a.bundle.Store(b)
+	a.bundle.Store(&deployed{b: b})
 	for _, o := range opts {
 		o(a)
 	}
@@ -98,19 +118,22 @@ func New(b *hints.Bundle, opts ...Option) (*Adapter, error) {
 }
 
 // Bundle returns the deployed hints bundle.
-func (a *Adapter) Bundle() *hints.Bundle { return a.bundle.Load() }
+func (a *Adapter) Bundle() *hints.Bundle { return a.bundle.Load().b }
 
 // Decide returns the allocation for the head of the sub-workflow starting
 // at stage `suffix`, given the remaining budget until the SLO deadline.
 // The bundle is snapshotted once, so a concurrent Replace cannot tear a
-// decision across two bundles.
+// decision across two bundles; the snapshot's epoch travels with the
+// outcome so a decision against a just-replaced bundle cannot leak into
+// the new bundle's regeneration window.
 func (a *Adapter) Decide(suffix int, remaining time.Duration) (Decision, error) {
-	b := a.bundle.Load()
+	d := a.bundle.Load()
+	b := d.b
 	if suffix < 0 || suffix >= b.Stages() {
 		return Decision{}, fmt.Errorf("adapter: suffix %d out of range [0, %d)", suffix, b.Stages())
 	}
 	r, ok := b.Tables[suffix].Lookup(remaining)
-	a.record(ok)
+	a.record(ok, d.epoch)
 	if !ok {
 		// Miss: scale to the ceiling to protect the SLO (§III-D).
 		return Decision{Millicores: b.MaxMillicores, Hit: false, Percentile: 99}, nil
@@ -118,22 +141,37 @@ func (a *Adapter) Decide(suffix int, remaining time.Duration) (Decision, error) 
 	return Decision{Millicores: r.Millicores, Hit: true, Percentile: r.Percentile}, nil
 }
 
-func (a *Adapter) record(hit bool) {
+// record counts one decision, both cumulatively (Stats) and — when the
+// decision was made against the current bundle — in the bundle's epoch
+// window. The regeneration trigger fires off the epoch window alone, so a
+// freshly swapped-in bundle cannot be condemned by misses the previous
+// bundle took, including misses from decisions that were already in
+// flight when Replace landed (their stale epoch excludes them).
+func (a *Adapter) record(hit bool, epoch int64) {
 	a.mu.Lock()
 	if hit {
 		a.hits++
 	} else {
 		a.misses++
 	}
-	total := a.hits + a.misses
+	if epoch != a.epoch {
+		a.mu.Unlock()
+		return
+	}
+	if hit {
+		a.epochHits++
+	} else {
+		a.epochMisses++
+	}
+	epochTotal := a.epochHits + a.epochMisses
 	shouldNotify := !a.notified &&
 		a.onRegenerate != nil &&
-		total >= a.minDecisions &&
-		a.missRateLocked() > a.missThreshold
+		epochTotal >= a.minDecisions &&
+		a.epochMissRateLocked() > a.missThreshold
 	var rate float64
 	if shouldNotify {
 		a.notified = true
-		rate = a.missRateLocked()
+		rate = a.epochMissRateLocked()
 	}
 	cb := a.onRegenerate
 	a.mu.Unlock()
@@ -150,15 +188,34 @@ func (a *Adapter) missRateLocked() float64 {
 	return float64(a.misses) / float64(total)
 }
 
-// Stats reports cumulative hits, misses, and the miss rate.
+func (a *Adapter) epochMissRateLocked() float64 {
+	total := a.epochHits + a.epochMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(a.epochMisses) / float64(total)
+}
+
+// Stats reports cumulative hits, misses, and the miss rate across the
+// adapter's lifetime (bundle swaps do not reset these).
 func (a *Adapter) Stats() (hits, misses int64, missRate float64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.hits, a.misses, a.missRateLocked()
 }
 
+// EpochStats reports hits, misses, and the miss rate observed against the
+// current bundle only — the window the regeneration trigger watches.
+func (a *Adapter) EpochStats() (hits, misses int64, missRate float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.epochHits, a.epochMisses, a.epochMissRateLocked()
+}
+
 // Replace swaps in a regenerated bundle (the asynchronous regeneration
-// completing) and re-arms the notification, keeping counters.
+// completing), re-arms the notification, and opens a fresh observation
+// epoch: the trigger's window resets so only decisions against the new
+// bundle can re-fire it, while the cumulative Stats counters are kept.
 func (a *Adapter) Replace(b *hints.Bundle) error {
 	if b == nil {
 		return fmt.Errorf("adapter: nil bundle")
@@ -168,8 +225,11 @@ func (a *Adapter) Replace(b *hints.Bundle) error {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.bundle.Store(b)
+	a.epoch++
+	a.bundle.Store(&deployed{b: b, epoch: a.epoch})
 	a.notified = false
+	a.epochHits = 0
+	a.epochMisses = 0
 	return nil
 }
 

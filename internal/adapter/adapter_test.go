@@ -192,6 +192,123 @@ func TestReplaceSwapsBundleAndRearms(t *testing.T) {
 	}
 }
 
+// TestReplaceDoesNotRefireFromPreSwapMisses is the regression test for the
+// spurious-regeneration bug: Replace used to re-arm the notification while
+// keeping the cumulative counters that drove the trigger, so the very
+// first decision after a bundle swap — even a hit — re-fired onRegenerate
+// from pre-swap misses, condemning the freshly regenerated bundle before
+// it served a single budget. The trigger must watch a per-bundle-epoch
+// window: post-swap hits keep it quiet, and only a fresh post-swap miss
+// storm may re-fire it.
+func TestReplaceDoesNotRefireFromPreSwapMisses(t *testing.T) {
+	fired := make(chan float64, 10)
+	a, err := New(bundle(t),
+		WithMissThreshold(0.1),
+		WithMinDecisions(5),
+		WithRegenerateCallback(func(rate float64) { fired <- rate }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Miss storm against the first bundle: fires once.
+	for i := 0; i < 20; i++ {
+		if _, err := a.Decide(0, time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("callback never fired for the pre-swap miss storm")
+	}
+	// The regeneration completes: a fresh bundle swaps in. Cumulative
+	// stats keep the history; the trigger window resets.
+	if err := a.Replace(bundle(t)); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ := a.Stats()
+	if misses != 20 {
+		t.Fatalf("Stats after Replace = %d hits / %d misses, want cumulative 0/20", hits, misses)
+	}
+	if eh, em, _ := a.EpochStats(); eh != 0 || em != 0 {
+		t.Fatalf("EpochStats after Replace = %d/%d, want a fresh window", eh, em)
+	}
+	// Post-swap traffic hits the new bundle. The cumulative miss rate is
+	// still far above the threshold (20 misses vs a handful of hits) —
+	// the buggy adapter re-fires on the first decision here.
+	for i := 0; i < 10; i++ {
+		if _, err := a.Decide(0, 3*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case rate := <-fired:
+		t.Fatalf("callback re-fired from pre-swap misses (rate %v) despite a healthy new bundle", rate)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// A genuine post-swap miss storm must still be able to re-fire.
+	for i := 0; i < 20; i++ {
+		if _, err := a.Decide(0, time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("callback never re-fired for a post-swap miss storm")
+	}
+	hits, misses, _ = a.Stats()
+	if hits != 10 || misses != 40 {
+		t.Fatalf("cumulative Stats = %d hits / %d misses, want 10/40", hits, misses)
+	}
+}
+
+// TestStaleEpochDecisionsExcludedFromWindow covers the concurrent
+// deploy-while-deciding corner of the same bug: a Decide that loaded the
+// old bundle can have Replace land between its lookup and its recording.
+// Its outcome carries the old epoch and must not enter the new bundle's
+// regeneration window (it still counts in the cumulative Stats).
+func TestStaleEpochDecisionsExcludedFromWindow(t *testing.T) {
+	fired := make(chan float64, 10)
+	a, err := New(bundle(t),
+		WithMissThreshold(0.1),
+		WithMinDecisions(3),
+		WithRegenerateCallback(func(rate float64) { fired <- rate }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := a.bundle.Load() // what an in-flight Decide snapshotted
+	if err := a.Replace(bundle(t)); err != nil {
+		t.Fatal(err)
+	}
+	// The in-flight decisions complete after the swap: all misses, all
+	// attributed to the pre-swap bundle.
+	for i := 0; i < 5; i++ {
+		a.record(false, stale.epoch)
+	}
+	if eh, em, _ := a.EpochStats(); eh != 0 || em != 0 {
+		t.Fatalf("stale-epoch decisions leaked into the new window: %d/%d", eh, em)
+	}
+	if _, misses, _ := a.Stats(); misses != 5 {
+		t.Fatalf("stale-epoch decisions lost from cumulative stats: %d misses", misses)
+	}
+	select {
+	case rate := <-fired:
+		t.Fatalf("stale-epoch misses re-fired the callback (rate %v)", rate)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Fresh misses against the new bundle still trigger normally.
+	for i := 0; i < 5; i++ {
+		if _, err := a.Decide(0, time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("current-epoch miss storm never fired")
+	}
+}
+
 func TestConcurrentDecides(t *testing.T) {
 	a, err := New(bundle(t))
 	if err != nil {

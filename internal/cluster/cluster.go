@@ -9,12 +9,45 @@
 // The cluster owns millicore accounting per node and reports the live
 // co-location census — how many instances of the same function are busy on
 // a node — which is what drives the interference model at serving time.
+// New pods land on nodes per a deterministic Placement policy (spread or
+// first-fit), so where a pod runs — and therefore how much interference it
+// sees — is a consequence of cluster state, not chance.
 package cluster
 
 import (
 	"fmt"
 	"sort"
 )
+
+// Placement selects the node a new pod lands on. Both policies are
+// deterministic (ties break toward lower node IDs) so discrete-event runs
+// replay byte for byte.
+type Placement int
+
+const (
+	// PlacementSpread places each pod on the node with the most free
+	// millicores — the Kubernetes LeastAllocated default. Spreading
+	// minimizes same-function co-location, and with it interference, at
+	// the price of fragmenting free capacity across nodes.
+	PlacementSpread Placement = iota
+	// PlacementFirstFit places each pod on the lowest-ID node that fits —
+	// bin-packing-style consolidation. Packed nodes concentrate
+	// co-location (more interference for tenants sharing functions) but
+	// keep whole nodes free for large allocations.
+	PlacementFirstFit
+)
+
+// String names the policy for experiment output.
+func (p Placement) String() string {
+	switch p {
+	case PlacementSpread:
+		return "spread"
+	case PlacementFirstFit:
+		return "first-fit"
+	default:
+		return fmt.Sprintf("placement(%d)", int(p))
+	}
+}
 
 // Config sizes the simulated cluster.
 type Config struct {
@@ -28,6 +61,9 @@ type Config struct {
 	PoolSize int
 	// IdleMillicores is the allocation a warm idle pod reserves.
 	IdleMillicores int
+	// Placement is the pod placement policy; the zero value is
+	// PlacementSpread, the behavior single-node clusters degenerate to.
+	Placement Placement
 }
 
 // DefaultConfig mirrors the paper's single 52-core platform server with a
@@ -48,6 +84,9 @@ func (c Config) validate() error {
 	}
 	if c.IdleMillicores < 0 {
 		return fmt.Errorf("cluster: IdleMillicores must be >= 0, got %d", c.IdleMillicores)
+	}
+	if c.Placement != PlacementSpread && c.Placement != PlacementFirstFit {
+		return fmt.Errorf("cluster: unknown placement policy %d", int(c.Placement))
 	}
 	return nil
 }
@@ -139,8 +178,9 @@ func (c *Cluster) createPod(function string, millicores int) (*Pod, error) {
 	return pod, nil
 }
 
-// pickNode returns the node with the most free capacity that fits the
-// request, preferring lower IDs on ties for determinism.
+// pickNode returns the node the configured placement policy selects for a
+// request, or nil when no node fits. Both policies prefer lower IDs on
+// ties for determinism.
 func (c *Cluster) pickNode(millicores int) *node {
 	var best *node
 	for _, n := range c.nodes {
@@ -148,8 +188,13 @@ func (c *Cluster) pickNode(millicores int) *node {
 		if free < millicores {
 			continue
 		}
-		if best == nil || free > best.capacity-best.allocated {
-			best = n
+		switch c.cfg.Placement {
+		case PlacementFirstFit:
+			return n
+		default: // PlacementSpread
+			if best == nil || free > best.capacity-best.allocated {
+				best = n
+			}
 		}
 	}
 	return best
@@ -243,6 +288,9 @@ func (c *Cluster) Colocated(pod *Pod) int {
 	return count
 }
 
+// Nodes reports the number of worker nodes.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
 // NodeAllocated reports a node's allocated millicores.
 func (c *Cluster) NodeAllocated(nodeID int) int {
 	return c.nodes[nodeID].allocated
@@ -251,6 +299,44 @@ func (c *Cluster) NodeAllocated(nodeID int) int {
 // NodeCapacity reports a node's total millicores.
 func (c *Cluster) NodeCapacity(nodeID int) int {
 	return c.nodes[nodeID].capacity
+}
+
+// NodeFree reports a node's unallocated millicores — what the placement
+// policies compare.
+func (c *Cluster) NodeFree(nodeID int) int {
+	n := c.nodes[nodeID]
+	return n.capacity - n.allocated
+}
+
+// NodePods reports how many pods (idle and busy) a node hosts.
+func (c *Cluster) NodePods(nodeID int) int {
+	return len(c.nodes[nodeID].pods)
+}
+
+// NodeBusyPods reports how many of a node's pods are executing — the
+// occupancy the placement policies trade against co-location interference.
+func (c *Cluster) NodeBusyPods(nodeID int) int {
+	count := 0
+	for _, p := range c.nodes[nodeID].pods {
+		if p.busy {
+			count++
+		}
+	}
+	return count
+}
+
+// NodeColocated reports a node's busy-instance census for one function —
+// the per-placement quantity Colocated reads for a hosted pod, exposed by
+// node so experiment reports can break occupancy down without a pod in
+// hand.
+func (c *Cluster) NodeColocated(nodeID int, function string) int {
+	count := 0
+	for _, p := range c.nodes[nodeID].pods {
+		if p.Function == function && p.busy {
+			count++
+		}
+	}
+	return count
 }
 
 // WarmPods reports the number of idle warm pods for the function.

@@ -247,6 +247,82 @@ func TestMultiNodeSpreads(t *testing.T) {
 	}
 }
 
+func TestFirstFitPacksLowNodes(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 3, NodeMillicores: 5000, PoolSize: 0, IdleMillicores: 100, Placement: PlacementFirstFit})
+	if err := c.Deploy("f"); err != nil {
+		t.Fatal(err)
+	}
+	p1, _, err := c.Acquire("f", 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := c.Acquire("f", 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.NodeID != 0 || p2.NodeID != 0 {
+		t.Fatalf("first-fit should pack node 0, got nodes %d and %d", p1.NodeID, p2.NodeID)
+	}
+	// Node 0 has 1000 free: a 2000mc pod overflows to node 1.
+	p3, _, err := c.Acquire("f", 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.NodeID != 1 {
+		t.Fatalf("overflow pod on node %d, want 1", p3.NodeID)
+	}
+	// Packing concentrates the same-function census on node 0.
+	if got := c.Colocated(p1); got != 2 {
+		t.Fatalf("Colocated(p1) = %d, want 2", got)
+	}
+}
+
+func TestPlacementValidation(t *testing.T) {
+	if _, err := New(Config{Nodes: 1, NodeMillicores: 1000, Placement: Placement(7)}); err == nil ||
+		!strings.Contains(err.Error(), "placement") {
+		t.Fatalf("unknown placement accepted: %v", err)
+	}
+	if PlacementSpread.String() != "spread" || PlacementFirstFit.String() != "first-fit" {
+		t.Fatalf("policy names = %q, %q", PlacementSpread, PlacementFirstFit)
+	}
+}
+
+func TestNodeOccupancyAccounting(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 2, NodeMillicores: 5000, PoolSize: 1, IdleMillicores: 100})
+	if err := c.Deploy("f"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes() != 2 {
+		t.Fatalf("Nodes() = %d, want 2", c.Nodes())
+	}
+	// The single warm pod idles on one node; find it.
+	warm := 0
+	if c.NodePods(1) == 1 {
+		warm = 1
+	}
+	if got := c.NodeBusyPods(warm); got != 0 {
+		t.Fatalf("idle pod counted busy: %d", got)
+	}
+	p, _, err := c.Acquire("f", 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.NodeID
+	if got := c.NodeBusyPods(n); got != 1 {
+		t.Fatalf("NodeBusyPods(%d) = %d, want 1", n, got)
+	}
+	if got := c.NodeColocated(n, "f"); got != 1 {
+		t.Fatalf("NodeColocated(%d, f) = %d, want 1", n, got)
+	}
+	if got := c.NodeColocated(n, "g"); got != 0 {
+		t.Fatalf("NodeColocated(%d, g) = %d, want 0", n, got)
+	}
+	if got := c.NodeFree(n); got != c.NodeCapacity(n)-c.NodeAllocated(n) {
+		t.Fatalf("NodeFree(%d) = %d, inconsistent with capacity %d - allocated %d",
+			n, got, c.NodeCapacity(n), c.NodeAllocated(n))
+	}
+}
+
 func TestFunctionsSorted(t *testing.T) {
 	c := mustCluster(t, DefaultConfig())
 	for _, f := range []string{"zeta", "alpha", "mid"} {

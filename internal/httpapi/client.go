@@ -39,9 +39,20 @@ func (c *Client) SubmitBundle(b *hints.Bundle) error {
 	return checkStatus(resp)
 }
 
-// Decide fetches the adaptation decision for a sub-workflow budget.
+// Decide fetches the adaptation decision for a sub-workflow budget. The
+// budget must be positive — the same validation the server enforces with a
+// 400, mirrored here so malformed reports fail before a network round
+// trip. Positive sub-millisecond budgets round up to 1 ms rather than
+// truncating to an invalid zero.
 func (c *Client) Decide(workflow string, suffix int, remaining time.Duration) (adapter.Decision, error) {
-	req := DecideRequest{Workflow: workflow, Suffix: suffix, RemainingMs: remaining.Milliseconds()}
+	if remaining <= 0 {
+		return adapter.Decision{}, fmt.Errorf("httpapi: remaining budget must be positive, got %v", remaining)
+	}
+	ms := remaining.Milliseconds()
+	if ms == 0 {
+		ms = 1
+	}
+	req := DecideRequest{Workflow: workflow, Suffix: suffix, RemainingMs: ms}
 	data, err := json.Marshal(req)
 	if err != nil {
 		return adapter.Decision{}, err

@@ -1,6 +1,9 @@
 package httpapi
 
 import (
+	"encoding/json"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -96,6 +99,88 @@ func TestDecideBadSuffix(t *testing.T) {
 	}
 	if _, err := c.Decide("ia", 9, time.Second); err == nil {
 		t.Fatal("bad suffix accepted")
+	}
+}
+
+// TestDecideRejectsNonPositiveBudget is the regression test for the
+// malformed-budget bug: POST /v1/decide with a zero or negative
+// remaining_ms used to reach Table.Lookup, count a guaranteed miss, and
+// pollute the supervisor's miss rate — the signal the regeneration loop
+// triggers on. The server must 400 without moving the counters.
+func TestDecideRejectsNonPositiveBudget(t *testing.T) {
+	srv, c := serve(t)
+	if err := c.SubmitBundle(bundle(t)); err != nil {
+		t.Fatal(err)
+	}
+	// One legitimate decision so the counters are non-trivially set.
+	if _, err := c.Decide("ia", 0, 2001*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	a, ok := srv.Adapter("ia")
+	if !ok {
+		t.Fatal("adapter missing")
+	}
+	hitsBefore, missesBefore, _ := a.Stats()
+	base := c.base
+	for _, ms := range []int64{0, -5} {
+		body := fmt.Sprintf(`{"workflow":"ia","suffix":0,"remaining_ms":%d}`, ms)
+		resp, err := http.Post(base+"/v1/decide", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var eb errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("remaining_ms=%d: status %d, want 400", ms, resp.StatusCode)
+		}
+		if !strings.Contains(eb.Error, "remaining_ms") {
+			t.Fatalf("remaining_ms=%d: error %q should name the field", ms, eb.Error)
+		}
+	}
+	hitsAfter, missesAfter, _ := a.Stats()
+	if hitsAfter != hitsBefore || missesAfter != missesBefore {
+		t.Fatalf("malformed budgets moved the supervisor counters: %d/%d -> %d/%d",
+			hitsBefore, missesBefore, hitsAfter, missesAfter)
+	}
+}
+
+// TestClientRejectsNonPositiveBudget mirrors the server-side check in the
+// Go client: a non-positive budget fails before any network round trip.
+func TestClientRejectsNonPositiveBudget(t *testing.T) {
+	srv, c := serve(t)
+	if err := c.SubmitBundle(bundle(t)); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := srv.Adapter("ia")
+	for _, remaining := range []time.Duration{0, -time.Second} {
+		if _, err := c.Decide("ia", 0, remaining); err == nil {
+			t.Fatalf("client accepted budget %v", remaining)
+		}
+	}
+	if hits, misses, _ := a.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("client-side rejection still reached the server: %d/%d", hits, misses)
+	}
+}
+
+// TestClientSubMillisecondBudgetRoundsUp: a positive budget below 1 ms
+// must not truncate to an invalid remaining_ms of zero — it rounds up to
+// the smallest valid budget instead of being bounced by the server.
+func TestClientSubMillisecondBudgetRoundsUp(t *testing.T) {
+	_, c := serve(t)
+	if err := c.SubmitBundle(bundle(t)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Decide("ia", 0, 500*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 ms is below the table's coverage: the adapter escalates — a real
+	// decision, not a transport rejection.
+	if d.Hit || d.Millicores != 3000 {
+		t.Fatalf("sub-ms decision = %+v, want an escalated miss", d)
 	}
 }
 

@@ -26,7 +26,12 @@ type DecideRequest struct {
 	Workflow string `json:"workflow"`
 	// Suffix is the stage index of the remaining sub-workflow's head.
 	Suffix int `json:"suffix"`
-	// RemainingMs is the time budget until the SLO deadline.
+	// RemainingMs is the time budget until the SLO deadline. It must be
+	// positive: a zero or negative budget is a malformed report (the
+	// platform reports budgets at function completion, before the
+	// deadline), and letting it through would count a guaranteed table
+	// miss — polluting the supervisor's miss rate, the very signal the
+	// regeneration loop triggers on.
 	RemainingMs int64 `json:"remaining_ms"`
 }
 
@@ -133,6 +138,13 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	var req DecideRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	if req.RemainingMs <= 0 {
+		// Reject before touching the adapter: a malformed budget must not
+		// move the supervisor's hit/miss counters.
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: fmt.Sprintf("remaining_ms must be positive, got %d", req.RemainingMs)})
 		return
 	}
 	a, ok := s.Adapter(req.Workflow)

@@ -23,6 +23,12 @@
 // jitter): every system faces the identical sequence of runtime conditions,
 // which is the paired-comparison setup the paper's normalized results rely
 // on.
+//
+// The plane is multi-tenant: RunMixed merges several workloads — each
+// paired with its own Allocator — into one discrete-event run on one
+// shared cluster, so tenants contend for warm pods, node millicores, and
+// the co-location census exactly as the paper's provider-side deployment
+// does. Run is the single-tenant special case.
 package platform
 
 import (
@@ -72,9 +78,12 @@ type Allocator interface {
 
 // StageTrace records one executed branch of a stage.
 type StageTrace struct {
-	Function   string
-	Stage      int
-	Branch     int
+	Function string
+	Stage    int
+	Branch   int
+	// Node is the cluster node the branch's pod ran on — the placement
+	// the configured cluster policy chose.
+	Node       int
 	Millicores int
 	Start      time.Duration
 	End        time.Duration
@@ -87,8 +96,11 @@ type StageTrace struct {
 // Trace records one served request.
 type Trace struct {
 	RequestID int
-	System    string
-	Arrival   time.Duration
+	// Tenant names the workload the request belongs to in a mixed run
+	// (empty for single-workload Run).
+	Tenant  string
+	System  string
+	Arrival time.Duration
 	Done      time.Duration
 	E2E       time.Duration
 	SLO       time.Duration
@@ -281,20 +293,45 @@ func (e *Executor) Clone() *Executor {
 	return &Executor{cfg: e.cfg, fns: e.fns}
 }
 
+// TenantWorkload is one tenant's contribution to a mixed run: a request
+// stream paired with the serving system that sizes it. In the paper's
+// provider, many tenants' workflows share one substrate; pairing each
+// stream with its own Allocator lets a mixed run serve Janus tenants next
+// to early-binding ones on the same warm pools and node capacity.
+type TenantWorkload struct {
+	// Tenant names the workload; names must be unique within a mixed run
+	// (empty is allowed only for a single-workload run).
+	Tenant string
+	// Requests is the tenant's pre-sampled request sequence. Request IDs
+	// must be exactly 0..len(Requests)-1 (GenerateWorkload's numbering).
+	Requests []*Request
+	// Allocator is the tenant's serving system.
+	Allocator Allocator
+}
+
+// tenantRun is one tenant's in-flight serving state.
+type tenantRun struct {
+	name   string
+	alloc  Allocator
+	traces []Trace
+	done   int
+}
+
 type runState struct {
 	ex      *Executor
 	engine  *simclock.Engine
 	cluster *cluster.Cluster
-	alloc   Allocator
+	tenants []*tenantRun
 	stream  *rng.Stream
-	traces  []Trace
-	// done counts requests whose final stage joined; Run compares it to
-	// the request count so starved requests surface as an error instead of
-	// draining out as zero-value traces.
-	done int
+	// done counts requests whose final stage joined, across all tenants;
+	// RunMixed compares it to the merged request count so starved requests
+	// surface as an error instead of draining out as zero-value traces.
+	done  int
+	total int
 	// waiting holds branch continuations blocked on pod capacity, FIFO.
-	// Capacity freed by any release can unblock any function's waiter (a
-	// node hosts pods of every function), so the queue is global.
+	// Capacity freed by any release can unblock any tenant's waiter (a
+	// node hosts pods of every function), so the queue is global — which
+	// is exactly the cross-tenant contention a shared substrate implies.
 	waiting []func()
 	failed  error
 }
@@ -307,34 +344,79 @@ type join struct {
 }
 
 // Run serves the requests with the given allocator and returns one trace
-// per request, ordered by request ID. Requests that never finish — their
-// allocation can never be placed on any node, so their continuations stay
-// parked after the event queue drains — fail the run explicitly: a
-// zero-value trace (E2E 0, zero millicores) would silently flatter every
-// violation-rate and cost metric downstream.
+// per request, ordered by request ID. It is the single-tenant special case
+// of RunMixed: one workload owning the whole cluster.
 func (e *Executor) Run(reqs []*Request, alloc Allocator) ([]Trace, error) {
-	if len(reqs) == 0 {
-		return nil, fmt.Errorf("platform: no requests")
+	out, err := e.RunMixed([]TenantWorkload{{Requests: reqs, Allocator: alloc}})
+	if err != nil {
+		return nil, err
 	}
-	if alloc == nil {
-		return nil, fmt.Errorf("platform: nil allocator")
+	return out[""], nil
+}
+
+// RunMixed merges the arrival streams of several tenants' workloads into
+// one discrete-event run on one shared cluster and returns each tenant's
+// traces (ordered by request ID) keyed by tenant name. Tenants genuinely
+// contend: warm pools, node millicores, the FIFO capacity queue, and the
+// co-location census behind the interference model are all shared, so a
+// burst from one tenant inflates another's cold starts, parking, and
+// interference — the multi-tenant serving condition that motivates
+// bilateral adaptation.
+//
+// Requests that never finish — their allocation can never be placed on any
+// node, so their continuations stay parked after the event queue drains —
+// fail the run explicitly: a zero-value trace (E2E 0, zero millicores)
+// would silently flatter every violation-rate and cost metric downstream.
+func (e *Executor) RunMixed(tenants []TenantWorkload) (map[string][]Trace, error) {
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("platform: no tenant workloads")
+	}
+	seen := make(map[string]bool, len(tenants))
+	total := 0
+	for i, tw := range tenants {
+		if tw.Tenant == "" && len(tenants) > 1 {
+			return nil, fmt.Errorf("platform: tenant %d has no name (names are required in a mixed run)", i)
+		}
+		if seen[tw.Tenant] {
+			return nil, fmt.Errorf("platform: duplicate tenant %q", tw.Tenant)
+		}
+		seen[tw.Tenant] = true
+		if len(tw.Requests) == 0 {
+			return nil, fmt.Errorf("platform: tenant %q has no requests", tw.Tenant)
+		}
+		if tw.Allocator == nil {
+			return nil, fmt.Errorf("platform: tenant %q has a nil allocator", tw.Tenant)
+		}
+		ids := make([]bool, len(tw.Requests))
+		for _, r := range tw.Requests {
+			if r.ID < 0 || r.ID >= len(tw.Requests) || ids[r.ID] {
+				return nil, fmt.Errorf("platform: tenant %q request IDs must be unique in [0, %d), got %d",
+					tw.Tenant, len(tw.Requests), r.ID)
+			}
+			ids[r.ID] = true
+		}
+		total += len(tw.Requests)
 	}
 	cl, err := cluster.New(e.cfg.Cluster)
 	if err != nil {
 		return nil, err
 	}
+	// Deploy the union of every tenant's functions once: tenants running
+	// the same function share its warm pool and co-location census.
 	deployed := map[string]bool{}
-	for _, r := range reqs {
-		for _, stage := range r.Stages {
-			for _, n := range stage {
-				if _, ok := e.fns[n.Function]; !ok {
-					return nil, fmt.Errorf("platform: request %d references unknown function %q", r.ID, n.Function)
-				}
-				if !deployed[n.Function] {
-					if err := cl.Deploy(n.Function); err != nil {
-						return nil, err
+	for _, tw := range tenants {
+		for _, r := range tw.Requests {
+			for _, stage := range r.Stages {
+				for _, n := range stage {
+					if _, ok := e.fns[n.Function]; !ok {
+						return nil, fmt.Errorf("platform: tenant %q request %d references unknown function %q", tw.Tenant, r.ID, n.Function)
 					}
-					deployed[n.Function] = true
+					if !deployed[n.Function] {
+						if err := cl.Deploy(n.Function); err != nil {
+							return nil, err
+						}
+						deployed[n.Function] = true
+					}
 				}
 			}
 		}
@@ -343,39 +425,56 @@ func (e *Executor) Run(reqs []*Request, alloc Allocator) ([]Trace, error) {
 		ex:      e,
 		engine:  simclock.New(),
 		cluster: cl,
-		alloc:   alloc,
 		stream:  rng.New(e.cfg.Seed).Split("executor"),
-		traces:  make([]Trace, len(reqs)),
+		total:   total,
 	}
-	for _, r := range reqs {
-		r := r
-		st.engine.ScheduleAt(r.Arrival, func(time.Duration) { st.startStage(r, 0, nil) })
+	// Admissions are scheduled tenant by tenant in input order; the event
+	// engine merges them by arrival time, breaking ties by scheduling
+	// sequence, so the interleaving is a pure function of the inputs and
+	// mixed runs replay byte for byte.
+	for _, tw := range tenants {
+		tn := &tenantRun{name: tw.Tenant, alloc: tw.Allocator, traces: make([]Trace, len(tw.Requests))}
+		st.tenants = append(st.tenants, tn)
+		for _, r := range tw.Requests {
+			r := r
+			st.engine.ScheduleAt(r.Arrival, func(time.Duration) { st.startStage(tn, r, 0, nil) })
+		}
 	}
 	st.engine.Run()
 	if st.failed != nil {
 		return nil, st.failed
 	}
-	if st.done != len(reqs) {
-		return nil, fmt.Errorf("platform: %d of %d requests never completed (allocation cannot be placed on any node; %d branch continuation(s) still parked)",
-			len(reqs)-st.done, len(reqs), len(st.waiting))
+	if st.done != total {
+		starved := ""
+		for _, tn := range st.tenants {
+			if missing := len(tn.traces) - tn.done; missing > 0 {
+				starved += fmt.Sprintf(" %s:%d", tn.name, missing)
+			}
+		}
+		return nil, fmt.Errorf("platform: %d of %d requests never completed (allocation cannot be placed on any node; %d branch continuation(s) still parked; per tenant:%s)",
+			total-st.done, total, len(st.waiting), starved)
 	}
-	return st.traces, nil
+	out := make(map[string][]Trace, len(st.tenants))
+	for _, tn := range st.tenants {
+		out[tn.name] = tn.traces
+	}
+	return out, nil
 }
 
 // startStage makes the stage's allocation decision — exactly once, even if
 // branches later stall on capacity — and launches every branch.
-func (st *runState) startStage(r *Request, stage int, acc *Trace) {
+func (st *runState) startStage(tn *tenantRun, r *Request, stage int, acc *Trace) {
 	if st.failed != nil {
 		return
 	}
 	if acc == nil {
-		acc = &Trace{RequestID: r.ID, System: st.alloc.Name(), Arrival: r.Arrival, SLO: r.Workflow.SLO()}
+		acc = &Trace{RequestID: r.ID, Tenant: tn.name, System: tn.alloc.Name(), Arrival: r.Arrival, SLO: r.Workflow.SLO()}
 	}
 	now := st.engine.Now()
 	remaining := r.Workflow.SLO() - (now - r.Arrival)
-	mc, hit := st.alloc.Allocate(r, stage, remaining)
+	mc, hit := tn.alloc.Allocate(r, stage, remaining)
 	if mc <= 0 {
-		st.fail(fmt.Errorf("platform: allocator %s returned non-positive allocation %d", st.alloc.Name(), mc))
+		st.fail(fmt.Errorf("platform: allocator %s returned non-positive allocation %d", tn.alloc.Name(), mc))
 		return
 	}
 	acc.Decisions++
@@ -384,7 +483,7 @@ func (st *runState) startStage(r *Request, stage int, acc *Trace) {
 	}
 	j := &join{pending: len(r.Stages[stage])}
 	for b := range r.Stages[stage] {
-		st.startBranch(r, stage, b, mc, hit, acc, j, false)
+		st.startBranch(tn, r, stage, b, mc, hit, acc, j, false)
 		if st.failed != nil {
 			return
 		}
@@ -396,7 +495,7 @@ func (st *runState) startStage(r *Request, stage int, acc *Trace) {
 // the cluster lacks capacity. retried marks a wake()-driven re-attempt: a
 // branch counts one Parked queueing episode no matter how many releases it
 // sleeps through before fitting.
-func (st *runState) startBranch(r *Request, stage, branch, mc int, hit bool, acc *Trace, j *join, retried bool) {
+func (st *runState) startBranch(tn *tenantRun, r *Request, stage, branch, mc int, hit bool, acc *Trace, j *join, retried bool) {
 	if st.failed != nil {
 		return
 	}
@@ -408,13 +507,13 @@ func (st *runState) startBranch(r *Request, stage, branch, mc int, hit bool, acc
 		if !retried {
 			acc.Parked++
 		}
-		st.waiting = append(st.waiting, func() { st.startBranch(r, stage, branch, mc, hit, acc, j, true) })
+		st.waiting = append(st.waiting, func() { st.startBranch(tn, r, stage, branch, mc, hit, acc, j, true) })
 		return
 	}
-	st.execute(r, stage, branch, acc, j, pod, cold, hit)
+	st.execute(tn, r, stage, branch, acc, j, pod, cold, hit)
 }
 
-func (st *runState) execute(r *Request, stage, branch int, acc *Trace, j *join, pod *cluster.Pod, cold, hit bool) {
+func (st *runState) execute(tn *tenantRun, r *Request, stage, branch int, acc *Trace, j *join, pod *cluster.Pod, cold, hit bool) {
 	fn := st.ex.fns[r.Stages[stage][branch].Function]
 	draw := r.Draws[stage][branch]
 	if st.ex.cfg.LiveInterference {
@@ -438,6 +537,7 @@ func (st *runState) execute(r *Request, stage, branch int, acc *Trace, j *join, 
 			Function:   r.Stages[stage][branch].Function,
 			Stage:      stage,
 			Branch:     branch,
+			Node:       pod.NodeID,
 			Millicores: pod.Millicores(),
 			Start:      start,
 			End:        end,
@@ -458,12 +558,13 @@ func (st *runState) execute(r *Request, stage, branch int, acc *Trace, j *join, 
 			return
 		}
 		if stage+1 < len(r.Stages) {
-			st.startStage(r, stage+1, acc)
+			st.startStage(tn, r, stage+1, acc)
 			return
 		}
 		acc.Done = end
 		acc.E2E = end - r.Arrival
-		st.traces[r.ID] = *acc
+		tn.traces[r.ID] = *acc
+		tn.done++
 		st.done++
 	})
 }

@@ -509,6 +509,219 @@ func TestStarvedRequestsFailTheRun(t *testing.T) {
 	}
 }
 
+// vaWorkload generates a Video Analyze chain workload with its own seed so
+// mixed-run tests can pit distinct tenants against each other.
+func vaWorkload(t *testing.T, n int, seed uint64) []*Request {
+	t.Helper()
+	coloc, err := interfere.NewCountSampler([]float64{0.4, 0.4, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := GenerateWorkload(WorkloadConfig{
+		Workflow:          workflow.VideoAnalyze(),
+		Functions:         perfmodel.Catalog(),
+		N:                 n,
+		Batch:             1,
+		ArrivalRatePerSec: 2,
+		Colocation:        coloc,
+		Interference:      interfere.Default(),
+		Seed:              seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+func TestRunMixedValidation(t *testing.T) {
+	e := defaultExecutor(t)
+	alloc := &Fixed{System: "x", Sizes: []int{1000, 1000, 1000}}
+	reqs := iaWorkload(t, 2)
+	if _, err := e.RunMixed(nil); err == nil {
+		t.Error("empty tenant set accepted")
+	}
+	if _, err := e.RunMixed([]TenantWorkload{
+		{Tenant: "a", Requests: reqs, Allocator: alloc},
+		{Tenant: "a", Requests: reqs, Allocator: alloc},
+	}); err == nil {
+		t.Error("duplicate tenant names accepted")
+	}
+	if _, err := e.RunMixed([]TenantWorkload{
+		{Tenant: "", Requests: reqs, Allocator: alloc},
+		{Tenant: "b", Requests: reqs, Allocator: alloc},
+	}); err == nil {
+		t.Error("unnamed tenant in a mixed run accepted")
+	}
+	if _, err := e.RunMixed([]TenantWorkload{{Tenant: "a", Requests: nil, Allocator: alloc}}); err == nil {
+		t.Error("tenant without requests accepted")
+	}
+	if _, err := e.RunMixed([]TenantWorkload{{Tenant: "a", Requests: reqs, Allocator: nil}}); err == nil {
+		t.Error("tenant without allocator accepted")
+	}
+	dup := []*Request{reqs[0], reqs[0]}
+	if _, err := e.RunMixed([]TenantWorkload{{Tenant: "a", Requests: dup, Allocator: alloc}}); err == nil {
+		t.Error("duplicate request IDs accepted")
+	}
+}
+
+// TestRunMixedTenantAccounting merges three tenants — two VA chains and one
+// IA chain — and checks the per-tenant split: every tenant gets exactly one
+// trace per request, tagged with its tenant and system, and the per-tenant
+// counts sum to the merged workload size.
+func TestRunMixedTenantAccounting(t *testing.T) {
+	e := defaultExecutor(t)
+	tenants := []TenantWorkload{
+		{Tenant: "ia", Requests: iaWorkload(t, 30), Allocator: &Fixed{System: "s-ia", Sizes: []int{2000, 2000, 2000}}},
+		{Tenant: "va1", Requests: vaWorkload(t, 20, 7), Allocator: &Fixed{System: "s-va1", Sizes: []int{1500, 1500, 1500}}},
+		{Tenant: "va2", Requests: vaWorkload(t, 25, 8), Allocator: &Fixed{System: "s-va2", Sizes: []int{2500, 2500, 2500}}},
+	}
+	out, err := e.RunMixed(tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("%d tenants in result, want 3", len(out))
+	}
+	total := 0
+	for _, tw := range tenants {
+		traces := out[tw.Tenant]
+		if len(traces) != len(tw.Requests) {
+			t.Fatalf("tenant %s: %d traces for %d requests", tw.Tenant, len(traces), len(tw.Requests))
+		}
+		total += len(traces)
+		for i, tr := range traces {
+			if tr.RequestID != i {
+				t.Fatalf("tenant %s trace %d has request ID %d", tw.Tenant, i, tr.RequestID)
+			}
+			if tr.Tenant != tw.Tenant || tr.System != tw.Allocator.Name() {
+				t.Fatalf("tenant %s trace %d tagged %q/%q", tw.Tenant, i, tr.Tenant, tr.System)
+			}
+			if len(tr.Stages) != 3 || tr.E2E <= 0 {
+				t.Fatalf("tenant %s trace %d incomplete: %d stages e2e=%v", tw.Tenant, i, len(tr.Stages), tr.E2E)
+			}
+		}
+	}
+	if want := 30 + 20 + 25; total != want {
+		t.Fatalf("per-tenant trace counts sum to %d, want %d", total, want)
+	}
+}
+
+// TestRunMixedDeterministic replays the identical mixed run twice; the
+// merged event interleaving must be a pure function of the inputs.
+func TestRunMixedDeterministic(t *testing.T) {
+	e := defaultExecutor(t)
+	run := func() map[string][]Trace {
+		out, err := e.RunMixed([]TenantWorkload{
+			{Tenant: "ia", Requests: iaWorkload(t, 25), Allocator: &Fixed{System: "f", Sizes: []int{2000, 2000, 2000}}},
+			{Tenant: "va", Requests: vaWorkload(t, 25, 7), Allocator: &Fixed{System: "f", Sizes: []int{1500, 1500, 1500}}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for tenant := range a {
+		for i := range a[tenant] {
+			ta, tb := a[tenant][i], b[tenant][i]
+			if ta.E2E != tb.E2E || ta.TotalMillicores != tb.TotalMillicores || ta.Parked != tb.Parked {
+				t.Fatalf("tenant %s trace %d diverged across identical mixed runs", tenant, i)
+			}
+			for s := range ta.Stages {
+				if ta.Stages[s] != tb.Stages[s] {
+					t.Fatalf("tenant %s trace %d stage %d diverged", tenant, i, s)
+				}
+			}
+		}
+	}
+}
+
+// TestRunMixedContention is the tentpole's point: the same tenant workload
+// must observe worse service when sharing the cluster with a competing
+// tenant than when it owns the substrate — queueing (parking) and warm-pool
+// pressure (cold starts) from cross-tenant load must show up in its traces.
+func TestRunMixedContention(t *testing.T) {
+	cfg := DefaultExecutorConfig()
+	// Two 2500mc pods fit at a time: mixing doubles admission pressure on
+	// a substrate that can barely serve one tenant.
+	cfg.Cluster = cluster.Config{Nodes: 1, NodeMillicores: 6000, PoolSize: 1, IdleMillicores: 100}
+	e, err := NewExecutor(cfg, perfmodel.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := &Fixed{System: "f", Sizes: []int{2500, 2500, 2500}}
+	alone, err := e.Run(vaWorkload(t, 40, 7), alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := e.RunMixed([]TenantWorkload{
+		{Tenant: "va", Requests: vaWorkload(t, 40, 7), Allocator: alloc},
+		{Tenant: "rival", Requests: vaWorkload(t, 40, 99), Allocator: alloc},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := func(traces []Trace) (parked, cold int) {
+		for _, tr := range traces {
+			parked += tr.Parked
+			for _, st := range tr.Stages {
+				if st.Cold {
+					cold++
+				}
+			}
+		}
+		return
+	}
+	aloneParked, aloneCold := cost(alone)
+	mixedParked, mixedCold := cost(mixed["va"])
+	if mixedParked+mixedCold <= aloneParked+aloneCold {
+		t.Fatalf("no cross-tenant contention: alone parked=%d cold=%d, mixed parked=%d cold=%d",
+			aloneParked, aloneCold, mixedParked, mixedCold)
+	}
+	if E2ESample(mixed["va"]).Mean() <= E2ESample(alone).Mean() {
+		t.Fatalf("mean e2e under contention %.1fms not above isolated %.1fms",
+			E2ESample(mixed["va"]).Mean(), E2ESample(alone).Mean())
+	}
+}
+
+// TestRunMixedMultiNodePlacement serves a mixed workload on a two-node
+// cluster under each placement policy: spread must use both nodes, and
+// first-fit must keep the load on node 0 while it fits.
+func TestRunMixedMultiNodePlacement(t *testing.T) {
+	nodesUsed := func(placement cluster.Placement, mc int) map[int]int {
+		cfg := DefaultExecutorConfig()
+		cfg.Cluster = cluster.Config{Nodes: 2, NodeMillicores: 26000, PoolSize: 0, IdleMillicores: 100, Placement: placement}
+		e, err := NewExecutor(cfg, perfmodel.Catalog())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := e.RunMixed([]TenantWorkload{
+			{Tenant: "ia", Requests: iaWorkload(t, 20), Allocator: &Fixed{System: "f", Sizes: []int{mc, mc, mc}}},
+			{Tenant: "va", Requests: vaWorkload(t, 20, 7), Allocator: &Fixed{System: "f", Sizes: []int{mc, mc, mc}}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		used := map[int]int{}
+		for _, traces := range out {
+			for _, tr := range traces {
+				for _, st := range tr.Stages {
+					used[st.Node]++
+				}
+			}
+		}
+		return used
+	}
+	spread := nodesUsed(cluster.PlacementSpread, 2000)
+	if len(spread) != 2 {
+		t.Fatalf("spread placement used nodes %v, want both", spread)
+	}
+	packed := nodesUsed(cluster.PlacementFirstFit, 2000)
+	if packed[1] != 0 {
+		t.Fatalf("first-fit spilled %d branch executions to node 1 with node 0 never full (%v)", packed[1], packed)
+	}
+}
+
 // TestSeriesParallelColdStartsAndParkingDeterministic runs the diamond on a
 // pool-less tiny cluster with live interference: every branch cold-starts,
 // parking is rampant, and two identical runs stay byte-identical.

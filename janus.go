@@ -37,6 +37,7 @@ import (
 
 	"janus/internal/adapter"
 	"janus/internal/baseline"
+	"janus/internal/cluster"
 	"janus/internal/core"
 	"janus/internal/experiment"
 	"janus/internal/hints"
@@ -239,7 +240,11 @@ func GenerateWorkload(cfg WorkloadConfig) ([]*Request, error) {
 	return platform.GenerateWorkload(cfg)
 }
 
-// Executor serves workloads on a simulated cluster in virtual time.
+// Executor serves workloads on a simulated cluster in virtual time. Run
+// serves one workload; RunMixed merges several tenants' workloads — each
+// paired with its own Allocator — into one discrete-event run on one
+// shared cluster, so tenants contend for warm pods, node millicores, and
+// co-location-driven interference.
 type Executor = platform.Executor
 
 // ExecutorConfig sizes the serving plane.
@@ -253,6 +258,32 @@ func DefaultExecutorConfig() ExecutorConfig { return platform.DefaultExecutorCon
 func NewExecutor(cfg ExecutorConfig, fns map[string]*Function) (*Executor, error) {
 	return platform.NewExecutor(cfg, fns)
 }
+
+// TenantWorkload is one tenant's contribution to a mixed run: a request
+// stream paired with the serving system that sizes it (Executor.RunMixed).
+type TenantWorkload = platform.TenantWorkload
+
+// ClusterConfig sizes the simulated cluster substrate (node count,
+// per-node millicores, warm-pool depth, placement policy); it is the
+// Cluster field of ExecutorConfig.
+type ClusterConfig = cluster.Config
+
+// DefaultClusterConfig mirrors the paper's single 52-core platform server
+// with a per-function warm pool of three pods.
+func DefaultClusterConfig() ClusterConfig { return cluster.DefaultConfig() }
+
+// PlacementPolicy selects the node a new pod lands on; placement is
+// deterministic so discrete-event runs replay byte for byte.
+type PlacementPolicy = cluster.Placement
+
+// Placement policies: spread puts each pod on the node with the most free
+// millicores (minimal same-function co-location); first-fit packs the
+// lowest-ID node that fits (consolidation, more interference, less
+// fragmentation).
+const (
+	PlacementSpread   = cluster.PlacementSpread
+	PlacementFirstFit = cluster.PlacementFirstFit
+)
 
 // Trace metrics.
 
@@ -402,3 +433,26 @@ func EvaluationPoints() ([]ExperimentPoint, error) { return experiment.Evaluatio
 // fork-join Video Analyze workload under every scenario system plus the
 // arrival-rate sweep — as runner points.
 func SPExperimentPoints() ([]ExperimentPoint, error) { return experiment.SPPoints() }
+
+// Multi-tenant experiments: the IA chain, VA chain, and series-parallel
+// Video Analyze served as one merged arrival stream on a shared
+// multi-node cluster (ExperimentSuite.MixScenario, MixScaleOut,
+// MixPlacement; janusbench -experiment mix).
+
+// MixTenant pairs a tenant name with the workflow it serves in the
+// tenant-mix scenario.
+type MixTenant = experiment.MixTenant
+
+// MixExperimentTenants returns the scenario's tenants: ia (3 s SLO), va
+// (1.5 s), and va-sp (1.1 s). VA and VA-SP share functions, so their pods
+// draw from the same warm pools and inflate each other's co-location
+// census.
+func MixExperimentTenants() ([]MixTenant, error) { return experiment.MixTenants() }
+
+// MixRun is one mixed serving run: every tenant under one system on one
+// shared cluster, with per-tenant and aggregate summaries split out of
+// the mixed trace set.
+type MixRun = experiment.MixRun
+
+// MixTenantRow summarizes one tenant's share of a mixed trace set.
+type MixTenantRow = experiment.MixTenantRow
