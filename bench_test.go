@@ -386,6 +386,27 @@ func BenchmarkMixTenantScenario(b *testing.B) {
 	b.ReportMetric(worstViolation*100, "worst_aggregate_violation_%")
 }
 
+// BenchmarkDAGScenario times the node-granular engine on the six-node
+// ML-inference DAG: per-node readiness scheduling, a shared fork
+// decision, the ocr cross path, and the in-degree-3 join, under every
+// applicable system.
+func BenchmarkDAGScenario(b *testing.B) {
+	s := suite()
+	var janusMC float64
+	for i := 0; i < b.N; i++ {
+		rows, err := s.DAGScenario()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.System == "janus" {
+				janusMC = r.MeanMillicores
+			}
+		}
+	}
+	b.ReportMetric(janusMC, "janus_mean_millicores")
+}
+
 func BenchmarkOverheadOnlineAdaptation(b *testing.B) {
 	s := suite()
 	// Build the deployment once; the benchmark then times raw decisions,

@@ -7,16 +7,17 @@
 //	janusbench -experiment all                 # everything (paper scale)
 //	janusbench -experiment fig4 -quick         # one figure, reduced scale
 //	janusbench -experiment fig9 -parallelism 4 # bound the worker pool
-//	janusbench -list
+//	janusbench -experiment dag                 # arbitrary-DAG scenario
+//	janusbench -list                           # names + descriptions
 //
-// Experiments: fig1a fig1b fig1c fig2 fig4 fig5 fig6 fig7 fig8 fig9
-// sp mix table1 table2 overhead. The sp experiment serves the
+// Run -list for the experiment catalog. The sp experiment serves the
 // series-parallel Video Analyze scenario (fork-join on the cluster
-// substrate) and its arrival-rate sweep. The mix experiment serves the
-// multi-tenant scenario — the IA chain, VA chain, and series-parallel
-// Video Analyze merged into one arrival stream on a shared multi-node
-// cluster — with per-tenant and aggregate tables, a placement-policy
-// comparison, and a node-count scale-out sweep.
+// substrate) and its arrival-rate sweep; dag serves the six-node
+// ML-inference DAG whose cross edge no stage decomposition can express;
+// mix serves the multi-tenant scenario — the IA chain, VA chain, and
+// series-parallel Video Analyze merged into one arrival stream on a
+// shared multi-node cluster — with per-tenant and aggregate tables, a
+// placement-policy comparison, and a node-count scale-out sweep.
 //
 // Serving points fan out over a worker pool (-parallelism, default
 // GOMAXPROCS); results are identical at every setting because requests
@@ -28,7 +29,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"sort"
 	"strings"
 	"time"
 
@@ -43,60 +43,70 @@ func (f stringerFunc) String() string { return f() }
 
 func wrap(s string) fmt.Stringer { return stringerFunc(func() string { return s }) }
 
-var experiments = map[string]runner{
-	"fig1a": func(s *experiment.Suite) (fmt.Stringer, error) { return s.Fig1a() },
-	"fig1b": func(s *experiment.Suite) (fmt.Stringer, error) {
+// exp pairs an experiment's driver with the one-line description -list
+// prints.
+type exp struct {
+	run  runner
+	desc string
+}
+
+var experiments = map[string]exp{
+	"fig1a": {func(s *experiment.Suite) (fmt.Stringer, error) { return s.Fig1a() },
+		"function latency vs CPU allocation (motivation)"},
+	"fig1b": {func(s *experiment.Suite) (fmt.Stringer, error) {
 		rows, err := s.Fig1b()
 		if err != nil {
 			return nil, err
 		}
 		return wrap(experiment.FormatFig1b(rows)), nil
-	},
-	"fig1c": func(s *experiment.Suite) (fmt.Stringer, error) {
+	}, "latency variance across working sets (motivation)"},
+	"fig1c": {func(s *experiment.Suite) (fmt.Stringer, error) {
 		rows, err := s.Fig1c()
 		if err != nil {
 			return nil, err
 		}
 		return wrap(experiment.FormatFig1c(rows)), nil
-	},
-	"fig2": func(s *experiment.Suite) (fmt.Stringer, error) { return s.Fig2(50) },
-	"fig4": func(s *experiment.Suite) (fmt.Stringer, error) {
+	}, "co-location interference slowdowns (motivation)"},
+	"fig2": {func(s *experiment.Suite) (fmt.Stringer, error) { return s.Fig2(50) },
+		"per-request remaining-budget dispersion (motivation)"},
+	"fig4": {func(s *experiment.Suite) (fmt.Stringer, error) {
 		panels, err := s.Fig4()
 		if err != nil {
 			return nil, err
 		}
 		return wrap(experiment.FormatFig4(panels)), nil
-	},
-	"fig5": func(s *experiment.Suite) (fmt.Stringer, error) {
+	}, "end-to-end latency distributions per system"},
+	"fig5": {func(s *experiment.Suite) (fmt.Stringer, error) {
 		panels, err := s.Fig5()
 		if err != nil {
 			return nil, err
 		}
 		return wrap(experiment.FormatFig5(panels)), nil
-	},
-	"fig6": func(s *experiment.Suite) (fmt.Stringer, error) {
+	}, "resource consumption and SLO compliance per system"},
+	"fig6": {func(s *experiment.Suite) (fmt.Stringer, error) {
 		rows, err := s.Fig6()
 		if err != nil {
 			return nil, err
 		}
 		return wrap(experiment.FormatFig6(rows)), nil
-	},
-	"fig7": func(s *experiment.Suite) (fmt.Stringer, error) { return s.Fig7() },
-	"fig8": func(s *experiment.Suite) (fmt.Stringer, error) {
+	}, "SLO sweep: consumption and violations vs objective"},
+	"fig7": {func(s *experiment.Suite) (fmt.Stringer, error) { return s.Fig7() },
+		"head-weight sensitivity of the synthesizer"},
+	"fig8": {func(s *experiment.Suite) (fmt.Stringer, error) {
 		rows, err := s.Fig8()
 		if err != nil {
 			return nil, err
 		}
 		return wrap(experiment.FormatFig8(rows)), nil
-	},
-	"fig9": func(s *experiment.Suite) (fmt.Stringer, error) {
+	}, "hints-table condensing: raw vs condensed sizes"},
+	"fig9": {func(s *experiment.Suite) (fmt.Stringer, error) {
 		rows, err := s.Fig9()
 		if err != nil {
 			return nil, err
 		}
 		return wrap(experiment.FormatFig9(rows)), nil
-	},
-	"sp": func(s *experiment.Suite) (fmt.Stringer, error) {
+	}, "concurrency (batch) sweep per system"},
+	"sp": {func(s *experiment.Suite) (fmt.Stringer, error) {
 		rows, err := s.SPScenario()
 		if err != nil {
 			return nil, err
@@ -106,8 +116,15 @@ var experiments = map[string]runner{
 			return nil, err
 		}
 		return wrap(experiment.FormatSPScenario(rows) + "\n" + experiment.FormatSPArrivalSweep(sweep)), nil
-	},
-	"mix": func(s *experiment.Suite) (fmt.Stringer, error) {
+	}, "series-parallel Video Analyze scenario + arrival sweep"},
+	"dag": {func(s *experiment.Suite) (fmt.Stringer, error) {
+		rows, err := s.DAGScenario()
+		if err != nil {
+			return nil, err
+		}
+		return wrap(experiment.FormatDAGScenario(rows)), nil
+	}, "six-node ML-inference DAG with a cross edge (node-granular engine)"},
+	"mix": {func(s *experiment.Suite) (fmt.Stringer, error) {
 		scenario, err := s.MixScenario()
 		if err != nil {
 			return nil, err
@@ -123,16 +140,29 @@ var experiments = map[string]runner{
 		return wrap(experiment.FormatMixScenario(scenario) + "\n" +
 			experiment.FormatMixPlacement(placement) + "\n" +
 			experiment.FormatMixScaleOut(sweep)), nil
-	},
-	"table1":   func(s *experiment.Suite) (fmt.Stringer, error) { return s.Table1() },
-	"table2":   func(s *experiment.Suite) (fmt.Stringer, error) { return s.Table2() },
-	"overhead": func(s *experiment.Suite) (fmt.Stringer, error) { return s.Overhead() },
+	}, "multi-tenant mixed workloads on a shared cluster"},
+	"table1": {func(s *experiment.Suite) (fmt.Stringer, error) { return s.Table1() },
+		"headline consumption/latency comparison (Table I)"},
+	"table2": {func(s *experiment.Suite) (fmt.Stringer, error) { return s.Table2() },
+		"per-percentile hint usage (Table II)"},
+	"overhead": {func(s *experiment.Suite) (fmt.Stringer, error) { return s.Overhead() },
+		"synthesis and adaptation overhead measurements"},
 }
 
 // order fixes the -experiment all sequence.
 var order = []string{
 	"fig1a", "fig1b", "fig1c", "fig2", "fig4", "fig5",
-	"fig6", "fig7", "fig8", "fig9", "sp", "mix", "table1", "table2", "overhead",
+	"fig6", "fig7", "fig8", "fig9", "sp", "dag", "mix", "table1", "table2", "overhead",
+}
+
+// listString renders the -list output: one "name  description" line per
+// experiment, in the -experiment all order.
+func listString() string {
+	var b strings.Builder
+	for _, n := range order {
+		fmt.Fprintf(&b, "%-9s %s\n", n, experiments[n].desc)
+	}
+	return b.String()
 }
 
 // resolveTargets maps the -experiment flag to the ordered list of
@@ -170,12 +200,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		names := make([]string, 0, len(experiments))
-		for n := range experiments {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		fmt.Println(strings.Join(names, "\n"))
+		fmt.Print(listString())
 		return
 	}
 	par, err := resolveParallelism(*parallelism)
@@ -195,7 +220,7 @@ func main() {
 	suite.SetParallelism(par)
 	for _, n := range targets {
 		start := time.Now()
-		out, err := experiments[n](suite)
+		out, err := experiments[n].run(suite)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "janusbench: %s: %v\n", n, err)
 			os.Exit(1)

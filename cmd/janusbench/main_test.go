@@ -26,7 +26,7 @@ func TestResolveTargetsAll(t *testing.T) {
 }
 
 func TestResolveTargetsSingle(t *testing.T) {
-	for _, name := range []string{"mix", "sp", "fig4", "overhead"} {
+	for _, name := range []string{"mix", "sp", "dag", "fig4", "overhead"} {
 		targets, err := resolveTargets(name)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -58,6 +58,33 @@ func TestResolveParallelism(t *testing.T) {
 	n, err = resolveParallelism(4)
 	if err != nil || n != 4 {
 		t.Fatalf("resolveParallelism(4) = %d, %v", n, err)
+	}
+}
+
+// TestListOutput pins the -list surface: every registered experiment
+// appears exactly once with a non-empty one-line description.
+func TestListOutput(t *testing.T) {
+	out := listString()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != len(experiments) {
+		t.Fatalf("-list prints %d lines for %d experiments:\n%s", len(lines), len(experiments), out)
+	}
+	for i, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			t.Fatalf("line %d lacks a description: %q", i, line)
+		}
+		name := fields[0]
+		e, ok := experiments[name]
+		if !ok {
+			t.Fatalf("line %d names unknown experiment %q", i, name)
+		}
+		if e.desc == "" || !strings.Contains(line, e.desc) {
+			t.Fatalf("line %d does not carry %s's description: %q", i, name, line)
+		}
+	}
+	if !strings.Contains(out, "dag") {
+		t.Fatal("-list omits the dag experiment")
 	}
 }
 

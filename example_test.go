@@ -100,6 +100,83 @@ func ExampleGenerateWorkload() {
 	// draws per request: 3
 }
 
+// ExampleNewDAGWorkflow serves a genuinely non-series-parallel DAG end to
+// end through the facade: a diamond with a cross edge — fetch fans out to
+// a detector and a classifier, the detector also feeds an OCR pass, and
+// everything joins at a fuse node. No stage decomposition exists for this
+// shape; the node-granular engine starts each node the moment its
+// predecessors finish, shares one allocation decision across the
+// detect/classify fork, and makes one decision per decision group against
+// the remaining budget via the hints table for that group's descendant
+// cone.
+func ExampleNewDAGWorkflow() {
+	w, err := janus.NewDAGWorkflow("vision", 1300*time.Millisecond,
+		[]janus.WorkflowNode{
+			{Name: "fetch", Function: "fe"},
+			{Name: "detect", Function: "icl"},
+			{Name: "classify", Function: "ico"},
+			{Name: "ocr", Function: "aes-encrypt"},
+			{Name: "fuse", Function: "redis-read"},
+		},
+		[][2]string{
+			{"fetch", "detect"}, {"fetch", "classify"},
+			{"detect", "ocr"},
+			{"detect", "fuse"}, {"classify", "fuse"}, {"ocr", "fuse"},
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("series-parallel:", w.IsSeriesParallel())
+	fmt.Println("decision groups:", len(w.DecisionGroups()))
+
+	coloc, err := janus.NewColocationSampler([]float64{0.6, 0.3, 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Offline: profile each decision group, synthesize and condense one
+	// hints table per group's descendant cone.
+	dep, err := janus.Deploy(w, janus.DeployOptions{
+		Functions:        janus.Catalog(),
+		Colocation:       coloc,
+		Interference:     janus.DefaultInterference(),
+		Seed:             3,
+		SamplesPerConfig: 400,
+		BudgetStepMs:     25,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hints tables:", dep.Bundle().Stages())
+
+	// Online: serve pre-sampled requests under the adapter.
+	reqs, err := janus.GenerateWorkload(janus.WorkloadConfig{
+		Workflow: w, Functions: janus.Catalog(), N: 40,
+		ArrivalRatePerSec: 2, Colocation: coloc,
+		Interference: janus.DefaultInterference(), StageCorrelation: 0.5, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ex, err := janus.NewExecutor(janus.DefaultExecutorConfig(), janus.Catalog())
+	if err != nil {
+		log.Fatal(err)
+	}
+	traces, err := ex.Run(reqs, dep.Allocator("janus"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("served:", len(traces))
+	fmt.Println("nodes executed:", len(traces[0].Stages))
+	fmt.Println("decisions:", traces[0].Decisions)
+	// Output:
+	// series-parallel: false
+	// decision groups: 4
+	// hints tables: 4
+	// served: 40
+	// nodes executed: 5
+	// decisions: 4
+}
+
 // ExampleExecutor_RunMixed serves two tenants' workloads — each with its
 // own allocator — as one merged arrival stream on one shared two-node
 // cluster, then splits per-tenant metrics out of the mixed trace set.

@@ -1,8 +1,10 @@
 // Package adapter implements Janus's provider-side Adapter (§III-D): the
-// online component that, each time a function in a workflow finishes,
-// derives the remaining time budget, searches the developer's condensed
-// hints table for the remaining sub-workflow, and resizes the next (head)
-// function accordingly.
+// online component that, each time a decision group of a workflow becomes
+// ready (its predecessor functions all finished), derives the remaining
+// time budget, searches the developer's condensed hints table for that
+// group's descendant cone, and sizes the group's pods accordingly. For
+// chain workflows that is exactly the paper's per-function flow: look up
+// the remaining chain suffix, resize the next function.
 //
 // On a table miss — a budget below anything the synthesizer explored,
 // typically caused by unexpected runtime dynamics — the adapter escalates
@@ -120,8 +122,9 @@ func New(b *hints.Bundle, opts ...Option) (*Adapter, error) {
 // Bundle returns the deployed hints bundle.
 func (a *Adapter) Bundle() *hints.Bundle { return a.bundle.Load().b }
 
-// Decide returns the allocation for the head of the sub-workflow starting
-// at stage `suffix`, given the remaining budget until the SLO deadline.
+// Decide returns the allocation for decision group `suffix` — the head of
+// the sub-workflow formed by its descendant cone — given the remaining
+// budget until the SLO deadline.
 // The bundle is snapshotted once, so a concurrent Replace cannot tear a
 // decision across two bundles; the snapshot's epoch travels with the
 // outcome so a decision against a just-replaced bundle cannot leak into
@@ -245,10 +248,10 @@ type Allocator struct {
 func (al *Allocator) Name() string { return al.System }
 
 // Allocate implements platform.Allocator.
-func (al *Allocator) Allocate(req *platform.Request, stage int, remaining time.Duration) (int, bool) {
-	d, err := al.Decide(stage, remaining)
+func (al *Allocator) Allocate(req *platform.Request, group int, remaining time.Duration) (int, bool) {
+	d, err := al.Decide(group, remaining)
 	if err != nil {
-		// Stage indices come from the executor and bundles are validated
+		// Group indices come from the executor and bundles are validated
 		// against the workflow at deployment; a mismatch is a bug.
 		panic(err)
 	}

@@ -2,10 +2,10 @@
 // against (§V-A):
 //
 //   - GrandSLAM: early binding with one identical size for every function
-//     in the chain, the cheapest size whose per-function P99 latencies sum
-//     within the SLO.
+//     in the workflow, the cheapest size whose P99 latencies sum within
+//     the SLO along the layered critical path.
 //   - GrandSLAM+: the paper's enhanced variant that lifts the identical-
-//     size constraint — the cheapest per-function sizes whose P99s sum
+//     size constraint — the cheapest per-layer sizes whose P99s sum
 //     within the SLO.
 //   - ORION: distribution-aware early binding. Instead of summing
 //     per-function P99s (which double-counts tail mass), ORION models the
@@ -32,15 +32,57 @@ import (
 	"janus/internal/workflow"
 )
 
-// GrandSLAM sizes the chain with one identical allocation (its published
-// constraint) at P99.
+// layerPlan maps the workflow's layered critical-path decomposition: the
+// layer sequence of the whole DAG (group 0's cone) plus the layer index of
+// every decision group, so per-layer size vectors expand into the
+// per-group plans the platform's Allocator interface consumes. For chains
+// and series-parallel workflows every layer holds exactly one group and
+// the expansion is the identity.
+type layerPlan struct {
+	// seq holds the layer composite profiles, in execution order.
+	seq []*profile.FunctionProfile
+	// layerOf maps group index -> layer index.
+	layerOf []int
+}
+
+func newLayerPlan(set *profile.Set) (*layerPlan, error) {
+	seq, err := set.ConeProfiles(0)
+	if err != nil {
+		return nil, err
+	}
+	layers := set.Workflow.GroupConeLayers(0)
+	lp := &layerPlan{seq: seq, layerOf: make([]int, set.Len())}
+	for d, layer := range layers {
+		for _, g := range layer {
+			lp.layerOf[g] = d
+		}
+	}
+	return lp, nil
+}
+
+// expand turns a per-layer size vector into a per-group one.
+func (lp *layerPlan) expand(perLayer []int) []int {
+	sizes := make([]int, len(lp.layerOf))
+	for g, d := range lp.layerOf {
+		sizes[g] = perLayer[d]
+	}
+	return sizes
+}
+
+// GrandSLAM sizes the workflow with one identical allocation (its
+// published constraint) at P99: the cheapest size whose per-layer P99
+// latencies sum within the SLO along the layered critical path.
 func GrandSLAM(set *profile.Set, slo time.Duration) (*platform.Fixed, error) {
+	lp, err := newLayerPlan(set)
+	if err != nil {
+		return nil, err
+	}
 	sloMs := int(slo / time.Millisecond)
 	grid := set.At(0).Grid
 	for _, k := range grid.Levels() {
 		total := 0
-		for i := 0; i < set.Len(); i++ {
-			total += set.At(i).LMs(99, k)
+		for _, fp := range lp.seq {
+			total += fp.LMs(99, k)
 		}
 		if total <= sloMs {
 			sizes := make([]int, set.Len())
@@ -53,31 +95,36 @@ func GrandSLAM(set *profile.Set, slo time.Duration) (*platform.Fixed, error) {
 	return nil, fmt.Errorf("baseline: GrandSLAM cannot meet SLO %v even at Kmax", slo)
 }
 
-// GrandSLAMPlus sizes each function independently: the cheapest size vector
-// whose P99 latencies sum within the SLO.
+// GrandSLAMPlus sizes each layer independently: the cheapest size vector
+// whose P99 latencies sum within the SLO along the layered critical path,
+// expanded to one size per decision group.
 func GrandSLAMPlus(set *profile.Set, slo time.Duration) (*platform.Fixed, error) {
-	sizes, ok := minSumSizes(set, int(slo/time.Millisecond))
+	lp, err := newLayerPlan(set)
+	if err != nil {
+		return nil, err
+	}
+	perLayer, ok := minSumSizes(lp.seq, set.At(0).Grid, int(slo/time.Millisecond))
 	if !ok {
 		return nil, fmt.Errorf("baseline: GrandSLAM+ cannot meet SLO %v even at Kmax", slo)
 	}
-	return &platform.Fixed{System: "grandslam+", Sizes: sizes}, nil
+	return &platform.Fixed{System: "grandslam+", Sizes: lp.expand(perLayer)}, nil
 }
 
 // minSumSizes solves min sum(k_i) s.t. sum L_i(99, k_i) <= budgetMs by
-// dynamic programming over stages and budget.
-func minSumSizes(set *profile.Set, budgetMs int) ([]int, bool) {
+// dynamic programming over the layer sequence and budget.
+func minSumSizes(seq []*profile.FunctionProfile, grid profile.Grid, budgetMs int) ([]int, bool) {
 	if budgetMs < 0 {
 		return nil, false
 	}
-	n := set.Len()
-	levels := set.At(0).Grid.Levels()
+	n := len(seq)
+	levels := grid.Levels()
 	width := budgetMs + 1
 	// dp[t] for the current suffix; rebuilt from the back.
 	dp := make([][]int32, n+1)
 	choice := make([][]int16, n)
 	dp[n] = make([]int32, width)
 	for j := n - 1; j >= 0; j-- {
-		fp := set.At(j)
+		fp := seq[j]
 		dp[j] = make([]int32, width)
 		choice[j] = make([]int16, width)
 		for t := 0; t < width; t++ {
@@ -108,7 +155,7 @@ func minSumSizes(set *profile.Set, budgetMs int) ([]int, bool) {
 	for j := 0; j < n; j++ {
 		ki := choice[j][t]
 		sizes[j] = levels[ki]
-		t -= set.At(j).LMs(99, sizes[j])
+		t -= seq[j].LMs(99, sizes[j])
 	}
 	return sizes, true
 }
@@ -215,16 +262,22 @@ func ORION(set *profile.Set, slo time.Duration, cfg ORIONConfig) (*platform.Fixe
 	return &platform.Fixed{System: "orion", Sizes: sizes}, nil
 }
 
-// Optimal is the clairvoyant late-binding oracle. For each request it reads
-// the pre-sampled draws (which make latency a pure function of allocation),
-// solves min sum(B_i * k_i) s.t. sum l_i(k_i) <= SLO by DP, and serves the
-// plan. A fan-out stage completes at its slowest branch, so the stage's
-// latency at allocation k is the maximum branch latency and its cost is k
-// times the branch count. Requests infeasible even at Kmax run entirely at
-// Kmax.
+// Optimal is the clairvoyant late-binding oracle, generalized to per-node
+// plans over arbitrary DAGs. For each request it reads the pre-sampled
+// draws (which make latency a pure function of allocation), solves
+// min sum(B_i * k_i) s.t. sum l_i(k_i) <= SLO by DP over the workflow's
+// layered critical path, and serves the plan. A layer completes at its
+// slowest member node, so its latency at allocation k is the maximum
+// member latency and its cost is k times the member count; the per-layer
+// choice expands to one size per decision group. For chains and fork-join
+// workflows every layer is one stage, so this is exactly the classic
+// per-stage oracle. Requests infeasible even at Kmax run entirely at Kmax.
 type Optimal struct {
-	// fns holds the latency models per stage, one per branch.
-	fns      [][]*perfmodel.Function
+	// members holds, per layer, the (group, member) coordinates and
+	// latency model of every node executing in that layer.
+	members [][]layerMember
+	// layerOf maps group index -> layer index.
+	layerOf  []int
 	grid     profile.Grid
 	headroom time.Duration
 
@@ -232,31 +285,41 @@ type Optimal struct {
 	plans map[int][]int
 }
 
-// NewOptimal builds the oracle for a chain or fork-join workflow. headroom
-// is subtracted from the SLO before planning, covering platform costs
-// outside function execution (pod specialization, adapter decisions).
+type layerMember struct {
+	group, branch int
+	fn            *perfmodel.Function
+}
+
+// NewOptimal builds the oracle for any workflow DAG. headroom is
+// subtracted from the SLO before planning, covering platform costs outside
+// function execution (pod specialization, adapter decisions).
 func NewOptimal(w *workflow.Workflow, fns map[string]*perfmodel.Function, grid profile.Grid, headroom time.Duration) (*Optimal, error) {
-	stages, err := w.SeriesParallel()
-	if err != nil {
-		return nil, err
-	}
 	if err := grid.Validate(); err != nil {
 		return nil, err
 	}
 	if headroom < 0 {
 		return nil, fmt.Errorf("baseline: negative headroom %v", headroom)
 	}
-	o := &Optimal{grid: grid, headroom: headroom, plans: make(map[int][]int)}
-	for _, stage := range stages {
-		branches := make([]*perfmodel.Function, len(stage))
-		for b, node := range stage {
-			f, ok := fns[node.Function]
-			if !ok {
-				return nil, fmt.Errorf("baseline: Optimal missing function %q", node.Function)
+	groups := w.DecisionGroups()
+	layers := w.GroupConeLayers(0)
+	o := &Optimal{
+		grid:     grid,
+		headroom: headroom,
+		layerOf:  make([]int, len(groups)),
+		members:  make([][]layerMember, len(layers)),
+		plans:    make(map[int][]int),
+	}
+	for d, layer := range layers {
+		for _, g := range layer {
+			o.layerOf[g] = d
+			for b, node := range groups[g].Nodes {
+				f, ok := fns[node.Function]
+				if !ok {
+					return nil, fmt.Errorf("baseline: Optimal missing function %q", node.Function)
+				}
+				o.members[d] = append(o.members[d], layerMember{group: g, branch: b, fn: f})
 			}
-			branches[b] = f
 		}
-		o.fns = append(o.fns, branches)
 	}
 	return o, nil
 }
@@ -265,7 +328,7 @@ func NewOptimal(w *workflow.Workflow, fns map[string]*perfmodel.Function, grid p
 func (o *Optimal) Name() string { return "optimal" }
 
 // Allocate implements platform.Allocator.
-func (o *Optimal) Allocate(req *platform.Request, stage int, _ time.Duration) (int, bool) {
+func (o *Optimal) Allocate(req *platform.Request, group int, _ time.Duration) (int, bool) {
 	o.mu.Lock()
 	plan, ok := o.plans[req.ID]
 	o.mu.Unlock()
@@ -275,49 +338,49 @@ func (o *Optimal) Allocate(req *platform.Request, stage int, _ time.Duration) (i
 		o.plans[req.ID] = plan
 		o.mu.Unlock()
 	}
-	return plan[stage], true
+	return plan[o.layerOf[group]], true
 }
 
-// solve runs the per-request DP over (stage, remaining ms).
+// solve runs the per-request DP over (layer, remaining ms).
 func (o *Optimal) solve(req *platform.Request) []int {
-	n := len(o.fns)
+	n := len(o.members)
 	levels := o.grid.Levels()
 	sloMs := int((req.Workflow.SLO() - o.headroom) / time.Millisecond)
 	if sloMs < 0 {
 		sloMs = 0
 	}
-	// latMs[j][ki]: the request's actual stage latency at each allocation —
-	// the slowest branch, since the join waits for it — rounded up so the
+	// latMs[d][ki]: the request's actual layer latency at each allocation —
+	// the slowest member, since the joins wait for it — rounded up so the
 	// plan is never optimistic.
 	latMs := make([][]int, n)
 	minSum, maxSum := 0, 0
-	for j, branches := range o.fns {
-		latMs[j] = make([]int, len(levels))
+	for d, members := range o.members {
+		latMs[d] = make([]int, len(levels))
 		for ki, k := range levels {
 			var worst time.Duration
-			for b, f := range branches {
-				if l := f.Latency(req.Draws[j][b], k); l > worst {
+			for _, m := range members {
+				if l := m.fn.Latency(req.Draws[m.group][m.branch], k); l > worst {
 					worst = l
 				}
 			}
-			latMs[j][ki] = int(worst/time.Millisecond) + 1
+			latMs[d][ki] = int(worst/time.Millisecond) + 1
 		}
-		minSum += latMs[j][0]
-		maxSum += latMs[j][len(levels)-1]
+		minSum += latMs[d][0]
+		maxSum += latMs[d][len(levels)-1]
 	}
 	// Fast paths: the all-minimum plan is the global cheapest when it
 	// fits; nothing helps when even all-Kmax misses.
 	if minSum <= sloMs {
 		plan := make([]int, n)
-		for j := range plan {
-			plan[j] = o.grid.Min
+		for d := range plan {
+			plan[d] = o.grid.Min
 		}
 		return plan
 	}
 	if maxSum > sloMs {
 		plan := make([]int, n)
-		for j := range plan {
-			plan[j] = o.grid.Max
+		for d := range plan {
+			plan[d] = o.grid.Max
 		}
 		return plan
 	}
@@ -325,43 +388,43 @@ func (o *Optimal) solve(req *platform.Request) []int {
 	dp := make([][]int32, n+1)
 	choice := make([][]int16, n)
 	dp[n] = make([]int32, width)
-	for j := n - 1; j >= 0; j-- {
-		dp[j] = make([]int32, width)
-		choice[j] = make([]int16, width)
-		branches := int32(len(o.fns[j]))
+	for d := n - 1; d >= 0; d-- {
+		dp[d] = make([]int32, width)
+		choice[d] = make([]int16, width)
+		pods := int32(len(o.members[d]))
 		for t := 0; t < width; t++ {
 			best := int32(-1)
 			bestKi := int16(-1)
 			for ki := len(levels) - 1; ki >= 0; ki-- {
-				lat := latMs[j][ki]
+				lat := latMs[d][ki]
 				if lat > t {
 					break
 				}
-				if dp[j+1][t-lat] < 0 {
+				if dp[d+1][t-lat] < 0 {
 					continue
 				}
-				cand := int32(levels[ki])*branches + dp[j+1][t-lat]
+				cand := int32(levels[ki])*pods + dp[d+1][t-lat]
 				if best < 0 || cand < best {
 					best, bestKi = cand, int16(ki)
 				}
 			}
-			dp[j][t] = best
-			choice[j][t] = bestKi
+			dp[d][t] = best
+			choice[d][t] = bestKi
 		}
 	}
 	plan := make([]int, n)
 	if dp[0][sloMs] < 0 {
 		// Infeasible request: sprint at Kmax to minimize the violation.
-		for j := range plan {
-			plan[j] = o.grid.Max
+		for d := range plan {
+			plan[d] = o.grid.Max
 		}
 		return plan
 	}
 	t := sloMs
-	for j := 0; j < n; j++ {
-		ki := choice[j][t]
-		plan[j] = levels[ki]
-		t -= latMs[j][ki]
+	for d := 0; d < n; d++ {
+		ki := choice[d][t]
+		plan[d] = levels[ki]
+		t -= latMs[d][ki]
 	}
 	return plan
 }

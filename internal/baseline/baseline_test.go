@@ -304,15 +304,15 @@ func TestNewOptimalValidation(t *testing.T) {
 	if _, err := NewOptimal(workflow.IntelligentAssistant(), perfmodel.Catalog(), profile.Grid{}, 0); err == nil {
 		t.Error("invalid grid accepted")
 	}
-	// Fork-join workflows are in scope now; only non-series-parallel DAGs
-	// (here: a partial join) are rejected.
+	// Arbitrary DAGs are in scope now: a partial join plans per layer of
+	// its group DAG.
 	nodes := []workflow.Node{{Name: "a", Function: "od"}, {Name: "b", Function: "qa"}, {Name: "c", Function: "ts"}, {Name: "d", Function: "ico"}}
-	partial, err := workflow.New("partial", time.Second, nodes, [][2]string{{"a", "b"}, {"a", "c"}, {"b", "d"}})
+	partial, err := workflow.New("partial", time.Second, nodes, [][2]string{{"a", "b"}, {"a", "c"}, {"b", "d"}, {"c", "d"}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewOptimal(partial, perfmodel.Catalog(), profile.DefaultGrid(), 0); err == nil {
-		t.Error("non-series-parallel workflow accepted")
+	if _, err := NewOptimal(partial, perfmodel.Catalog(), profile.DefaultGrid(), 0); err != nil {
+		t.Errorf("general DAG rejected: %v", err)
 	}
 	fan, err := workflow.NewSeriesParallel("fan", time.Second, [][]string{{"od"}, {"qa", "ts"}})
 	if err != nil {
@@ -325,13 +325,14 @@ func TestNewOptimalValidation(t *testing.T) {
 
 func TestMinSumSizesEdgeCases(t *testing.T) {
 	set := iaProfiles(t)
-	if _, ok := minSumSizes(set, -5); ok {
+	grid := set.At(0).Grid
+	if _, ok := minSumSizes(set.Profiles, grid, -5); ok {
 		t.Error("negative budget feasible")
 	}
-	if _, ok := minSumSizes(set, 0); ok {
+	if _, ok := minSumSizes(set.Profiles, grid, 0); ok {
 		t.Error("zero budget feasible")
 	}
-	sizes, ok := minSumSizes(set, 100000)
+	sizes, ok := minSumSizes(set.Profiles, grid, 100000)
 	if !ok {
 		t.Fatal("huge budget infeasible")
 	}

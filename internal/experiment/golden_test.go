@@ -1,0 +1,146 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"janus/internal/platform"
+	"janus/internal/synth"
+	"janus/internal/workflow"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from the current engine output")
+
+// traceDigest renders a trace — including every executed branch — into a
+// stable text form. Only fields that predate the node-granular engine are
+// printed, so the digest is comparable across the stage-indexed and
+// node-granular implementations.
+func traceDigest(tr *platform.Trace) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "req=%d sys=%s arr=%d done=%d e2e=%d slo=%d mc=%d dec=%d miss=%d park=%d\n",
+		tr.RequestID, tr.System, tr.Arrival, tr.Done, tr.E2E, tr.SLO,
+		tr.TotalMillicores, tr.Decisions, tr.Misses, tr.Parked)
+	for _, st := range tr.Stages {
+		fmt.Fprintf(&b, "  fn=%s stage=%d branch=%d node=%d mc=%d start=%d end=%d startup=%d lat=%d cold=%v hit=%v\n",
+			st.Function, st.Stage, st.Branch, st.Node, st.Millicores,
+			st.Start, st.End, st.Startup, st.Latency, st.Cold, st.Hit)
+	}
+	return b.String()
+}
+
+func runHash(traces []platform.Trace) string {
+	h := sha256.New()
+	for i := range traces {
+		fmt.Fprint(h, traceDigest(&traces[i]))
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestChainSPGolden locks the serving and synthesis pipeline byte for byte
+// against golden files captured before the node-granular DAG refactor: the
+// chain workloads (IA, VA) under every system, the series-parallel Video
+// Analyze scenario, the multi-tenant mix, and the Janus bundles behind
+// them. Any drift in draws, decisions, event ordering, or synthesized
+// tables changes a hash. Regenerate with `go test ./internal/experiment
+// -run Golden -update` — but only when a behavior change is intended.
+func TestChainSPGolden(t *testing.T) {
+	s := quickSuite(t)
+	var b strings.Builder
+
+	type grid struct {
+		w       *workflow.Workflow
+		systems []string
+	}
+	spw, err := SPWorkflow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grids := []grid{
+		{workflow.IntelligentAssistant(), AllSystems()},
+		{workflow.VideoAnalyze(), AllSystems()},
+		{spw, SPSystems()},
+	}
+	for _, g := range grids {
+		runs, err := s.RunPoint(g.w, 1, g.systems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sys := range g.systems {
+			r := runs[sys]
+			fmt.Fprintf(&b, "run %s/%v/b1 %s p50=%d p99=%d viol=%.4f mc=%.1f miss=%.4f sha=%s\n",
+				g.w.Name(), g.w.SLO(), sys, r.P50E2E.Milliseconds(), r.P99E2E.Milliseconds(),
+				r.ViolationRate, r.MeanMillicores, r.MissRate, runHash(r.Traces))
+		}
+	}
+
+	// Synthesized Janus bundles: condensed tables per sub-workflow.
+	for _, g := range grids {
+		d, err := s.Deployment(g.w, 1, synth.ModeJanus, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bundle := d.Bundle()
+		fmt.Fprintf(&b, "bundle %s slo=%dms tables=%d ranges=%d\n",
+			bundle.Workflow, bundle.SLOMs, bundle.Stages(), bundle.TotalRanges())
+		for _, tab := range bundle.Tables {
+			fmt.Fprintf(&b, "  table suffix=%d size=%d", tab.Suffix, tab.Size())
+			for _, r := range tab.Ranges {
+				fmt.Fprintf(&b, " [%d,%d]=%d@p%d", r.StartMs, r.EndMs, r.Millicores, r.Percentile)
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+
+	// Formatted scenario output (what janusbench prints).
+	spRows, err := s.SPScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(FormatSPScenario(spRows))
+	sweep, err := s.SPArrivalSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(FormatSPArrivalSweep(sweep))
+	mix, err := s.MixScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(FormatMixScenario(mix))
+
+	got := b.String()
+	path := filepath.Join("testdata", "golden_chain_sp.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		gotLines := strings.Split(got, "\n")
+		wantLines := strings.Split(string(want), "\n")
+		for i := range gotLines {
+			if i >= len(wantLines) || gotLines[i] != wantLines[i] {
+				wantLine := "<eof>"
+				if i < len(wantLines) {
+					wantLine = wantLines[i]
+				}
+				t.Fatalf("chain/SP behavior drifted from the pre-refactor golden at line %d:\n got: %s\nwant: %s", i+1, gotLines[i], wantLine)
+			}
+		}
+		t.Fatalf("chain/SP behavior drifted from the pre-refactor golden (got %d bytes, want %d)", len(got), len(want))
+	}
+}

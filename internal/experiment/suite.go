@@ -21,7 +21,6 @@ import (
 	"janus/internal/core"
 	"janus/internal/flight"
 	"janus/internal/interfere"
-	"janus/internal/parallel"
 	"janus/internal/perfmodel"
 	"janus/internal/platform"
 	"janus/internal/profile"
@@ -170,7 +169,7 @@ func (s *Suite) parallelism() int {
 func (s *Suite) colocationFor(wf string) *interfere.CountSampler {
 	var weights []float64
 	switch wf {
-	case "va", SPWorkflowName:
+	case "va", SPWorkflowName, DAGWorkflowName:
 		weights = []float64{0.4, 0.4, 0.2}
 	default:
 		weights = []float64{0.5, 0.35, 0.15}
@@ -182,11 +181,12 @@ func (s *Suite) colocationFor(wf string) *interfere.CountSampler {
 	return cs
 }
 
-// Profiles returns (cached) profiles for a workflow at a batch size.
-// Chain workflows run the per-function profiler; fork-join workflows run
-// the series-parallel reduction, whose composite (max-of-branches) profiles
-// feed the unmodified synthesizer and sizing baselines. Concurrent callers
-// missing the same key share one computation.
+// Profiles returns (cached) profiles for a workflow at a batch size
+// through the node-granular profiler: chains run the per-function
+// profiler (raw samples retained for ORION); every other DAG profiles one
+// max-over-members composite per decision group — fork-join stages and
+// arbitrary-DAG forks alike. Concurrent callers missing the same key
+// share one computation.
 func (s *Suite) Profiles(w *workflow.Workflow, batch int) (*profile.Set, error) {
 	key := fmt.Sprintf("%s/b%d", w.Name(), batch)
 	v, err := s.flights.Do("profiles/"+key, func() (any, error) {
@@ -196,31 +196,12 @@ func (s *Suite) Profiles(w *workflow.Workflow, batch int) (*profile.Set, error) 
 		if ok {
 			return set, nil
 		}
-		var set2 *profile.Set
-		var err error
-		if w.IsChain() {
-			var prof *profile.Profiler
-			prof, err = profile.NewProfiler(s.functions, s.colocationFor(w.Name()), s.interf, s.cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			prof.SamplesPerConfig = s.cfg.ProfilerSamples
-			set2, err = prof.ProfileWorkflow(w, batch)
-		} else {
-			var pw *parallel.Workflow
-			pw, err = parallel.FromDAG(w)
-			if err != nil {
-				return nil, err
-			}
-			set2, err = parallel.Reduce(pw, parallel.ProfilerConfig{
-				Functions:        s.functions,
-				Colocation:       s.colocationFor(w.Name()),
-				Interference:     s.interf,
-				SamplesPerConfig: s.cfg.ProfilerSamples,
-				Batch:            batch,
-				Seed:             s.cfg.Seed,
-			})
+		prof, err := profile.NewProfiler(s.functions, s.colocationFor(w.Name()), s.interf, s.cfg.Seed)
+		if err != nil {
+			return nil, err
 		}
+		prof.SamplesPerConfig = s.cfg.ProfilerSamples
+		set2, err := prof.ProfileWorkflow(w, batch)
 		if err != nil {
 			return nil, err
 		}
@@ -358,13 +339,9 @@ func (s *Suite) allocator(system string, w *workflow.Workflow, batch int) (platf
 	}
 	switch system {
 	case SysOptimal:
-		// Headroom covers per-stage platform costs outside function
+		// Headroom covers per-decision platform costs outside function
 		// execution: the adapter decision and warm-pod specialization.
-		stages, err := w.SeriesParallel()
-		if err != nil {
-			return nil, err
-		}
-		headroom := time.Duration(len(stages)) * 4 * time.Millisecond
+		headroom := time.Duration(len(w.DecisionGroups())) * 4 * time.Millisecond
 		return baseline.NewOptimal(w, s.functions, set.At(0).Grid, headroom)
 	case SysORION:
 		return baseline.ORION(set, w.SLO(), baseline.ORIONConfig{Seed: s.cfg.Seed, Correlation: StageCorrelation})

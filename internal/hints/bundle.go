@@ -8,7 +8,8 @@ import (
 
 // Bundle is everything the developer submits to the provider's adapter for
 // one (workflow, batch, weight) deployment: a condensed table per
-// sub-workflow suffix plus the escalation ceiling for misses.
+// decision group (covering the group's descendant cone — the chain
+// suffix, for chains) plus the escalation ceiling for misses.
 type Bundle struct {
 	// Workflow names the application.
 	Workflow string `json:"workflow"`
@@ -20,7 +21,8 @@ type Bundle struct {
 	SLOMs int `json:"slo_ms"`
 	// MaxMillicores is the per-function escalation ceiling on table miss.
 	MaxMillicores int `json:"max_millicores"`
-	// Tables holds one condensed table per suffix, index == suffix.
+	// Tables holds one condensed table per decision group, index ==
+	// group index (== chain suffix for chains).
 	Tables []*Table `json:"tables"`
 }
 
@@ -55,7 +57,8 @@ func (b *Bundle) Validate() error {
 	return nil
 }
 
-// Stages reports the number of chain stages covered.
+// Stages reports the number of decision groups covered (the chain length
+// for chain workflows; the name predates the node-granular engine).
 func (b *Bundle) Stages() int { return len(b.Tables) }
 
 // SLO returns the bundle's latency objective.

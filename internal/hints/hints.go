@@ -3,10 +3,12 @@
 // and the provider's adapter searches online.
 //
 // A raw hint maps one candidate time budget (millisecond granularity) to a
-// full allocation plan for a sub-workflow. Because resource adaptation is
-// discrete (allocations move on a 100-millicore grid), long runs of budgets
-// share the same head-function size (Insight-5), and only the head
-// function's field is ever consumed at runtime (Insight-6). Condensing
+// full allocation plan for a sub-workflow: the descendant cone of one
+// decision group of the workflow DAG — for a chain, the classic node
+// suffix. Because resource adaptation is discrete (allocations move on a
+// 100-millicore grid), long runs of budgets share the same head size
+// (Insight-5), and only the head field — the decided group's own
+// allocation — is ever consumed at runtime (Insight-6). Condensing
 // (Algorithm 2) therefore fuses runs of equal head sizes into
 // <start, end, size> ranges, compressing tables by ~99% in the paper
 // without losing any adaptation accuracy.
@@ -35,9 +37,11 @@ type Hint struct {
 }
 
 // RawTable is the uncondensed output of hints generation for one
-// sub-workflow (suffix) of the chain.
+// sub-workflow: the descendant cone of one decision group.
 type RawTable struct {
-	// Suffix is the stage index where the sub-workflow starts.
+	// Suffix is the decision-group index whose cone the table covers. The
+	// name is kept from the chain era, where group i's cone is exactly
+	// the suffix of the chain starting at node i.
 	Suffix int `json:"suffix"`
 	// Weight is the head-function weight W the hints were generated with.
 	Weight float64 `json:"weight"`
@@ -80,11 +84,13 @@ type Range struct {
 	Percentile int `json:"percentile"`
 }
 
-// Table is the condensed hints table for one sub-workflow.
+// Table is the condensed hints table for one sub-workflow (one decision
+// group's descendant cone).
 type Table struct {
 	// Workflow names the application the table belongs to.
 	Workflow string `json:"workflow"`
-	// Suffix is the sub-workflow's starting stage.
+	// Suffix is the decision-group index whose cone the table covers
+	// (the chain-suffix index for chain workflows).
 	Suffix int `json:"suffix"`
 	// Batch is the concurrency the table was synthesized for.
 	Batch int `json:"batch"`

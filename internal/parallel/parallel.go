@@ -1,31 +1,23 @@
-// Package parallel extends Janus beyond linear chains to series-parallel
-// workflows — the "support for more complex workflows" the paper lists as
-// future work (§VII).
+// Package parallel is the series-parallel convenience surface over the
+// node-granular DAG engine: a fork-join workflow described as stages
+// (the Parallel state of Amazon States Language) converts to a
+// workflow.Workflow DAG (DAG/FromDAG) and from there every generalized
+// component applies unchanged — profiling, synthesis, and serving all
+// operate on decision groups, of which SP stages are the special case.
 //
-// A series-parallel workflow is a sequence of stages, each fanning out to
-// one or more functions that run concurrently and join before the next
-// stage (the Parallel state of Amazon States Language). The extension
-// reduces such a workflow to an *effective chain* the unmodified
-// synthesizer and adapter can serve:
+// Historically this package owned the series-parallel reduction: each
+// parallel stage became one composite pseudo-function whose latency
+// distribution is the maximum over its branches, feeding the chain-only
+// synthesizer. That reduction now lives in the profile package as
+// per-decision-group profiling (profile.Profiler.ProfileGroup), where it
+// serves arbitrary DAGs; ProfileStage and Reduce remain as thin wrappers
+// with their original signatures and byte-identical output.
 //
-//   - each parallel stage becomes one composite pseudo-function whose
-//     latency distribution is the maximum over its branches (profiled by
-//     Monte-Carlo over the branch models), and
-//   - an adaptation decision of k millicores for a stage allocates k to
-//     every branch, so a stage with B branches consumes B*k.
-//
-// Because the join waits for the slowest branch, the composite P99 heads
-// toward the branches' joint tail — exactly the distribution the hints
-// must budget for. Everything downstream of the reduction (Algorithm 1,
-// condensing, the adapter, miss supervision) is reused unchanged.
-//
-// Serving does NOT go through the reduction: Serve and ServeTraces run the
-// workflow's fork-join DAG on the discrete-event serving plane
-// (platform.Executor), where every branch holds its own pod and is
-// independently subject to warm-pool hits, cold starts, capacity queueing,
-// and live co-location interference. The reduction exists so the chain
-// synthesizer can produce hints; the cluster substrate is shared with the
-// chain experiments.
+// Serving never goes through any reduction: Serve and ServeTraces run the
+// workflow DAG on the discrete-event serving plane (platform.Executor),
+// where every node holds its own pod and is independently subject to
+// warm-pool hits, cold starts, capacity queueing, and live co-location
+// interference.
 package parallel
 
 import (
@@ -35,8 +27,6 @@ import (
 	"janus/internal/interfere"
 	"janus/internal/perfmodel"
 	"janus/internal/profile"
-	"janus/internal/rng"
-	"janus/internal/stats"
 	"janus/internal/workflow"
 )
 
@@ -181,99 +171,58 @@ func (c *ProfilerConfig) defaults() error {
 	return nil
 }
 
-// ProfileStage measures one stage's composite latency: per allocation k,
-// every branch runs at k and the stage completes at the slowest branch.
-func ProfileStage(st Stage, cfg ProfilerConfig) (*profile.FunctionProfile, error) {
-	if err := cfg.defaults(); err != nil {
+// profiler materializes the config as the generalized profile.Profiler.
+func (c *ProfilerConfig) profiler() (*profile.Profiler, error) {
+	if err := c.defaults(); err != nil {
 		return nil, err
 	}
-	fns := make([]*perfmodel.Function, len(st.Functions))
-	for i, name := range st.Functions {
-		fn, ok := cfg.Functions[name]
-		if !ok {
-			return nil, fmt.Errorf("parallel: unknown function %q", name)
-		}
-		if !fn.SupportsBatch(cfg.Batch) {
-			return nil, fmt.Errorf("parallel: function %s does not support batch %d", name, cfg.Batch)
-		}
-		fns[i] = fn
-	}
-	compositeName := st.Functions[0]
-	if len(st.Functions) > 1 {
-		compositeName = fmt.Sprintf("par(%d)", len(st.Functions))
-		for _, f := range st.Functions {
-			compositeName += "+" + f
-		}
-	}
-	levels := cfg.Grid.Levels()
-	lat := make([][]int, len(cfg.Percentiles))
-	for i := range lat {
-		lat[i] = make([]int, len(levels))
-	}
-	for ki, k := range levels {
-		stream := rng.New(cfg.Seed).Split(fmt.Sprintf("parallel/%s/b%d/k%d", compositeName, cfg.Batch, k))
-		sample := &stats.Sample{}
-		for i := 0; i < cfg.SamplesPerConfig; i++ {
-			var worst time.Duration
-			for _, fn := range fns {
-				coloc := cfg.Colocation.Sample(stream)
-				d := fn.NewDraw(stream, cfg.Batch, coloc, cfg.Interference)
-				if l := fn.Latency(d, k); l > worst {
-					worst = l
-				}
-			}
-			sample.AddDuration(worst)
-		}
-		for pi, pct := range cfg.Percentiles {
-			lat[pi][ki] = int(sample.Percentile(float64(pct))) + 1
-		}
-	}
-	// Iron out sampling noise exactly as the chain profiler does.
-	for pi := range lat {
-		for ki := len(levels) - 2; ki >= 0; ki-- {
-			if lat[pi][ki] < lat[pi][ki+1] {
-				lat[pi][ki] = lat[pi][ki+1]
-			}
-		}
-	}
-	for pi := 1; pi < len(lat); pi++ {
-		for ki := range lat[pi] {
-			if lat[pi][ki] < lat[pi-1][ki] {
-				lat[pi][ki] = lat[pi-1][ki]
-			}
-		}
-	}
-	return profile.NewFunctionProfile(compositeName, cfg.Batch, cfg.Grid, cfg.Percentiles, lat)
-}
-
-// Reduce profiles every stage and assembles the effective-chain profile
-// set the unmodified synthesizer consumes. The returned workflow's nodes
-// are the composite pseudo-functions.
-func Reduce(w *Workflow, cfg ProfilerConfig) (*profile.Set, error) {
-	if err := w.Validate(); err != nil {
-		return nil, err
-	}
-	profiles := make([]*profile.FunctionProfile, len(w.Stages))
-	names := make([]string, len(w.Stages))
-	for i, st := range w.Stages {
-		fp, err := ProfileStage(st, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("parallel: stage %d: %w", i, err)
-		}
-		profiles[i] = fp
-		names[i] = fmt.Sprintf("s%d:%s", i, fp.Function)
-	}
-	nodes := make([]workflow.Node, len(names))
-	edges := make([][2]string, 0, len(names)-1)
-	for i, n := range names {
-		nodes[i] = workflow.Node{Name: n, Function: profiles[i].Function}
-		if i > 0 {
-			edges = append(edges, [2]string{names[i-1], n})
-		}
-	}
-	chain, err := workflow.New(w.Name, w.SLO, nodes, edges)
+	p, err := profile.NewProfiler(c.Functions, c.Colocation, c.Interference, c.Seed)
 	if err != nil {
 		return nil, err
 	}
-	return &profile.Set{Workflow: chain, Batch: profiles[0].Batch, Profiles: profiles}, nil
+	p.SamplesPerConfig = c.SamplesPerConfig
+	p.Grid = c.Grid
+	p.Percentiles = c.Percentiles
+	return p, nil
+}
+
+// ProfileStage measures one stage's composite latency: per allocation k,
+// every branch runs at k and the stage completes at the slowest branch.
+// It is a thin wrapper over per-decision-group profiling
+// (profile.Profiler.ProfileGroup), which generalized the reduction to
+// arbitrary DAGs.
+func ProfileStage(st Stage, cfg ProfilerConfig) (*profile.FunctionProfile, error) {
+	if len(st.Functions) == 0 {
+		return nil, fmt.Errorf("parallel: stage has no functions")
+	}
+	p, err := cfg.profiler()
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]workflow.Node, len(st.Functions))
+	for i, f := range st.Functions {
+		nodes[i] = workflow.Node{Name: f, Function: f}
+	}
+	fp, err := p.ProfileGroup(workflow.Group{Nodes: nodes}, cfg.Batch)
+	if err != nil {
+		return nil, fmt.Errorf("parallel: %w", err)
+	}
+	return fp, nil
+}
+
+// Reduce profiles every stage and assembles the per-group profile set the
+// synthesizer consumes — a thin wrapper over the node-granular profiler
+// applied to the workflow's fork-join DAG. The returned set's workflow is
+// that DAG; its profiles are the composite pseudo-functions, one per
+// decision group (= stage).
+func Reduce(w *Workflow, cfg ProfilerConfig) (*profile.Set, error) {
+	dag, err := w.DAG()
+	if err != nil {
+		return nil, err
+	}
+	p, err := cfg.profiler()
+	if err != nil {
+		return nil, err
+	}
+	return p.ProfileWorkflow(dag, cfg.Batch)
 }

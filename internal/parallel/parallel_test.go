@@ -120,8 +120,13 @@ func TestReduceBuildsEffectiveChain(t *testing.T) {
 	if set.Len() != 3 {
 		t.Fatalf("effective chain has %d stages", set.Len())
 	}
-	if !set.Workflow.IsChain() {
-		t.Fatal("reduction did not produce a chain")
+	// The set's workflow is the fork-join DAG itself; the per-group
+	// profiles form the effective chain the synthesizer consumes.
+	if set.Workflow.IsChain() || !set.Workflow.IsSeriesParallel() {
+		t.Fatal("reduction should keep the fork-join DAG")
+	}
+	if got := len(set.Groups()); got != 3 {
+		t.Fatalf("workflow has %d decision groups", got)
 	}
 	if set.Workflow.SLO() != 3500*time.Millisecond {
 		t.Fatalf("SLO lost: %v", set.Workflow.SLO())
@@ -376,5 +381,27 @@ func TestWorkflowDAGRoundTrip(t *testing.T) {
 	}
 	if _, err := VideoAnalyze().DAG(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSingleStageForkDAG is the regression test for the disconnected-node
+// validation: a one-stage parallel workflow (a pure fork-join map)
+// converts to a DAG with multiple nodes and zero edges, which must stay
+// valid — all members form one decision group and join at completion.
+func TestSingleStageForkDAG(t *testing.T) {
+	w := &Workflow{Name: "map", SLO: 2 * time.Second, Stages: []Stage{{Functions: []string{"qa", "ts"}}}}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dag, err := w.DAG()
+	if err != nil {
+		t.Fatalf("single-stage fork rejected: %v", err)
+	}
+	groups := dag.DecisionGroups()
+	if len(groups) != 1 || len(groups[0].Nodes) != 2 {
+		t.Fatalf("fork groups = %+v", groups)
+	}
+	if _, err := Reduce(w, testConfig(t)); err != nil {
+		t.Fatalf("single-stage fork reduction failed: %v", err)
 	}
 }

@@ -7,14 +7,15 @@ import (
 	"janus/internal/stats"
 )
 
-// Fixed is the simplest Allocator: immutable per-stage sizes, which is
-// exactly the early-binding contract (sizes chosen at deployment, never
-// adapted). The early-binding baselines wrap it with their sizing policies.
+// Fixed is the simplest Allocator: immutable per-decision-group sizes,
+// which is exactly the early-binding contract (sizes chosen at
+// deployment, never adapted). The early-binding baselines wrap it with
+// their sizing policies.
 type Fixed struct {
 	// System is the display name.
 	System string
-	// Sizes holds one millicore allocation per stage; a fan-out stage
-	// runs every branch at its stage's size.
+	// Sizes holds one millicore allocation per decision group; a fork
+	// group runs every member at its group's size.
 	Sizes []int
 }
 
@@ -22,11 +23,11 @@ type Fixed struct {
 func (f *Fixed) Name() string { return f.System }
 
 // Allocate implements Allocator, ignoring runtime information.
-func (f *Fixed) Allocate(req *Request, stage int, _ time.Duration) (int, bool) {
-	if stage < 0 || stage >= len(f.Sizes) {
-		panic(fmt.Sprintf("platform: Fixed allocator for %d stages asked for stage %d", len(f.Sizes), stage))
+func (f *Fixed) Allocate(req *Request, group int, _ time.Duration) (int, bool) {
+	if group < 0 || group >= len(f.Sizes) {
+		panic(fmt.Sprintf("platform: Fixed allocator for %d groups asked for group %d", len(f.Sizes), group))
 	}
-	return f.Sizes[stage], true
+	return f.Sizes[group], true
 }
 
 // E2ESample extracts the end-to-end latency distribution (ms) of traces.

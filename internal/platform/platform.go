@@ -1,19 +1,25 @@
 // Package platform simulates the serverless provider's serving plane: it
-// admits workflow requests, drives their stage-by-stage execution over the
+// admits workflow requests, drives their node-by-node execution over the
 // cluster substrate, and consults a pluggable Allocator for the millicore
-// allocation of every stage.
+// allocation of every decision group.
 //
-// Workflows may be chains or general fork-join (series-parallel) DAGs.
-// A fan-out stage acquires one pod per branch — each branch independently
-// subject to warm-pool hits, cold starts, and capacity parking — runs the
-// branches concurrently on the simulated clock, and joins when the slowest
-// branch releases its pod. The stage's allocation decision is made once and
-// applies to every branch.
+// Workflows are arbitrary DAGs. The engine is a per-node readiness
+// scheduler: a node starts the moment all its predecessors have completed,
+// and joins happen implicitly at nodes with in-degree > 1 — no stage
+// barrier exists. Nodes sharing an identical predecessor set (a decision
+// group, see workflow.DecisionGroups) become ready at the same instant and
+// share one allocation decision, made against the critical-path remaining
+// budget (SLO − elapsed); each member node acquires its own pod —
+// independently subject to warm-pool hits, cold starts, and capacity
+// parking — and runs concurrently on the simulated clock. Chains (every
+// group one node) and series-parallel workflows (groups are exactly the
+// fork-join stages) are special cases of the same engine, reproduced
+// byte for byte.
 //
 // The Allocator interface is the single point where serving systems differ:
 //
 //   - early-binding baselines (GrandSLAM, GrandSLAM+, ORION) return fixed
-//     per-stage sizes decided at deployment;
+//     per-group sizes decided at deployment;
 //   - Janus's adapter derives the remaining time budget when a function
 //     finishes and looks up the developer's condensed hints table;
 //   - the clairvoyant Optimal oracle inspects the request's pre-sampled
@@ -49,12 +55,13 @@ type Request struct {
 	ID int
 	// Workflow is the application being served.
 	Workflow *workflow.Workflow
-	// Stages caches the workflow's fork-join decomposition in execution
-	// order: Stages[s] lists the branch nodes running concurrently in
-	// stage s. Chain workflows have exactly one branch per stage.
-	Stages [][]workflow.Node
-	// Draws holds one pre-sampled draw per branch, Draws[s][b] matching
-	// Stages[s][b].
+	// Groups caches the workflow's decision-group partition in group
+	// order: Groups[g] lists the member nodes that become ready together
+	// and share one allocation decision. Chains have one node per group;
+	// series-parallel workflows have one group per fork-join stage.
+	Groups [][]workflow.Node
+	// Draws holds one pre-sampled draw per node, Draws[g][b] matching
+	// Groups[g][b].
 	Draws [][]perfmodel.Draw
 	// Arrival is the request's admission time.
 	Arrival time.Duration
@@ -63,26 +70,36 @@ type Request struct {
 	Batch int
 }
 
-// Allocator decides the millicore allocation for a request stage. One
-// decision is made per stage; a fan-out stage runs every branch at the
-// decided size (a stage with B branches consumes B times the decision).
+// Allocator decides the millicore allocation for a request's decision
+// group. One decision is made per group, at the instant the group's
+// predecessors have all completed; every member node runs at the decided
+// size (a group with B members consumes B times the decision). For chain
+// workflows the group index is the classic stage index.
 type Allocator interface {
 	// Name identifies the serving system in experiment output.
 	Name() string
-	// Allocate returns the allocation for stage `stage` of req, given the
-	// remaining time budget until the SLO deadline, plus whether the
-	// decision was a (hints-table) hit. Systems without a hints table
-	// report true.
-	Allocate(req *Request, stage int, remaining time.Duration) (millicores int, hit bool)
+	// Allocate returns the allocation for decision group `group` of req,
+	// given the critical-path remaining time budget until the SLO deadline
+	// (SLO − elapsed; the group's hints table resolves the budget over its
+	// descendant cone), plus whether the decision was a (hints-table) hit.
+	// Systems without a hints table report true.
+	Allocate(req *Request, group int, remaining time.Duration) (millicores int, hit bool)
 }
 
-// StageTrace records one executed branch of a stage.
+// StageTrace records one executed node of a request. The name is kept
+// from the stage-indexed engine: Stage is the node's decision-group index
+// and Branch its position within the group, which for chains and
+// series-parallel workflows are exactly the old stage/branch coordinates.
 type StageTrace struct {
 	Function string
-	Stage    int
-	Branch   int
-	// Node is the cluster node the branch's pod ran on — the placement
-	// the configured cluster policy chose.
+	// Step is the workflow node's step name — the node identity the
+	// stage-indexed engine could not express.
+	Step  string
+	Stage int
+	// Branch is the node's position within its decision group.
+	Branch int
+	// Node is the cluster node the pod ran on — the placement the
+	// configured cluster policy chose.
 	Node       int
 	Millicores int
 	Start      time.Duration
@@ -104,17 +121,17 @@ type Trace struct {
 	Done      time.Duration
 	E2E       time.Duration
 	SLO       time.Duration
-	// Stages holds one entry per executed branch, in completion order.
+	// Stages holds one entry per executed node, in completion order.
 	Stages          []StageTrace
 	TotalMillicores int
-	// Decisions counts allocation decisions (one per stage — a fan-out
-	// stage's branches share one decision).
+	// Decisions counts allocation decisions (one per decision group — a
+	// fork group's members share one decision).
 	Decisions int
 	// Misses counts hints-table misses among those decisions.
 	Misses int
-	// Parked counts the request's branch acquisitions that queued on
+	// Parked counts the request's pod acquisitions that queued on
 	// exhausted cluster capacity — one per queueing episode, however many
-	// pod releases the branch slept through before fitting.
+	// pod releases the node slept through before fitting.
 	Parked int
 }
 
@@ -123,8 +140,8 @@ func (t *Trace) SLOMet() bool { return t.E2E <= t.SLO }
 
 // WorkloadConfig drives request generation.
 type WorkloadConfig struct {
-	// Workflow to execute; must decompose into fork-join stages (chains
-	// included — see workflow.Workflow.SeriesParallel).
+	// Workflow to execute; any DAG is valid (chains and fork-joins
+	// included).
 	Workflow *workflow.Workflow
 	// Functions resolves node function names to latency models.
 	Functions map[string]*perfmodel.Function
@@ -153,15 +170,15 @@ type WorkloadConfig struct {
 }
 
 // GenerateWorkload materializes the request sequence with pre-sampled
-// draws — one per branch of every stage, so fan-out stages face
-// independently drawn runtime conditions across their branches.
+// draws — one per node of every decision group, so forks face
+// independently drawn runtime conditions across their members.
 func GenerateWorkload(cfg WorkloadConfig) ([]*Request, error) {
 	if cfg.Workflow == nil {
 		return nil, fmt.Errorf("platform: workload needs a workflow")
 	}
-	stages, err := cfg.Workflow.SeriesParallel()
-	if err != nil {
-		return nil, err
+	var stages [][]workflow.Node
+	for _, g := range cfg.Workflow.DecisionGroups() {
+		stages = append(stages, g.Nodes)
 	}
 	if cfg.N <= 0 {
 		return nil, fmt.Errorf("platform: workload needs N > 0, got %d", cfg.N)
@@ -220,7 +237,7 @@ func GenerateWorkload(cfg WorkloadConfig) ([]*Request, error) {
 		reqs[i] = &Request{
 			ID:       i,
 			Workflow: cfg.Workflow,
-			Stages:   stages,
+			Groups:   stages,
 			Draws:    draws,
 			Arrival:  at,
 			Batch:    cfg.Batch,
@@ -323,12 +340,15 @@ type runState struct {
 	cluster *cluster.Cluster
 	tenants []*tenantRun
 	stream  *rng.Stream
-	// done counts requests whose final stage joined, across all tenants;
+	// plans caches the readiness structure per workflow: requests of one
+	// workload share one plan.
+	plans map[*workflow.Workflow]*dagPlan
+	// done counts requests whose last node finished, across all tenants;
 	// RunMixed compares it to the merged request count so starved requests
 	// surface as an error instead of draining out as zero-value traces.
 	done  int
 	total int
-	// waiting holds branch continuations blocked on pod capacity, FIFO.
+	// waiting holds node continuations blocked on pod capacity, FIFO.
 	// Capacity freed by any release can unblock any tenant's waiter (a
 	// node hosts pods of every function), so the queue is global — which
 	// is exactly the cross-tenant contention a shared substrate implies.
@@ -336,11 +356,62 @@ type runState struct {
 	failed  error
 }
 
-// join tracks one fan-out stage's outstanding branches; the stage
-// completes — and the next stage (or the request) may proceed — when the
-// slowest branch releases its pod.
-type join struct {
-	pending int
+// dagPlan is the precomputed readiness structure of one workflow DAG: how
+// many predecessor nodes gate each decision group and which groups each
+// node's completion advances. It is derived once per workflow and shared
+// by every request (and tenant) serving it.
+type dagPlan struct {
+	groups [][]workflow.Node
+	// predCount[g] is the number of distinct predecessor nodes of group g;
+	// the group becomes ready when that many completions have arrived.
+	predCount []int
+	// dependents maps a step name to the groups (ascending) whose
+	// predecessor set contains it.
+	dependents map[string][]int
+	// nodes is the total node count; a request completes when that many
+	// nodes have finished.
+	nodes int
+}
+
+func newDAGPlan(w *workflow.Workflow) *dagPlan {
+	decision := w.DecisionGroups()
+	p := &dagPlan{
+		groups:     make([][]workflow.Node, len(decision)),
+		predCount:  make([]int, len(decision)),
+		dependents: make(map[string][]int),
+	}
+	for g, grp := range decision {
+		p.groups[g] = grp.Nodes
+		p.predCount[g] = len(grp.Preds)
+		p.nodes += len(grp.Nodes)
+		for _, pred := range grp.Preds {
+			p.dependents[pred] = append(p.dependents[pred], g)
+		}
+	}
+	return p
+}
+
+func (st *runState) planFor(w *workflow.Workflow) *dagPlan {
+	p, ok := st.plans[w]
+	if !ok {
+		p = newDAGPlan(w)
+		st.plans[w] = p
+	}
+	return p
+}
+
+// reqState is one in-flight request: its trace accumulator plus the
+// per-group readiness countdowns.
+type reqState struct {
+	tn   *tenantRun
+	r    *Request
+	plan *dagPlan
+	acc  *Trace
+	// pending[g] counts the group's unfinished predecessor nodes; the
+	// group starts when it reaches zero.
+	pending []int
+	// remaining counts unfinished nodes; the request completes at zero.
+	remaining int
 }
 
 // Run serves the requests with the given allocator and returns one trace
@@ -401,13 +472,33 @@ func (e *Executor) RunMixed(tenants []TenantWorkload) (map[string][]Trace, error
 	if err != nil {
 		return nil, err
 	}
-	// Deploy the union of every tenant's functions once: tenants running
-	// the same function share its warm pool and co-location census.
+	st := &runState{
+		ex:      e,
+		engine:  simclock.New(),
+		cluster: cl,
+		stream:  rng.New(e.cfg.Seed).Split("executor"),
+		plans:   make(map[*workflow.Workflow]*dagPlan),
+		total:   total,
+	}
+	// Validate every request against the plan the engine will actually
+	// execute — the workflow-derived decision groups, not the request's
+	// cached copy — and deploy the union of every tenant's functions
+	// once: tenants running the same function share its warm pool and
+	// co-location census.
 	deployed := map[string]bool{}
 	for _, tw := range tenants {
 		for _, r := range tw.Requests {
-			for _, stage := range r.Stages {
-				for _, n := range stage {
+			plan := st.planFor(r.Workflow)
+			if len(r.Groups) != len(plan.groups) || len(r.Draws) != len(plan.groups) {
+				return nil, fmt.Errorf("platform: tenant %q request %d carries %d groups / %d draw rows, workflow %s has %d decision groups",
+					tw.Tenant, r.ID, len(r.Groups), len(r.Draws), r.Workflow.Name(), len(plan.groups))
+			}
+			for g, group := range plan.groups {
+				if len(r.Groups[g]) != len(group) || len(r.Draws[g]) != len(group) {
+					return nil, fmt.Errorf("platform: tenant %q request %d group %d carries %d members / %d draws, workflow %s has %d",
+						tw.Tenant, r.ID, g, len(r.Groups[g]), len(r.Draws[g]), r.Workflow.Name(), len(group))
+				}
+				for _, n := range group {
 					if _, ok := e.fns[n.Function]; !ok {
 						return nil, fmt.Errorf("platform: tenant %q request %d references unknown function %q", tw.Tenant, r.ID, n.Function)
 					}
@@ -421,13 +512,6 @@ func (e *Executor) RunMixed(tenants []TenantWorkload) (map[string][]Trace, error
 			}
 		}
 	}
-	st := &runState{
-		ex:      e,
-		engine:  simclock.New(),
-		cluster: cl,
-		stream:  rng.New(e.cfg.Seed).Split("executor"),
-		total:   total,
-	}
 	// Admissions are scheduled tenant by tenant in input order; the event
 	// engine merges them by arrival time, breaking ties by scheduling
 	// sequence, so the interleaving is a pure function of the inputs and
@@ -437,7 +521,8 @@ func (e *Executor) RunMixed(tenants []TenantWorkload) (map[string][]Trace, error
 		st.tenants = append(st.tenants, tn)
 		for _, r := range tw.Requests {
 			r := r
-			st.engine.ScheduleAt(r.Arrival, func(time.Duration) { st.startStage(tn, r, 0, nil) })
+			plan := st.planFor(r.Workflow)
+			st.engine.ScheduleAt(r.Arrival, func(time.Duration) { st.startRequest(tn, r, plan) })
 		}
 	}
 	st.engine.Run()
@@ -451,7 +536,7 @@ func (e *Executor) RunMixed(tenants []TenantWorkload) (map[string][]Trace, error
 				starved += fmt.Sprintf(" %s:%d", tn.name, missing)
 			}
 		}
-		return nil, fmt.Errorf("platform: %d of %d requests never completed (allocation cannot be placed on any node; %d branch continuation(s) still parked; per tenant:%s)",
+		return nil, fmt.Errorf("platform: %d of %d requests never completed (allocation cannot be placed on any node; %d node continuation(s) still parked; per tenant:%s)",
 			total-st.done, total, len(st.waiting), starved)
 	}
 	out := make(map[string][]Trace, len(st.tenants))
@@ -461,61 +546,87 @@ func (e *Executor) RunMixed(tenants []TenantWorkload) (map[string][]Trace, error
 	return out, nil
 }
 
-// startStage makes the stage's allocation decision — exactly once, even if
-// branches later stall on capacity — and launches every branch.
-func (st *runState) startStage(tn *tenantRun, r *Request, stage int, acc *Trace) {
+// startRequest admits one request: it arms the readiness countdowns and
+// starts every group with no predecessors (the root group).
+func (st *runState) startRequest(tn *tenantRun, r *Request, plan *dagPlan) {
 	if st.failed != nil {
 		return
 	}
-	if acc == nil {
-		acc = &Trace{RequestID: r.ID, Tenant: tn.name, System: tn.alloc.Name(), Arrival: r.Arrival, SLO: r.Workflow.SLO()}
+	rs := &reqState{
+		tn:        tn,
+		r:         r,
+		plan:      plan,
+		acc:       &Trace{RequestID: r.ID, Tenant: tn.name, System: tn.alloc.Name(), Arrival: r.Arrival, SLO: r.Workflow.SLO()},
+		pending:   append([]int(nil), plan.predCount...),
+		remaining: plan.nodes,
 	}
-	now := st.engine.Now()
-	remaining := r.Workflow.SLO() - (now - r.Arrival)
-	mc, hit := tn.alloc.Allocate(r, stage, remaining)
-	if mc <= 0 {
-		st.fail(fmt.Errorf("platform: allocator %s returned non-positive allocation %d", tn.alloc.Name(), mc))
+	for g := range rs.pending {
+		if rs.pending[g] == 0 {
+			st.startGroup(rs, g)
+			if st.failed != nil {
+				return
+			}
+		}
+	}
+}
+
+// startGroup makes the group's allocation decision — exactly once, even if
+// member nodes later stall on capacity — and launches every member. The
+// budget handed to the allocator is the critical-path remaining budget
+// SLO − elapsed: the group's descendant cone (every path from here to the
+// workflow's sinks) must complete within it, and the group's hints table
+// splits it over the cone's critical path, so no further scaling is
+// applied at decision time.
+func (st *runState) startGroup(rs *reqState, group int) {
+	if st.failed != nil {
 		return
 	}
-	acc.Decisions++
-	if !hit {
-		acc.Misses++
+	now := st.engine.Now()
+	remaining := rs.r.Workflow.SLO() - (now - rs.r.Arrival)
+	mc, hit := rs.tn.alloc.Allocate(rs.r, group, remaining)
+	if mc <= 0 {
+		st.fail(fmt.Errorf("platform: allocator %s returned non-positive allocation %d", rs.tn.alloc.Name(), mc))
+		return
 	}
-	j := &join{pending: len(r.Stages[stage])}
-	for b := range r.Stages[stage] {
-		st.startBranch(tn, r, stage, b, mc, hit, acc, j, false)
+	rs.acc.Decisions++
+	if !hit {
+		rs.acc.Misses++
+	}
+	for b := range rs.plan.groups[group] {
+		st.startNode(rs, group, b, mc, hit, false)
 		if st.failed != nil {
 			return
 		}
 	}
 }
 
-// startBranch acquires a pod for one branch of a stage, parking the
-// acquisition (not the decision — that is already made and paid for) when
-// the cluster lacks capacity. retried marks a wake()-driven re-attempt: a
-// branch counts one Parked queueing episode no matter how many releases it
-// sleeps through before fitting.
-func (st *runState) startBranch(tn *tenantRun, r *Request, stage, branch, mc int, hit bool, acc *Trace, j *join, retried bool) {
+// startNode acquires a pod for one node, parking the acquisition (not the
+// decision — that is already made and paid for) when the cluster lacks
+// capacity. retried marks a wake()-driven re-attempt: a node counts one
+// Parked queueing episode no matter how many releases it sleeps through
+// before fitting.
+func (st *runState) startNode(rs *reqState, group, member, mc int, hit, retried bool) {
 	if st.failed != nil {
 		return
 	}
-	fn := r.Stages[stage][branch].Function
+	fn := rs.plan.groups[group][member].Function
 	pod, cold, err := st.cluster.Acquire(fn, mc)
 	if err != nil {
 		// No capacity right now: park the continuation until a release.
-		// Each branch parks independently — its siblings keep running.
+		// Each node parks independently — its group siblings keep running.
 		if !retried {
-			acc.Parked++
+			rs.acc.Parked++
 		}
-		st.waiting = append(st.waiting, func() { st.startBranch(tn, r, stage, branch, mc, hit, acc, j, true) })
+		st.waiting = append(st.waiting, func() { st.startNode(rs, group, member, mc, hit, true) })
 		return
 	}
-	st.execute(tn, r, stage, branch, acc, j, pod, cold, hit)
+	st.execute(rs, group, member, pod, cold, hit)
 }
 
-func (st *runState) execute(tn *tenantRun, r *Request, stage, branch int, acc *Trace, j *join, pod *cluster.Pod, cold, hit bool) {
-	fn := st.ex.fns[r.Stages[stage][branch].Function]
-	draw := r.Draws[stage][branch]
+func (st *runState) execute(rs *reqState, group, member int, pod *cluster.Pod, cold, hit bool) {
+	node := rs.plan.groups[group][member]
+	fn := st.ex.fns[node.Function]
+	draw := rs.r.Draws[group][member]
 	if st.ex.cfg.LiveInterference {
 		census := st.cluster.Colocated(pod)
 		draw.Slowdown = st.ex.cfg.Interference.Sample(fn.Dimension(), census, st.stream)
@@ -525,18 +636,19 @@ func (st *runState) execute(tn *tenantRun, r *Request, stage, branch int, acc *T
 		startup = st.ex.cfg.ColdStartup
 	}
 	latency := fn.Latency(draw, pod.Millicores())
-	// The stage's decision gates every branch launch, so each branch span
+	// The group's decision gates every member launch, so each node span
 	// carries the decision overhead alongside its own startup and latency.
-	branchSpan := st.ex.cfg.DecisionOverhead + startup + latency
+	span := st.ex.cfg.DecisionOverhead + startup + latency
 	start := st.engine.Now()
-	st.engine.Schedule(branchSpan, func(end time.Duration) {
+	st.engine.Schedule(span, func(end time.Duration) {
 		if st.failed != nil {
 			return
 		}
-		acc.Stages = append(acc.Stages, StageTrace{
-			Function:   r.Stages[stage][branch].Function,
-			Stage:      stage,
-			Branch:     branch,
+		rs.acc.Stages = append(rs.acc.Stages, StageTrace{
+			Function:   node.Function,
+			Step:       node.Name,
+			Stage:      group,
+			Branch:     member,
 			Node:       pod.NodeID,
 			Millicores: pod.Millicores(),
 			Start:      start,
@@ -546,27 +658,39 @@ func (st *runState) execute(tn *tenantRun, r *Request, stage, branch int, acc *T
 			Cold:       cold,
 			Hit:        hit,
 		})
-		acc.TotalMillicores += pod.Millicores()
+		rs.acc.TotalMillicores += pod.Millicores()
 		if err := st.cluster.Release(pod); err != nil {
 			st.fail(err)
 			return
 		}
 		st.wake()
-		j.pending--
-		if j.pending > 0 {
-			// The join waits for the stage's slowest branch.
-			return
-		}
-		if stage+1 < len(r.Stages) {
-			st.startStage(tn, r, stage+1, acc)
-			return
-		}
-		acc.Done = end
-		acc.E2E = end - r.Arrival
-		tn.traces[r.ID] = *acc
-		tn.done++
-		st.done++
+		st.nodeDone(rs, node.Name, end)
 	})
+}
+
+// nodeDone advances the readiness countdowns after a node completes: any
+// dependent group whose predecessor count reaches zero starts (the
+// implicit join at in-degree > 1 nodes), and the request finishes when its
+// last node does.
+func (st *runState) nodeDone(rs *reqState, step string, end time.Duration) {
+	rs.remaining--
+	if rs.remaining == 0 {
+		rs.acc.Done = end
+		rs.acc.E2E = end - rs.r.Arrival
+		rs.tn.traces[rs.r.ID] = *rs.acc
+		rs.tn.done++
+		st.done++
+		return
+	}
+	for _, dg := range rs.plan.dependents[step] {
+		rs.pending[dg]--
+		if rs.pending[dg] == 0 {
+			st.startGroup(rs, dg)
+			if st.failed != nil {
+				return
+			}
+		}
+	}
 }
 
 // wake re-admits all parked continuations in FIFO order; those that still

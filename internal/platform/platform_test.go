@@ -35,8 +35,8 @@ func TestGenerateWorkloadShape(t *testing.T) {
 		if r.ID != i {
 			t.Fatalf("request %d has ID %d", i, r.ID)
 		}
-		if len(r.Draws) != 3 || len(r.Stages) != 3 {
-			t.Fatalf("request %d has %d draws / %d stages", i, len(r.Draws), len(r.Stages))
+		if len(r.Draws) != 3 || len(r.Groups) != 3 {
+			t.Fatalf("request %d has %d draws / %d stages", i, len(r.Draws), len(r.Groups))
 		}
 		if r.Arrival <= prev {
 			t.Fatalf("arrivals not strictly increasing at %d", i)
@@ -388,11 +388,11 @@ func spWorkload(t *testing.T, w *workflow.Workflow, n int) []*Request {
 func TestGenerateWorkloadSeriesParallel(t *testing.T) {
 	reqs := spWorkload(t, diamondSP(t), 20)
 	for i, r := range reqs {
-		if len(r.Stages) != 3 || len(r.Draws) != 3 {
-			t.Fatalf("request %d: %d stages / %d draw stages", i, len(r.Stages), len(r.Draws))
+		if len(r.Groups) != 3 || len(r.Draws) != 3 {
+			t.Fatalf("request %d: %d stages / %d draw stages", i, len(r.Groups), len(r.Draws))
 		}
-		if len(r.Stages[1]) != 2 || len(r.Draws[1]) != 2 {
-			t.Fatalf("request %d: fan-out stage has %d branches / %d draws", i, len(r.Stages[1]), len(r.Draws[1]))
+		if len(r.Groups[1]) != 2 || len(r.Draws[1]) != 2 {
+			t.Fatalf("request %d: fan-out stage has %d branches / %d draws", i, len(r.Groups[1]), len(r.Draws[1]))
 		}
 	}
 }
@@ -762,5 +762,122 @@ func TestSeriesParallelColdStartsAndParkingDeterministic(t *testing.T) {
 	}
 	if parked == 0 {
 		t.Fatal("tiny cluster produced no parking")
+	}
+}
+
+// crossDAG is the smallest genuinely non-series-parallel shape on catalog
+// functions: pre fans out to detect and classify, detect additionally
+// feeds ocr, and fuse joins all three (in-degree 3). Decision groups:
+// [pre] [detect, classify] [ocr] [fuse].
+func crossDAG(t *testing.T) *workflow.Workflow {
+	t.Helper()
+	nodes := []workflow.Node{
+		{Name: "pre", Function: "fe"},
+		{Name: "detect", Function: "icl"},
+		{Name: "classify", Function: "ico"},
+		{Name: "ocr", Function: "aes-encrypt"},
+		{Name: "fuse", Function: "redis-read"},
+	}
+	edges := [][2]string{
+		{"pre", "detect"}, {"pre", "classify"},
+		{"detect", "ocr"},
+		{"detect", "fuse"}, {"classify", "fuse"}, {"ocr", "fuse"},
+	}
+	w, err := workflow.New("cross", 2*time.Second, nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// budgetRecorder serves fixed sizes while recording the remaining budget
+// each decision group was handed, per request.
+type budgetRecorder struct {
+	sizes  []int
+	remain map[int]map[int]time.Duration
+}
+
+func (b *budgetRecorder) Name() string { return "recorder" }
+func (b *budgetRecorder) Allocate(req *Request, group int, remaining time.Duration) (int, bool) {
+	if b.remain[req.ID] == nil {
+		b.remain[req.ID] = map[int]time.Duration{}
+	}
+	b.remain[req.ID][group] = remaining
+	return b.sizes[group], true
+}
+
+// TestNodeGranularReadinessSemantics is the engine-level acceptance test
+// of the tentpole: on a cross-edge DAG, nodes start at predecessor
+// completion (no stage barrier), the fork shares one decision, the
+// in-degree-3 join waits for its slowest input, and every decision is
+// made against the critical-path remaining budget SLO − elapsed at the
+// group's readiness instant.
+func TestNodeGranularReadinessSemantics(t *testing.T) {
+	w := crossDAG(t)
+	alloc := &budgetRecorder{sizes: []int{2000, 1500, 1200, 1100}, remain: map[int]map[int]time.Duration{}}
+	traces, err := defaultExecutor(t).Run(spWorkload(t, w, 30), alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range traces {
+		if len(tr.Stages) != 5 {
+			t.Fatalf("trace %d ran %d nodes, want 5", i, len(tr.Stages))
+		}
+		if tr.Decisions != 4 {
+			t.Fatalf("trace %d made %d decisions, want 4 (detect and classify share one)", i, tr.Decisions)
+		}
+		// 2000 + 1500*2 + 1200 + 1100, the fork group counted per pod.
+		if tr.TotalMillicores != 7300 {
+			t.Fatalf("trace %d consumed %d mc, want 7300", i, tr.TotalMillicores)
+		}
+		byStep := map[string]StageTrace{}
+		for _, st := range tr.Stages {
+			byStep[st.Step] = st
+		}
+		for step, group := range map[string]int{"pre": 0, "detect": 1, "classify": 1, "ocr": 2, "fuse": 3} {
+			st, ok := byStep[step]
+			if !ok {
+				t.Fatalf("trace %d has no execution for node %q", i, step)
+			}
+			if st.Stage != group {
+				t.Fatalf("trace %d node %s tagged group %d, want %d", i, step, st.Stage, group)
+			}
+		}
+		// Fork members launch together, after their shared predecessor.
+		if byStep["detect"].Start != byStep["classify"].Start {
+			t.Fatalf("trace %d fork members started at %v and %v", i, byStep["detect"].Start, byStep["classify"].Start)
+		}
+		if byStep["detect"].Start < byStep["pre"].End {
+			t.Fatalf("trace %d detect started %v before pre ended %v", i, byStep["detect"].Start, byStep["pre"].End)
+		}
+		// The cross path: ocr is gated by detect alone — not by classify.
+		if byStep["ocr"].Start < byStep["detect"].End {
+			t.Fatalf("trace %d ocr started %v before detect ended %v", i, byStep["ocr"].Start, byStep["detect"].End)
+		}
+		// The in-degree-3 join waits for its slowest input.
+		slowest := byStep["detect"].End
+		for _, step := range []string{"classify", "ocr"} {
+			if byStep[step].End > slowest {
+				slowest = byStep[step].End
+			}
+		}
+		if byStep["fuse"].Start < slowest {
+			t.Fatalf("trace %d fuse started %v before its slowest input ended %v", i, byStep["fuse"].Start, slowest)
+		}
+		if tr.Done != byStep["fuse"].End || tr.E2E != tr.Done-tr.Arrival {
+			t.Fatalf("trace %d done/e2e inconsistent: %v / %v", i, tr.Done, tr.E2E)
+		}
+		// Budgets: SLO − elapsed at each group's readiness instant.
+		rem := alloc.remain[tr.RequestID]
+		slo := w.SLO()
+		if got, want := rem[0], slo-(byStep["pre"].Start-tr.Arrival); got != want {
+			t.Fatalf("trace %d group 0 budget %v, want %v", i, got, want)
+		}
+		if got, want := rem[2], slo-(byStep["detect"].End-tr.Arrival); got != want {
+			t.Fatalf("trace %d ocr budget %v, want SLO-elapsed %v at detect's end", i, got, want)
+		}
+		if got, want := rem[3], slo-(slowest-tr.Arrival); got != want {
+			t.Fatalf("trace %d fuse budget %v, want SLO-elapsed %v at the join", i, got, want)
+		}
 	}
 }

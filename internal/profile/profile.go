@@ -239,47 +239,119 @@ func (fp *FunctionProfile) Sample(k int) *stats.Sample {
 	return fp.samples[ki]
 }
 
-// Set bundles the per-node profiles of a chain workflow at one batch size.
+// Set bundles the per-decision-group profiles of a workflow at one batch
+// size. For a chain there is one profile per node in execution order; for
+// any other DAG each profile covers one decision group (nodes sharing an
+// identical predecessor set) as a max-over-members composite.
 type Set struct {
 	// Workflow is the profiled application.
 	Workflow *workflow.Workflow
 	// Batch is the concurrency level.
 	Batch int
-	// Profiles holds one profile per chain stage, in execution order.
+	// Profiles holds one profile per decision group, in group order.
 	Profiles []*FunctionProfile
 }
 
-// Chain returns the profiled chain nodes.
-func (s *Set) Chain() []workflow.Node {
-	chain, err := s.Workflow.Chain()
-	if err != nil {
-		// Sets are only constructed for chains; reaching here is a bug.
-		panic(err)
-	}
-	return chain
-}
+// Groups returns the workflow's decision groups; Profiles[i] covers
+// Groups()[i].
+func (s *Set) Groups() []workflow.Group { return s.Workflow.DecisionGroups() }
 
-// At returns the stage-i profile.
+// At returns the group-i profile.
 func (s *Set) At(i int) *FunctionProfile { return s.Profiles[i] }
 
-// Len reports the number of stages.
+// Len reports the number of decision groups.
 func (s *Set) Len() int { return len(s.Profiles) }
 
-// BudgetRangeMs returns the paper's Eq. 3 exploration bounds for the suffix
-// starting at stage `from`:
+// ConeProfiles returns the profile sequence of group `from`'s descendant
+// cone, layer by layer: element 0 is the group's own profile, and each
+// later element covers one cone layer (the pointwise max when a layer
+// holds several groups — conservative in the same direction as the
+// profiler's round-up). For a chain or series-parallel workflow this is
+// exactly the profile suffix from..; the sequential composition of the
+// returned profiles upper-bounds the cone's max-over-paths latency, which
+// is the shape Algorithm 1's budget split consumes.
+func (s *Set) ConeProfiles(from int) ([]*FunctionProfile, error) {
+	if from < 0 || from >= len(s.Profiles) {
+		return nil, fmt.Errorf("profile: cone start %d out of range [0, %d)", from, len(s.Profiles))
+	}
+	layers := s.Workflow.GroupConeLayers(from)
+	out := make([]*FunctionProfile, 0, len(layers))
+	for _, layer := range layers {
+		if len(layer) == 1 {
+			out = append(out, s.Profiles[layer[0]])
+			continue
+		}
+		fps := make([]*FunctionProfile, len(layer))
+		for i, g := range layer {
+			fps[i] = s.Profiles[g]
+		}
+		max, err := maxProfiles(fps)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, max)
+	}
+	return out, nil
+}
+
+// BudgetRangeMs returns the paper's Eq. 3 exploration bounds for the
+// sub-workflow headed by group `from` (its descendant cone):
 //
 //	Tmin = sum_i L_i(pMin, Kmax),  Tmax = sum_i L_i(99, Kmin)
 //
-// where pMin is the lowest profiled percentile.
+// summed over the cone's layers, where pMin is the lowest profiled
+// percentile. For a chain this is the classic suffix range.
 func (s *Set) BudgetRangeMs(from int) (int, int) {
+	seq, err := s.ConeProfiles(from)
+	if err != nil {
+		// Callers index groups they obtained from this set; out of range
+		// is a bug, and grid mismatches are rejected at construction.
+		panic(err)
+	}
 	tmin, tmax := 0, 0
-	for i := from; i < len(s.Profiles); i++ {
-		fp := s.Profiles[i]
+	for _, fp := range seq {
 		pMin := fp.Percentiles[0]
 		tmin += fp.LMs(pMin, fp.Grid.Max)
 		tmax += fp.LMs(99, fp.Grid.Min)
 	}
 	return tmin, tmax
+}
+
+// maxProfiles fuses profiles into their pointwise maximum: the latency a
+// join observes when every member must finish, under the comonotonic
+// coupling the workload's stage correlation leans toward. Grids and
+// percentile sets must match.
+func maxProfiles(fps []*FunctionProfile) (*FunctionProfile, error) {
+	base := fps[0]
+	name := "max"
+	for _, fp := range fps {
+		if fp.Grid != base.Grid {
+			return nil, fmt.Errorf("profile: max over mismatched grids (%s vs %s)", fp.Function, base.Function)
+		}
+		if len(fp.Percentiles) != len(base.Percentiles) {
+			return nil, fmt.Errorf("profile: max over mismatched percentile sets (%s vs %s)", fp.Function, base.Function)
+		}
+		for i := range fp.Percentiles {
+			if fp.Percentiles[i] != base.Percentiles[i] {
+				return nil, fmt.Errorf("profile: max over mismatched percentile sets (%s vs %s)", fp.Function, base.Function)
+			}
+		}
+		name += "+" + fp.Function
+	}
+	lat := make([][]int, len(base.Percentiles))
+	for pi := range lat {
+		lat[pi] = make([]int, base.Grid.Len())
+		for ki := range lat[pi] {
+			worst := 0
+			for _, fp := range fps {
+				if v := fp.LatencyMs[pi][ki]; v > worst {
+					worst = v
+				}
+			}
+			lat[pi][ki] = worst
+		}
+	}
+	return NewFunctionProfile(name, base.Batch, base.Grid, base.Percentiles, lat)
 }
 
 // Profiler collects execution-time distributions by exercising the latency
@@ -397,21 +469,102 @@ func enforceMonotone(fp *FunctionProfile) {
 	}
 }
 
-// ProfileWorkflow profiles every stage of a chain workflow.
+// ProfileWorkflow profiles every decision group of a workflow DAG. Chains
+// run the per-function profiler (raw samples retained, so the ORION
+// baseline stays available); any other DAG profiles each group as a
+// max-over-members Monte-Carlo composite — the latency its implicit join
+// observes — exactly as the series-parallel reduction always has.
 func (p *Profiler) ProfileWorkflow(w *workflow.Workflow, batch int) (*Set, error) {
-	chain, err := w.Chain()
-	if err != nil {
-		return nil, err
+	if w == nil {
+		return nil, fmt.Errorf("profile: nil workflow")
 	}
 	set := &Set{Workflow: w, Batch: batch}
-	for _, n := range chain {
-		fp, err := p.ProfileFunction(n.Function, batch)
+	if w.IsChain() {
+		for _, n := range w.TopoOrder() {
+			fp, err := p.ProfileFunction(n.Function, batch)
+			if err != nil {
+				return nil, err
+			}
+			set.Profiles = append(set.Profiles, fp)
+		}
+		return set, nil
+	}
+	for i, g := range w.DecisionGroups() {
+		fp, err := p.ProfileGroup(g, batch)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("profile: group %d: %w", i, err)
 		}
 		set.Profiles = append(set.Profiles, fp)
 	}
 	return set, nil
+}
+
+// GroupProfileName is the composite profile name of a decision group: the
+// function name for a single member, "par(N)+f1+...+fN" for a fork.
+func GroupProfileName(nodes []workflow.Node) string {
+	if len(nodes) == 1 {
+		return nodes[0].Function
+	}
+	name := fmt.Sprintf("par(%d)", len(nodes))
+	for _, n := range nodes {
+		name += "+" + n.Function
+	}
+	return name
+}
+
+// ProfileGroup measures one decision group's composite latency at one
+// batch size: per allocation k, every member runs at k and the group's
+// implicit join completes at the slowest member. The profiling stream is
+// keyed under "parallel/" — the series-parallel reduction's namespace —
+// so fork-join workflows profile identically through either entry point.
+func (p *Profiler) ProfileGroup(g workflow.Group, batch int) (*FunctionProfile, error) {
+	if len(g.Nodes) == 0 {
+		return nil, fmt.Errorf("profile: empty decision group")
+	}
+	if p.SamplesPerConfig < 100 {
+		return nil, fmt.Errorf("profile: need at least 100 samples per config, have %d", p.SamplesPerConfig)
+	}
+	fns := make([]*perfmodel.Function, len(g.Nodes))
+	for i, n := range g.Nodes {
+		fn, ok := p.Functions[n.Function]
+		if !ok {
+			return nil, fmt.Errorf("profile: unknown function %q", n.Function)
+		}
+		if !fn.SupportsBatch(batch) {
+			return nil, fmt.Errorf("profile: function %s does not support batch %d", n.Function, batch)
+		}
+		fns[i] = fn
+	}
+	name := GroupProfileName(g.Nodes)
+	levels := p.Grid.Levels()
+	lat := make([][]int, len(p.Percentiles))
+	for i := range lat {
+		lat[i] = make([]int, len(levels))
+	}
+	for ki, k := range levels {
+		stream := rng.New(p.Seed).Split(fmt.Sprintf("parallel/%s/b%d/k%d", name, batch, k))
+		sample := &stats.Sample{}
+		for i := 0; i < p.SamplesPerConfig; i++ {
+			var worst time.Duration
+			for _, fn := range fns {
+				coloc := p.Colocation.Sample(stream)
+				d := fn.NewDraw(stream, batch, coloc, p.Interference)
+				if l := fn.Latency(d, k); l > worst {
+					worst = l
+				}
+			}
+			sample.AddDuration(worst)
+		}
+		for pi, pct := range p.Percentiles {
+			lat[pi][ki] = int(sample.Percentile(float64(pct))) + 1
+		}
+	}
+	fp, err := NewFunctionProfile(name, batch, p.Grid, p.Percentiles, lat)
+	if err != nil {
+		return nil, err
+	}
+	enforceMonotone(fp)
+	return fp, nil
 }
 
 // SortedPercentiles returns a copy of ps sorted ascending (helper for

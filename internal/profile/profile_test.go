@@ -296,8 +296,28 @@ func TestProfileWorkflowNonChain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.ProfileWorkflow(dag, 1); err == nil {
-		t.Fatal("non-chain workflow accepted")
+	// Non-chain DAGs profile per decision group: the fork {b, c} becomes
+	// one max-over-members composite whose latency dominates each member.
+	set, err := p.ProfileWorkflow(dag, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 2 {
+		t.Fatalf("set has %d profiles, want 2 groups", set.Len())
+	}
+	if set.At(0).Function != "od" || set.At(1).Function != "par(2)+qa+ts" {
+		t.Fatalf("group profiles = %q, %q", set.At(0).Function, set.At(1).Function)
+	}
+	qa, err := p.ProfileFunction("qa", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp, solo := set.At(1).LMs(99, 1000), qa.LMs(99, 1000); comp < solo {
+		t.Fatalf("composite P99 %dms below member P99 %dms", comp, solo)
+	}
+	// The composite retains no raw samples (the ORION gate).
+	if set.At(1).Sample(1000) != nil {
+		t.Fatal("composite profile should not retain samples")
 	}
 }
 

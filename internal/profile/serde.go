@@ -47,12 +47,9 @@ func ParseSet(data []byte) (*Set, error) {
 	if err != nil {
 		return nil, err
 	}
-	chain, err := w.Chain()
-	if err != nil {
-		return nil, err
-	}
-	if len(spec.Profiles) != len(chain) {
-		return nil, fmt.Errorf("profile: set has %d profiles for %d stages", len(spec.Profiles), len(chain))
+	groups := w.DecisionGroups()
+	if len(spec.Profiles) != len(groups) {
+		return nil, fmt.Errorf("profile: set has %d profiles for %d decision groups", len(spec.Profiles), len(groups))
 	}
 	for i, fp := range spec.Profiles {
 		if fp == nil {
@@ -61,8 +58,8 @@ func ParseSet(data []byte) (*Set, error) {
 		if err := fp.init(); err != nil {
 			return nil, err
 		}
-		if fp.Function != chain[i].Function {
-			return nil, fmt.Errorf("profile: set profile %d is for %q, stage wants %q", i, fp.Function, chain[i].Function)
+		if want := GroupProfileName(groups[i].Nodes); fp.Function != want {
+			return nil, fmt.Errorf("profile: set profile %d is for %q, group wants %q", i, fp.Function, want)
 		}
 	}
 	return &Set{Workflow: w, Batch: spec.Batch, Profiles: spec.Profiles}, nil

@@ -2,28 +2,36 @@
 // hints tables (Algorithm 1) followed by condensing (Algorithm 2, in
 // package hints).
 //
-// For every sub-workflow suffix and every candidate time budget t (explored
-// at millisecond granularity across the Eq. 3 range), the synthesizer
-// solves
+// Hints are synthesized per decision group of the workflow DAG (see
+// workflow.DecisionGroups): the sub-workflow a table covers is the group's
+// descendant cone, layered by critical-path depth into a sequential
+// composite chain (profile.Set.ConeProfiles). For a chain the cones are
+// the classic node suffixes; for a series-parallel workflow they are the
+// stage suffixes of the effective chain; for an arbitrary DAG each layer's
+// latency is the pointwise max over its groups — a conservative upper
+// bound on the cone's max-over-paths latency.
+//
+// For every cone and every candidate time budget t (explored at
+// millisecond granularity across the Eq. 3 range), the synthesizer solves
 //
 //	min  W*k1 + (p/100)*sum(ki) + (1-p/100)*(N-1)*Kmax      (Eq. 4)
 //	s.t. L1(p, k1) + sum Li(99, ki) <= t                     (Eq. 5)
 //	     D1(p, k1) <= sum Ri(99, ki)                         (Eq. 6)
 //
-// where only the head function explores percentiles below 99 (Insight-2,
-// "moderate percentile exploration"), the head's potential overrun (timeout
-// D) must fit inside the downstream functions' compression headroom
-// (resilience R, Insight-3), and the head weight W calibrates the local
-// objective against the whole-workflow objective (Insight-4).
+// where only the head (the cone's own group) explores percentiles below 99
+// (Insight-2, "moderate percentile exploration"), the head's potential
+// overrun (timeout D) must fit inside the downstream layers' compression
+// headroom (resilience R, Insight-3), and the head weight W calibrates the
+// local objective against the whole-workflow objective (Insight-4).
 //
 // Downstream allocations at P99 are a classic budget-split problem solved
-// once by dynamic programming over (stage suffix, budget in ms); the DP
-// also tracks each solution's total resilience so the Eq. 6 check is O(1).
-// Among downstream plans of equal total cost the DP keeps the one with the
-// largest total resilience: Algorithm 1's generate() picks an arbitrary
-// minimum-resource plan, and preferring the most resilient of them
-// maximizes the head's exploration room at no extra cost (a deterministic
-// strengthening of the paper's pseudo-code).
+// once per cone by dynamic programming over (layer suffix, budget in ms);
+// the DP also tracks each solution's total resilience so the Eq. 6 check
+// is O(1). Among downstream plans of equal total cost the DP keeps the one
+// with the largest total resilience: Algorithm 1's generate() picks an
+// arbitrary minimum-resource plan, and preferring the most resilient of
+// them maximizes the head's exploration room at no extra cost (a
+// deterministic strengthening of the paper's pseudo-code).
 package synth
 
 import (
@@ -67,7 +75,7 @@ func (m Mode) String() string {
 
 // Config parameterizes a Synthesizer.
 type Config struct {
-	// Profiles is the workflow's profile set at one batch size.
+	// Profiles is the workflow's per-group profile set at one batch size.
 	Profiles *profile.Set
 	// Weight is the head-function weight W (Insight-4); default 1.
 	Weight float64
@@ -77,8 +85,8 @@ type Config struct {
 	// paper's "finer granularity in milliseconds").
 	BudgetStepMs int
 	// BudgetOverrideMs optionally replaces the Eq. 3 range for the whole
-	// workflow (suffix 0), as the paper does per-testbed (§V-F). Zero
-	// values mean "use Eq. 3".
+	// workflow (group 0's cone), as the paper does per-testbed (§V-F).
+	// Zero values mean "use Eq. 3".
 	BudgetOverrideMs [2]int
 	// Parallelism bounds the worker goroutines sweeping budgets; default
 	// GOMAXPROCS.
@@ -87,23 +95,36 @@ type Config struct {
 
 // Synthesizer generates hints for one (workflow, batch, weight, mode).
 type Synthesizer struct {
-	cfg    Config
-	set    *profile.Set
-	levels []int
-	kmax   int
-	maxMs  int
-	// dp[j][t]: minimal total millicores provisioning stages j.. within
+	cfg Config
+	set *profile.Set
+	// programs holds one budget-split program per decision group, each
+	// over the group's layered descendant cone.
+	programs []*coneProgram
+}
+
+// coneProgram is the Algorithm 1 machinery for one decision group's cone:
+// the layered profile sequence (head first) plus the downstream P99 DP.
+type coneProgram struct {
+	cfg      Config
+	profiles []*profile.FunctionProfile
+	levels   []int
+	kmax     int
+	// tmin/tmax are the cone's Eq. 3 exploration bounds, computed once
+	// from the layered profile sequence.
+	tmin, tmax int
+	maxMs      int
+	// dp[j][t]: minimal total millicores provisioning layers j.. within
 	// budget t ms, all at P99; -1 when infeasible.
 	dp [][]int32
-	// choiceIdx[j][t]: grid index of stage j's allocation in dp's optimum.
+	// choiceIdx[j][t]: grid index of layer j's allocation in dp's optimum.
 	choiceIdx [][]int16
 	// resil[j][t]: total resilience (ms) sum_i R_i(99, k_i) of dp's
-	// optimal plan for stages j.. at budget t.
+	// optimal plan for layers j.. at budget t.
 	resil [][]int32
 }
 
 // Result carries a generated bundle plus the bookkeeping the evaluation
-// reports: per-suffix raw hint counts (pre-condensing), condensed counts,
+// reports: per-cone raw hint counts (pre-condensing), condensed counts,
 // and wall-clock synthesis time (Fig 6b, Fig 8).
 type Result struct {
 	Bundle          *hints.Bundle
@@ -112,7 +133,8 @@ type Result struct {
 	Elapsed         time.Duration
 }
 
-// New validates the configuration and precomputes the downstream DP.
+// New validates the configuration and precomputes the per-cone downstream
+// DPs.
 func New(cfg Config) (*Synthesizer, error) {
 	if cfg.Profiles == nil || cfg.Profiles.Len() == 0 {
 		return nil, fmt.Errorf("synth: profiles required")
@@ -142,41 +164,59 @@ func New(cfg Config) (*Synthesizer, error) {
 	grid := set.At(0).Grid
 	for i := 1; i < set.Len(); i++ {
 		if set.At(i).Grid != grid {
-			return nil, fmt.Errorf("synth: stage %d uses a different grid", i)
+			return nil, fmt.Errorf("synth: group %d uses a different grid", i)
 		}
 	}
-	_, tmax := set.BudgetRangeMs(0)
-	maxMs := tmax
-	if cfg.BudgetOverrideMs[1] > maxMs {
-		maxMs = cfg.BudgetOverrideMs[1]
+	s := &Synthesizer{cfg: cfg, set: set}
+	for g := 0; g < set.Len(); g++ {
+		seq, err := set.ConeProfiles(g)
+		if err != nil {
+			return nil, err
+		}
+		// The cone's Eq. 3 bounds, from the layered sequence itself (the
+		// same sums Set.BudgetRangeMs computes, without re-deriving the
+		// cone): Tmin = sum L(pMin, Kmax), Tmax = sum L(99, Kmin).
+		tmin, tmax := 0, 0
+		for _, fp := range seq {
+			tmin += fp.LMs(fp.Percentiles[0], grid.Max)
+			tmax += fp.LMs(99, grid.Min)
+		}
+		maxMs := tmax
+		if g == 0 && cfg.BudgetOverrideMs[1] > maxMs {
+			maxMs = cfg.BudgetOverrideMs[1]
+		}
+		p := &coneProgram{
+			cfg:      cfg,
+			profiles: seq,
+			levels:   grid.Levels(),
+			kmax:     grid.Max,
+			tmin:     tmin,
+			tmax:     tmax,
+			maxMs:    maxMs,
+		}
+		p.buildDP()
+		s.programs = append(s.programs, p)
 	}
-	s := &Synthesizer{
-		cfg:    cfg,
-		set:    set,
-		levels: grid.Levels(),
-		kmax:   grid.Max,
-		maxMs:  maxMs,
-	}
-	s.buildDP()
 	return s, nil
 }
 
-// buildDP fills dp/choiceIdx/resil bottom-up over suffixes.
-func (s *Synthesizer) buildDP() {
-	n := s.set.Len()
-	s.dp = make([][]int32, n+1)
-	s.choiceIdx = make([][]int16, n+1)
-	s.resil = make([][]int32, n+1)
-	width := s.maxMs + 1
-	s.dp[n] = make([]int32, width) // all zero: nothing left to provision
-	s.resil[n] = make([]int32, width)
+// buildDP fills dp/choiceIdx/resil bottom-up over the cone's layer
+// suffixes.
+func (p *coneProgram) buildDP() {
+	n := len(p.profiles)
+	p.dp = make([][]int32, n+1)
+	p.choiceIdx = make([][]int16, n+1)
+	p.resil = make([][]int32, n+1)
+	width := p.maxMs + 1
+	p.dp[n] = make([]int32, width) // all zero: nothing left to provision
+	p.resil[n] = make([]int32, width)
 	for j := n - 1; j >= 0; j-- {
-		fp := s.set.At(j)
-		s.dp[j] = make([]int32, width)
-		s.choiceIdx[j] = make([]int16, width)
-		s.resil[j] = make([]int32, width)
-		l99 := make([]int, len(s.levels))
-		for ki, k := range s.levels {
+		fp := p.profiles[j]
+		p.dp[j] = make([]int32, width)
+		p.choiceIdx[j] = make([]int16, width)
+		p.resil[j] = make([]int32, width)
+		l99 := make([]int, len(p.levels))
+		for ki, k := range p.levels {
 			l99[ki] = fp.LMs(99, k)
 		}
 		l99AtMax := l99[len(l99)-1]
@@ -184,42 +224,42 @@ func (s *Synthesizer) buildDP() {
 			best := int32(-1)
 			bestKi := int16(-1)
 			var bestRes int32
-			for ki := len(s.levels) - 1; ki >= 0; ki-- {
+			for ki := len(p.levels) - 1; ki >= 0; ki-- {
 				lat := l99[ki]
 				if lat > t {
 					break // latencies grow as ki shrinks; nothing smaller fits
 				}
-				down := s.dp[j+1][t-lat]
+				down := p.dp[j+1][t-lat]
 				if down < 0 {
 					continue
 				}
-				cand := int32(s.levels[ki]) + down
-				candRes := int32(lat-l99AtMax) + s.resil[j+1][t-lat]
+				cand := int32(p.levels[ki]) + down
+				candRes := int32(lat-l99AtMax) + p.resil[j+1][t-lat]
 				if best < 0 || cand < best || (cand == best && candRes > bestRes) {
 					best = cand
 					bestKi = int16(ki)
 					bestRes = candRes
 				}
 			}
-			s.dp[j][t] = best
-			s.choiceIdx[j][t] = bestKi
-			s.resil[j][t] = bestRes
+			p.dp[j][t] = best
+			p.choiceIdx[j][t] = bestKi
+			p.resil[j][t] = bestRes
 		}
 	}
 }
 
-// planP99 materializes the DP's optimal P99 allocation for stages j.. at
+// planP99 materializes the DP's optimal P99 allocation for layers j.. at
 // budget tMs into dst (which must have capacity for the suffix length).
-func (s *Synthesizer) planP99(j, tMs int, dst []int) []int {
+func (p *coneProgram) planP99(j, tMs int, dst []int) []int {
 	dst = dst[:0]
-	for stage := j; stage < s.set.Len(); stage++ {
-		ki := s.choiceIdx[stage][tMs]
+	for layer := j; layer < len(p.profiles); layer++ {
+		ki := p.choiceIdx[layer][tMs]
 		if ki < 0 {
-			panic(fmt.Sprintf("synth: planP99 called on infeasible state (%d, %d)", stage, tMs))
+			panic(fmt.Sprintf("synth: planP99 called on infeasible state (%d, %d)", layer, tMs))
 		}
-		k := s.levels[ki]
+		k := p.levels[ki]
 		dst = append(dst, k)
-		tMs -= s.set.At(stage).LMs(99, k)
+		tMs -= p.profiles[layer].LMs(99, k)
 	}
 	return dst
 }
@@ -230,7 +270,7 @@ type candidate struct {
 	p    int
 	k    int
 	// downBudgetMs is the budget handed to the downstream DP (or -1 for
-	// single-function suffixes).
+	// single-layer cones).
 	downBudgetMs int
 	// secondP/secondK record the Janus+ next-to-head exploration.
 	secondP, secondK  int
@@ -255,18 +295,21 @@ func (c candidate) better(o candidate) bool {
 	return c.k < o.k
 }
 
-// GenerateSuffix runs Algorithm 1 for one sub-workflow suffix, sweeping the
-// budget range at the configured step.
+// GenerateSuffix runs Algorithm 1 for the sub-workflow headed by decision
+// group `suffix` (its descendant cone), sweeping the budget range at the
+// configured step. The name is kept from the chain era: for a chain the
+// cone of group i is exactly the node suffix i.. of the chain.
 func (s *Synthesizer) GenerateSuffix(suffix int) (*hints.RawTable, error) {
 	if suffix < 0 || suffix >= s.set.Len() {
 		return nil, fmt.Errorf("synth: suffix %d out of range [0, %d)", suffix, s.set.Len())
 	}
-	tmin, tmax := s.set.BudgetRangeMs(suffix)
+	prog := s.programs[suffix]
+	tmin, tmax := prog.tmin, prog.tmax
 	if suffix == 0 && s.cfg.BudgetOverrideMs != [2]int{} {
 		tmin, tmax = s.cfg.BudgetOverrideMs[0], s.cfg.BudgetOverrideMs[1]
 	}
-	if tmax > s.maxMs {
-		tmax = s.maxMs
+	if tmax > prog.maxMs {
+		tmax = prog.maxMs
 	}
 	step := s.cfg.BudgetStepMs
 	var budgets []int
@@ -295,9 +338,9 @@ func (s *Synthesizer) GenerateSuffix(suffix int) (*hints.RawTable, error) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			planBuf := make([]int, 0, s.set.Len())
+			planBuf := make([]int, 0, len(prog.profiles))
 			for i := lo; i < hi; i++ {
-				out[i] = s.generateOne(suffix, budgets[i], planBuf)
+				out[i] = prog.generateOne(budgets[i], planBuf)
 			}
 		}(lo, hi)
 	}
@@ -314,12 +357,12 @@ func (s *Synthesizer) GenerateSuffix(suffix int) (*hints.RawTable, error) {
 	return rt, nil
 }
 
-// generateOne solves the Eq. 4-8 program for one (suffix, budget).
-func (s *Synthesizer) generateOne(suffix, tMs int, planBuf []int) *hints.Hint {
-	head := s.set.At(suffix)
-	nRem := s.set.Len() - suffix
-	// Single-function sub-workflow: min_resource at P99 — there is no
-	// downstream resilience to absorb a timeout.
+// generateOne solves the Eq. 4-8 program for the cone at one budget.
+func (p *coneProgram) generateOne(tMs int, planBuf []int) *hints.Hint {
+	head := p.profiles[0]
+	nRem := len(p.profiles)
+	// Single-layer cone: min_resource at P99 — there is no downstream
+	// resilience to absorb a timeout.
 	if nRem == 1 {
 		k, ok := head.MinCoresWithin(99, time.Duration(tMs)*time.Millisecond)
 		if !ok {
@@ -330,34 +373,34 @@ func (s *Synthesizer) generateOne(suffix, tMs int, planBuf []int) *hints.Hint {
 			HeadMillicores: k,
 			HeadPercentile: 99,
 			PlanMillicores: []int{k},
-			ExpectedCost:   s.cfg.Weight * float64(k),
+			ExpectedCost:   p.cfg.Weight * float64(k),
 		}
 	}
 	best := candidate{cost: -1}
-	for _, p := range s.headPercentiles(suffix, tMs) {
-		for _, k := range s.levels {
-			downBudget := tMs - head.LMs(p, k)
+	for _, pct := range p.headPercentiles(tMs) {
+		for _, k := range p.levels {
+			downBudget := tMs - head.LMs(pct, k)
 			if downBudget < 0 {
 				continue
 			}
-			if s.cfg.Mode == ModeJanusPlus && nRem >= 3 {
-				if c, ok := s.exploreSecond(suffix, p, k, downBudget); ok {
+			if p.cfg.Mode == ModeJanusPlus && nRem >= 3 {
+				if c, ok := p.exploreSecond(pct, k, downBudget); ok {
 					if best.cost < 0 || c.better(best) {
 						best = c
 					}
 				}
 				continue
 			}
-			down := s.dp[suffix+1][downBudget]
+			down := p.dp[1][downBudget]
 			if down < 0 {
 				continue
 			}
-			if int32(head.TimeoutMs(p, k)) > s.resil[suffix+1][downBudget] {
+			if int32(head.TimeoutMs(pct, k)) > p.resil[1][downBudget] {
 				continue // Eq. 6: downstream cannot absorb the overrun
 			}
-			pf := float64(p) / 100
-			cost := s.cfg.Weight*float64(k) + pf*float64(down) + (1-pf)*float64(nRem-1)*float64(s.kmax)
-			c := candidate{cost: cost, p: p, k: k, downBudgetMs: downBudget}
+			pf := float64(pct) / 100
+			cost := p.cfg.Weight*float64(k) + pf*float64(down) + (1-pf)*float64(nRem-1)*float64(p.kmax)
+			c := candidate{cost: cost, p: pct, k: k, downBudgetMs: downBudget}
 			if best.cost < 0 || c.better(best) {
 				best = c
 			}
@@ -369,9 +412,9 @@ func (s *Synthesizer) generateOne(suffix, tMs int, planBuf []int) *hints.Hint {
 	plan := []int{best.k}
 	if best.secondExploration {
 		plan = append(plan, best.secondK)
-		plan = append(plan, s.planP99(suffix+2, best.secondDownBudget, planBuf)...)
+		plan = append(plan, p.planP99(2, best.secondDownBudget, planBuf)...)
 	} else if best.downBudgetMs >= 0 {
-		plan = append(plan, s.planP99(suffix+1, best.downBudgetMs, planBuf)...)
+		plan = append(plan, p.planP99(1, best.downBudgetMs, planBuf)...)
 	}
 	return &hints.Hint{
 		BudgetMs:       tMs,
@@ -383,66 +426,66 @@ func (s *Synthesizer) generateOne(suffix, tMs int, planBuf []int) *hints.Hint {
 }
 
 // headPercentiles implements explore_percentile: the candidate percentiles
-// whose Kmax execution keeps the sub-workflow within the budget.
-func (s *Synthesizer) headPercentiles(suffix, tMs int) []int {
-	head := s.set.At(suffix)
-	if s.cfg.Mode == ModeJanusMinus {
-		if head.LMs(99, s.kmax)+s.downKmaxMs(suffix+1) <= tMs {
+// whose Kmax execution keeps the cone within the budget.
+func (p *coneProgram) headPercentiles(tMs int) []int {
+	head := p.profiles[0]
+	if p.cfg.Mode == ModeJanusMinus {
+		if head.LMs(99, p.kmax)+p.downKmaxMs(1) <= tMs {
 			return []int{99}
 		}
 		return nil
 	}
-	downMs := s.downKmaxMs(suffix + 1)
+	downMs := p.downKmaxMs(1)
 	var out []int
-	for _, p := range head.Percentiles {
-		if head.LMs(p, s.kmax)+downMs <= tMs {
-			out = append(out, p)
+	for _, pct := range head.Percentiles {
+		if head.LMs(pct, p.kmax)+downMs <= tMs {
+			out = append(out, pct)
 		}
 	}
 	return out
 }
 
-// downKmaxMs is the P99 execution time of stages from.. with every function
+// downKmaxMs is the P99 execution time of layers from.. with every layer
 // at Kmax — the floor the percentile filter compares against.
-func (s *Synthesizer) downKmaxMs(from int) int {
+func (p *coneProgram) downKmaxMs(from int) int {
 	total := 0
-	for j := from; j < s.set.Len(); j++ {
-		total += s.set.At(j).LMs(99, s.kmax)
+	for j := from; j < len(p.profiles); j++ {
+		total += p.profiles[j].LMs(99, p.kmax)
 	}
 	return total
 }
 
-// exploreSecond is the Janus+ extension: the next-to-head function also
-// explores percentiles. The head's timeout must fit in the second
-// function's own resilience plus the rest's; the second's timeout must fit
-// in the rest's.
-func (s *Synthesizer) exploreSecond(suffix, p1, k1, budget1 int) (candidate, bool) {
-	second := s.set.At(suffix + 1)
-	head := s.set.At(suffix)
-	nRem := s.set.Len() - suffix
+// exploreSecond is the Janus+ extension: the next-to-head layer also
+// explores percentiles. The head's timeout must fit in the second layer's
+// own resilience plus the rest's; the second's timeout must fit in the
+// rest's.
+func (p *coneProgram) exploreSecond(p1, k1, budget1 int) (candidate, bool) {
+	second := p.profiles[1]
+	head := p.profiles[0]
+	nRem := len(p.profiles)
 	best := candidate{cost: -1}
 	for _, p2 := range second.Percentiles {
-		for _, k2 := range s.levels {
+		for _, k2 := range p.levels {
 			restBudget := budget1 - second.LMs(p2, k2)
 			if restBudget < 0 {
 				continue
 			}
-			rest := s.dp[suffix+2][restBudget]
+			rest := p.dp[2][restBudget]
 			if rest < 0 {
 				continue
 			}
-			restRes := s.resil[suffix+2][restBudget]
+			restRes := p.resil[2][restBudget]
 			if int32(second.TimeoutMs(p2, k2)) > restRes {
 				continue
 			}
-			secondRes := int32(second.LMs(p2, k2) - second.LMs(p2, s.kmax))
+			secondRes := int32(second.LMs(p2, k2) - second.LMs(p2, p.kmax))
 			if int32(head.TimeoutMs(p1, k1)) > secondRes+restRes {
 				continue
 			}
 			pf1 := float64(p1) / 100
 			pf2 := float64(p2) / 100
-			inner := float64(k2) + pf2*float64(rest) + (1-pf2)*float64(nRem-2)*float64(s.kmax)
-			cost := s.cfg.Weight*float64(k1) + pf1*inner + (1-pf1)*float64(nRem-1)*float64(s.kmax)
+			inner := float64(k2) + pf2*float64(rest) + (1-pf2)*float64(nRem-2)*float64(p.kmax)
+			cost := p.cfg.Weight*float64(k1) + pf1*inner + (1-pf1)*float64(nRem-1)*float64(p.kmax)
 			c := candidate{
 				cost: cost, p: p1, k: k1,
 				secondP: p2, secondK: k2, secondDownBudget: restBudget,
@@ -456,7 +499,8 @@ func (s *Synthesizer) exploreSecond(suffix, p1, k1, budget1 int) (candidate, boo
 	return best, best.cost >= 0
 }
 
-// GenerateBundle generates and condenses tables for every suffix.
+// GenerateBundle generates and condenses tables for every decision group's
+// cone.
 func (s *Synthesizer) GenerateBundle() (*Result, error) {
 	start := time.Now()
 	n := s.set.Len()
@@ -466,7 +510,7 @@ func (s *Synthesizer) GenerateBundle() (*Result, error) {
 			Batch:         s.set.Batch,
 			Weight:        s.cfg.Weight,
 			SLOMs:         int(s.set.Workflow.SLO() / time.Millisecond),
-			MaxMillicores: s.kmax,
+			MaxMillicores: s.set.At(0).Grid.Max,
 		},
 	}
 	for i := 0; i < n; i++ {

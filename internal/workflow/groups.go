@@ -1,0 +1,142 @@
+package workflow
+
+import "sort"
+
+// Group is one decision group of the node-granular serving engine: a
+// maximal set of nodes sharing an identical predecessor set. Such nodes
+// become ready at the same instant — the moment their common predecessors
+// have all completed — and receive one allocation decision, generalizing
+// the one-decision-per-stage rule of fork-join serving. For a chain every
+// group is a single node; for a series-parallel workflow the groups are
+// exactly the fork-join stages.
+type Group struct {
+	// Nodes are the group members, in node declaration order.
+	Nodes []Node
+	// Preds lists the step names that must all complete before the group
+	// starts, in topological order. Empty for the root group.
+	Preds []string
+}
+
+// DecisionGroups partitions the workflow's nodes into decision groups,
+// ordered by the earliest topological position of their members (members
+// keep declaration order). The partition is a pure function of the DAG:
+// every root shares the empty predecessor set, so group 0 is the root
+// group, and for series-parallel workflows the groups reproduce the
+// SeriesParallel stage decomposition exactly.
+func (w *Workflow) DecisionGroups() []Group {
+	topoPos := make(map[string]int, len(w.nodes))
+	for pos, idx := range w.order {
+		topoPos[w.nodes[idx].Name] = pos
+	}
+	// Key groups by a canonical predecessor-set signature.
+	type bucket struct {
+		nodes []Node
+		preds []string
+	}
+	buckets := make(map[string]*bucket)
+	for _, n := range w.nodes { // declaration order keeps members ordered
+		preds := append([]string(nil), w.pred[n.Name]...)
+		sort.Slice(preds, func(i, j int) bool { return topoPos[preds[i]] < topoPos[preds[j]] })
+		sig := ""
+		for _, p := range preds {
+			sig += p + "\x00"
+		}
+		b, ok := buckets[sig]
+		if !ok {
+			b = &bucket{preds: preds}
+			buckets[sig] = b
+		}
+		b.nodes = append(b.nodes, n)
+	}
+	out := make([]Group, 0, len(buckets))
+	for _, b := range buckets {
+		out = append(out, Group{Nodes: b.nodes, Preds: b.preds})
+	}
+	// Order by the first member's topological position: group members
+	// share a predecessor set, so Kahn's queue keeps them contiguous and
+	// any member's position induces the same group order.
+	sort.Slice(out, func(i, j int) bool {
+		return topoPos[out[i].Nodes[0].Name] < topoPos[out[j].Nodes[0].Name]
+	})
+	return out
+}
+
+// groupOf maps every step name to its index in groups.
+func groupOf(groups []Group) map[string]int {
+	idx := make(map[string]int)
+	for g, grp := range groups {
+		for _, n := range grp.Nodes {
+			idx[n.Name] = g
+		}
+	}
+	return idx
+}
+
+// groupSucc builds the successor relation over group indices: g -> h when
+// an edge leads from a member of g to a member of h.
+func (w *Workflow) groupSucc(groups []Group) [][]int {
+	idx := groupOf(groups)
+	succ := make([][]int, len(groups))
+	for g, grp := range groups {
+		seen := map[int]bool{}
+		for _, n := range grp.Nodes {
+			for _, next := range w.succ[n.Name] {
+				h := idx[next]
+				if h != g && !seen[h] {
+					seen[h] = true
+					succ[g] = append(succ[g], h)
+				}
+			}
+		}
+		sort.Ints(succ[g])
+	}
+	return succ
+}
+
+// GroupConeLayers returns the descendant cone of decision group g — g
+// itself plus every group reachable from it — arranged into layers by
+// longest-path depth from g over the group DAG. Layer 0 is [g] alone;
+// groups within a layer are in ascending group order. The layered cone is
+// the sub-workflow a hints table for g covers: its sequential composition
+// (max over a layer's groups, layers in order) upper-bounds the cone's
+// max-over-paths latency, which is the conservative shape Algorithm 1's
+// budget split needs. For a chain or series-parallel workflow the cone of
+// group g is exactly the stage suffix starting at g, one group per layer.
+func (w *Workflow) GroupConeLayers(g int) [][]int {
+	groups := w.DecisionGroups()
+	if g < 0 || g >= len(groups) {
+		return nil
+	}
+	succ := w.groupSucc(groups)
+	// Group indices are topologically ordered (a group's earliest member
+	// sits after all its predecessors), so one ascending pass computes
+	// longest-path depths over the cone.
+	depth := map[int]int{g: 0}
+	for cur := g; cur < len(groups); cur++ {
+		d, ok := depth[cur]
+		if !ok {
+			continue // not in g's cone
+		}
+		for _, next := range succ[cur] {
+			if cand, seen := depth[next]; !seen || d+1 > cand {
+				depth[next] = d + 1
+			}
+		}
+	}
+	maxDepth := 0
+	for _, d := range depth {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	layers := make([][]int, maxDepth+1)
+	for idx := range groups {
+		if d, ok := depth[idx]; ok {
+			layers[d] = append(layers[d], idx)
+		}
+	}
+	for _, layer := range layers {
+		sort.Ints(layer)
+	}
+	return layers
+}

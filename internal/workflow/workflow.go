@@ -2,9 +2,11 @@
 // functions, in the style of AWS Step Functions / Azure Durable Functions
 // state machines. A node is a function invocation; an edge is a data
 // dependency. The paper's evaluation workflows (Intelligent Assistant and
-// Video Analyze) are three-function chains; the package supports general
-// DAGs but Janus's hints synthesis operates on chains, so chain extraction
-// and suffix (sub-workflow) views are first-class.
+// Video Analyze) are three-function chains; serving, profiling, and hints
+// synthesis all operate on arbitrary DAGs through the decision-group view
+// (DecisionGroups, GroupConeLayers), of which chains and series-parallel
+// fork-joins are special cases. Chain extraction and suffix views remain
+// first-class for the paper's original workloads.
 package workflow
 
 import (
@@ -86,6 +88,20 @@ func New(name string, slo time.Duration, nodes []Node, edges [][2]string) (*Work
 		seenEdges[e] = true
 		w.succ[from] = append(w.succ[from], to)
 		w.pred[to] = append(w.pred[to], from)
+	}
+	// A node with no edges in a workflow that HAS edges is almost always
+	// a spec typo (an edge endpoint misspelled into oblivion); the
+	// serving engine would happily run it concurrently with everything
+	// else, so reject it at validation time where the developer can see
+	// it. An entirely edge-less workflow stays valid: that is a pure
+	// fork — every node in one decision group, joining at completion —
+	// the shape a single-stage parallel workflow converts to.
+	if len(edges) > 0 {
+		for _, n := range w.nodes {
+			if len(w.pred[n.Name]) == 0 && len(w.succ[n.Name]) == 0 {
+				return nil, fmt.Errorf("workflow %s: node %q is disconnected (no edges reference it)", name, n.Name)
+			}
+		}
 	}
 	order, err := w.topoSort()
 	if err != nil {

@@ -75,13 +75,14 @@ func TestNonChainShapes(t *testing.T) {
 	if _, err := fanOut.Chain(); err == nil {
 		t.Fatal("Chain() on fan-out should fail")
 	}
-	// Two disconnected nodes: each linear, but two starts.
-	two, err := New("two", time.Second, nodes[:2], nil)
+	// Two parallel two-node chains: connected per node, but two starts.
+	four := append(append([]Node(nil), nodes[:2]...), Node{Name: "x", Function: "f"}, Node{Name: "y", Function: "f"})
+	two, err := New("two", time.Second, four, [][2]string{{"a", "b"}, {"x", "y"}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if two.IsChain() {
-		t.Fatal("disconnected graph recognized as chain")
+		t.Fatal("multi-start graph recognized as chain")
 	}
 }
 

@@ -395,6 +395,50 @@ func ServeSPTraces(w *SPWorkflow, alloc Allocator, cfg SPProfilerConfig, sc SPSe
 // SPInvocations summarizes serving-plane traces as SP invocations.
 func SPInvocations(traces []Trace) []SPInvocation { return parallel.Invocations(traces) }
 
+// Arbitrary-DAG workflows (the node-granular engine): serving, profiling,
+// and hints synthesis all operate on decision groups — nodes sharing an
+// identical predecessor set, which become ready together and share one
+// allocation decision — so chains and series-parallel workflows are mere
+// special cases. A node starts the moment its predecessors complete;
+// joins happen implicitly at nodes with in-degree > 1; each decision is
+// made against the critical-path remaining budget and resolved by the
+// hints table synthesized for the group's descendant cone.
+
+// WorkflowGroup is one decision group of a workflow DAG (see
+// Workflow.DecisionGroups).
+type WorkflowGroup = workflow.Group
+
+// NewDAGWorkflow builds and validates an arbitrary-DAG workflow: nodes
+// are function invocations, edges are data dependencies, and any acyclic
+// shape — partial joins, cross edges, multiple sinks — serves on the
+// node-granular engine. It is NewWorkflow under the name the DAG serving
+// surface documents.
+func NewDAGWorkflow(name string, slo time.Duration, nodes []WorkflowNode, edges [][2]string) (*Workflow, error) {
+	return workflow.New(name, slo, nodes, edges)
+}
+
+// MLInferenceDAG returns the arbitrary-DAG evaluation scenario: a
+// six-node ML-inference pipeline (preprocess fanning out to detect and
+// classify, detect additionally feeding ocr, an in-degree-3 join at fuse,
+// then publish) whose cross edge admits no stage decomposition. SLO
+// 1.3 s.
+func MLInferenceDAG() *Workflow {
+	w, err := experiment.DAGWorkflow()
+	if err != nil {
+		panic(err) // static construction; cannot fail
+	}
+	return w
+}
+
+// DAGRow summarizes one system of the DAG scenario
+// (ExperimentSuite.DAGScenario; janusbench -experiment dag).
+type DAGRow = experiment.DAGRow
+
+// DAGExperimentPoints enumerates the arbitrary-DAG scenario grid — the
+// six-node ML-inference DAG under every applicable system — as runner
+// points.
+func DAGExperimentPoints() ([]ExperimentPoint, error) { return experiment.DAGPoints() }
+
 // Experiments.
 
 // ExperimentSuite reproduces the paper's tables and figures. Suite points
