@@ -429,3 +429,24 @@ func BenchmarkOverheadOnlineAdaptation(b *testing.B) {
 	}
 	b.ReportMetric(float64(o.BundleBytes), "bundle_bytes")
 }
+
+// BenchmarkReplayScenario times the non-stationary replay grid: the
+// burst+diurnal schedule over ia/va/dag under static pools, the elastic
+// autoscaler, and the closed bilateral loop (online hint regeneration
+// hot-swapping bundles mid-run).
+func BenchmarkReplayScenario(b *testing.B) {
+	s := suite()
+	var closedAttainment float64
+	for i := 0; i < b.N; i++ {
+		runs, err := s.ReplayScenario()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, run := range runs {
+			if run.Config == "autoscaler+regen" {
+				closedAttainment = run.Aggregate.SLOAttainment
+			}
+		}
+	}
+	b.ReportMetric(closedAttainment*100, "closed_loop_slo_attainment_%")
+}

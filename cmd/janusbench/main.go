@@ -17,14 +17,24 @@
 // mix serves the multi-tenant scenario — the IA chain, VA chain, and
 // series-parallel Video Analyze merged into one arrival stream on a
 // shared multi-node cluster — with per-tenant and aggregate tables, a
-// placement-policy comparison, and a node-count scale-out sweep.
+// placement-policy comparison, and a node-count scale-out sweep; replay
+// serves a non-stationary burst+diurnal schedule over the ia/va/dag
+// catalog under static pools, the elastic warm-pool autoscaler, and the
+// autoscaler with online hint regeneration (the bilateral loop closed
+// mid-run).
 //
 // Serving points fan out over a worker pool (-parallelism, default
 // GOMAXPROCS); results are identical at every setting because requests
 // carry pre-sampled runtime conditions.
+//
+// -json switches stdout to a machine-readable result array (one element
+// per experiment, with typed per-row results where the experiment
+// defines them), so benchmark trajectories can be recorded as
+// BENCH_*.json files.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,69 +54,71 @@ func (f stringerFunc) String() string { return f() }
 func wrap(s string) fmt.Stringer { return stringerFunc(func() string { return s }) }
 
 // exp pairs an experiment's driver with the one-line description -list
-// prints.
+// prints. rows, when set, extracts the experiment's typed per-row results
+// for -json; experiments without an extractor emit text only.
 type exp struct {
 	run  runner
 	desc string
+	rows func(*experiment.Suite) (any, error)
 }
 
 var experiments = map[string]exp{
-	"fig1a": {func(s *experiment.Suite) (fmt.Stringer, error) { return s.Fig1a() },
-		"function latency vs CPU allocation (motivation)"},
-	"fig1b": {func(s *experiment.Suite) (fmt.Stringer, error) {
+	"fig1a": {run: func(s *experiment.Suite) (fmt.Stringer, error) { return s.Fig1a() },
+		desc: "function latency vs CPU allocation (motivation)"},
+	"fig1b": {run: func(s *experiment.Suite) (fmt.Stringer, error) {
 		rows, err := s.Fig1b()
 		if err != nil {
 			return nil, err
 		}
 		return wrap(experiment.FormatFig1b(rows)), nil
-	}, "latency variance across working sets (motivation)"},
-	"fig1c": {func(s *experiment.Suite) (fmt.Stringer, error) {
+	}, desc: "latency variance across working sets (motivation)"},
+	"fig1c": {run: func(s *experiment.Suite) (fmt.Stringer, error) {
 		rows, err := s.Fig1c()
 		if err != nil {
 			return nil, err
 		}
 		return wrap(experiment.FormatFig1c(rows)), nil
-	}, "co-location interference slowdowns (motivation)"},
-	"fig2": {func(s *experiment.Suite) (fmt.Stringer, error) { return s.Fig2(50) },
-		"per-request remaining-budget dispersion (motivation)"},
-	"fig4": {func(s *experiment.Suite) (fmt.Stringer, error) {
+	}, desc: "co-location interference slowdowns (motivation)"},
+	"fig2": {run: func(s *experiment.Suite) (fmt.Stringer, error) { return s.Fig2(50) },
+		desc: "per-request remaining-budget dispersion (motivation)"},
+	"fig4": {run: func(s *experiment.Suite) (fmt.Stringer, error) {
 		panels, err := s.Fig4()
 		if err != nil {
 			return nil, err
 		}
 		return wrap(experiment.FormatFig4(panels)), nil
-	}, "end-to-end latency distributions per system"},
-	"fig5": {func(s *experiment.Suite) (fmt.Stringer, error) {
+	}, desc: "end-to-end latency distributions per system"},
+	"fig5": {run: func(s *experiment.Suite) (fmt.Stringer, error) {
 		panels, err := s.Fig5()
 		if err != nil {
 			return nil, err
 		}
 		return wrap(experiment.FormatFig5(panels)), nil
-	}, "resource consumption and SLO compliance per system"},
-	"fig6": {func(s *experiment.Suite) (fmt.Stringer, error) {
+	}, desc: "resource consumption and SLO compliance per system"},
+	"fig6": {run: func(s *experiment.Suite) (fmt.Stringer, error) {
 		rows, err := s.Fig6()
 		if err != nil {
 			return nil, err
 		}
 		return wrap(experiment.FormatFig6(rows)), nil
-	}, "SLO sweep: consumption and violations vs objective"},
-	"fig7": {func(s *experiment.Suite) (fmt.Stringer, error) { return s.Fig7() },
-		"head-weight sensitivity of the synthesizer"},
-	"fig8": {func(s *experiment.Suite) (fmt.Stringer, error) {
+	}, desc: "SLO sweep: consumption and violations vs objective"},
+	"fig7": {run: func(s *experiment.Suite) (fmt.Stringer, error) { return s.Fig7() },
+		desc: "head-weight sensitivity of the synthesizer"},
+	"fig8": {run: func(s *experiment.Suite) (fmt.Stringer, error) {
 		rows, err := s.Fig8()
 		if err != nil {
 			return nil, err
 		}
 		return wrap(experiment.FormatFig8(rows)), nil
-	}, "hints-table condensing: raw vs condensed sizes"},
-	"fig9": {func(s *experiment.Suite) (fmt.Stringer, error) {
+	}, desc: "hints-table condensing: raw vs condensed sizes"},
+	"fig9": {run: func(s *experiment.Suite) (fmt.Stringer, error) {
 		rows, err := s.Fig9()
 		if err != nil {
 			return nil, err
 		}
 		return wrap(experiment.FormatFig9(rows)), nil
-	}, "concurrency (batch) sweep per system"},
-	"sp": {func(s *experiment.Suite) (fmt.Stringer, error) {
+	}, desc: "concurrency (batch) sweep per system"},
+	"sp": {run: func(s *experiment.Suite) (fmt.Stringer, error) {
 		rows, err := s.SPScenario()
 		if err != nil {
 			return nil, err
@@ -116,15 +128,35 @@ var experiments = map[string]exp{
 			return nil, err
 		}
 		return wrap(experiment.FormatSPScenario(rows) + "\n" + experiment.FormatSPArrivalSweep(sweep)), nil
-	}, "series-parallel Video Analyze scenario + arrival sweep"},
-	"dag": {func(s *experiment.Suite) (fmt.Stringer, error) {
+	}, desc: "series-parallel Video Analyze scenario + arrival sweep"},
+	"dag": {run: func(s *experiment.Suite) (fmt.Stringer, error) {
 		rows, err := s.DAGScenario()
 		if err != nil {
 			return nil, err
 		}
 		return wrap(experiment.FormatDAGScenario(rows)), nil
-	}, "six-node ML-inference DAG with a cross edge (node-granular engine)"},
-	"mix": {func(s *experiment.Suite) (fmt.Stringer, error) {
+	}, desc: "six-node ML-inference DAG with a cross edge (node-granular engine)",
+		rows: func(s *experiment.Suite) (any, error) { return s.DAGScenario() }},
+	"replay": {run: func(s *experiment.Suite) (fmt.Stringer, error) {
+		runs, err := s.ReplayScenario()
+		if err != nil {
+			return nil, err
+		}
+		return wrap(experiment.FormatReplay(runs)), nil
+	}, desc: "non-stationary replay: static pools vs autoscaler vs autoscaler+online-regen",
+		rows: func(s *experiment.Suite) (any, error) {
+			runs, err := s.ReplayScenario()
+			if err != nil {
+				return nil, err
+			}
+			var rows []experiment.ReplayRow
+			for _, run := range runs {
+				rows = append(rows, run.Rows...)
+				rows = append(rows, run.Aggregate)
+			}
+			return rows, nil
+		}},
+	"mix": {run: func(s *experiment.Suite) (fmt.Stringer, error) {
 		scenario, err := s.MixScenario()
 		if err != nil {
 			return nil, err
@@ -140,19 +172,19 @@ var experiments = map[string]exp{
 		return wrap(experiment.FormatMixScenario(scenario) + "\n" +
 			experiment.FormatMixPlacement(placement) + "\n" +
 			experiment.FormatMixScaleOut(sweep)), nil
-	}, "multi-tenant mixed workloads on a shared cluster"},
-	"table1": {func(s *experiment.Suite) (fmt.Stringer, error) { return s.Table1() },
-		"headline consumption/latency comparison (Table I)"},
-	"table2": {func(s *experiment.Suite) (fmt.Stringer, error) { return s.Table2() },
-		"per-percentile hint usage (Table II)"},
-	"overhead": {func(s *experiment.Suite) (fmt.Stringer, error) { return s.Overhead() },
-		"synthesis and adaptation overhead measurements"},
+	}, desc: "multi-tenant mixed workloads on a shared cluster"},
+	"table1": {run: func(s *experiment.Suite) (fmt.Stringer, error) { return s.Table1() },
+		desc: "headline consumption/latency comparison (Table I)"},
+	"table2": {run: func(s *experiment.Suite) (fmt.Stringer, error) { return s.Table2() },
+		desc: "per-percentile hint usage (Table II)"},
+	"overhead": {run: func(s *experiment.Suite) (fmt.Stringer, error) { return s.Overhead() },
+		desc: "synthesis and adaptation overhead measurements"},
 }
 
 // order fixes the -experiment all sequence.
 var order = []string{
 	"fig1a", "fig1b", "fig1c", "fig2", "fig4", "fig5",
-	"fig6", "fig7", "fig8", "fig9", "sp", "dag", "mix", "table1", "table2", "overhead",
+	"fig6", "fig7", "fig8", "fig9", "sp", "dag", "mix", "replay", "table1", "table2", "overhead",
 }
 
 // listString renders the -list output: one "name  description" line per
@@ -191,12 +223,69 @@ func resolveParallelism(n int) (int, error) {
 	return n, nil
 }
 
+// benchRow is one machine-readable result row: the experiment's typed row
+// struct flattened through its JSON field names.
+type benchRow map[string]any
+
+// benchResult is the -json schema for one experiment run. Text always
+// carries the human rendering; Rows is present when the experiment
+// defines a typed row extractor.
+type benchResult struct {
+	Experiment string     `json:"experiment"`
+	ElapsedMs  int64      `json:"elapsed_ms"`
+	Rows       []benchRow `json:"rows,omitempty"`
+	Text       string     `json:"text"`
+}
+
+// toBenchRows flattens a typed row slice into generic rows by a JSON
+// round-trip, so every experiment's row struct shares one -json schema
+// without hand-written converters.
+func toBenchRows(rows any) ([]benchRow, error) {
+	data, err := json.Marshal(rows)
+	if err != nil {
+		return nil, err
+	}
+	var out []benchRow
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runOne executes one experiment and assembles its result record.
+func runOne(n string, suite *experiment.Suite) (benchResult, error) {
+	start := time.Now()
+	out, err := experiments[n].run(suite)
+	if err != nil {
+		return benchResult{}, err
+	}
+	res := benchResult{
+		Experiment: n,
+		ElapsedMs:  time.Since(start).Milliseconds(),
+		Text:       out.String(),
+	}
+	if rowsFn := experiments[n].rows; rowsFn != nil {
+		// Row extraction reuses the suite's run caches, so this costs no
+		// second serving run.
+		typed, err := rowsFn(suite)
+		if err != nil {
+			return benchResult{}, err
+		}
+		res.Rows, err = toBenchRows(typed)
+		if err != nil {
+			return benchResult{}, err
+		}
+	}
+	return res, nil
+}
+
 func main() {
 	name := flag.String("experiment", "all", "experiment to run (or 'all')")
 	quick := flag.Bool("quick", false, "reduced scale (fast sanity runs)")
 	parallelism := flag.Int("parallelism", 0,
 		"concurrent suite points (0 means GOMAXPROCS); any value yields identical results")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonOut := flag.Bool("json", false, "emit machine-readable per-row results as a JSON array")
 	flag.Parse()
 
 	if *list {
@@ -218,13 +307,25 @@ func main() {
 		suite = experiment.QuickSuite()
 	}
 	suite.SetParallelism(par)
+	var results []benchResult
 	for _, n := range targets {
-		start := time.Now()
-		out, err := experiments[n].run(suite)
+		res, err := runOne(n, suite)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "janusbench: %s: %v\n", n, err)
 			os.Exit(1)
 		}
-		fmt.Printf("==== %s (%v) ====\n%s\n", n, time.Since(start).Round(time.Millisecond), out)
+		if *jsonOut {
+			results = append(results, res)
+			continue
+		}
+		fmt.Printf("==== %s (%v) ====\n%s\n", n, time.Duration(res.ElapsedMs)*time.Millisecond, res.Text)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "janusbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,9 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"reflect"
 	"runtime"
 	"strings"
 	"testing"
+	"time"
+
+	"janus/internal/experiment"
 )
 
 func TestResolveTargetsAll(t *testing.T) {
@@ -106,5 +111,83 @@ func TestOrderMatchesExperiments(t *testing.T) {
 		if !inOrder[n] {
 			t.Errorf("registered experiment %s missing from the all sequence", n)
 		}
+	}
+}
+
+// TestJSONSchemaRoundTrips pins the -json output schema: a populated
+// result survives a marshal/unmarshal cycle with every field intact, so
+// recorded BENCH_*.json trajectories stay parseable.
+func TestJSONSchemaRoundTrips(t *testing.T) {
+	rows, err := toBenchRows([]experiment.ReplayRow{{
+		Config:         experiment.ReplayAutoscaleRegen,
+		Tenant:         "ia",
+		SLO:            3 * time.Second,
+		Requests:       110,
+		P50:            1910 * time.Millisecond,
+		P99:            2695 * time.Millisecond,
+		SLOAttainment:  0.9909,
+		MeanMillicores: 5461.8,
+		MissRate:       0.0576,
+		ColdStarts:     13,
+		Parked:         1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := benchResult{Experiment: "replay", ElapsedMs: 1234, Rows: rows, Text: "rendered table"}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out benchResult
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("schema does not round-trip:\n in: %+v\nout: %+v", in, out)
+	}
+	// The row keys are the documented schema, not Go field names.
+	for _, key := range []string{"config", "tenant", "slo_ns", "requests", "p50_ns", "p99_ns",
+		"slo_attainment", "mean_millicores", "miss_rate", "cold_starts", "parked"} {
+		if _, ok := out.Rows[0][key]; !ok {
+			t.Errorf("row lacks schema key %q (have %v)", key, out.Rows[0])
+		}
+	}
+}
+
+// TestJSONRowsOmittedWithoutExtractor keeps text-only experiments honest
+// in the schema: no rows field, text still present.
+func TestJSONRowsOmittedWithoutExtractor(t *testing.T) {
+	data, err := json.Marshal(benchResult{Experiment: "fig4", ElapsedMs: 1, Text: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "rows") {
+		t.Fatalf("empty rows serialized: %s", data)
+	}
+}
+
+// TestReplayRegistered keeps the new replay experiment wired through the
+// run-selection surfaces: registry, all-sequence, and row extractor.
+func TestReplayRegistered(t *testing.T) {
+	targets, err := resolveTargets("replay")
+	if err != nil || len(targets) != 1 || targets[0] != "replay" {
+		t.Fatalf("resolveTargets(replay) = %v, %v", targets, err)
+	}
+	e, ok := experiments["replay"]
+	if !ok {
+		t.Fatal("replay not registered")
+	}
+	if e.rows == nil {
+		t.Fatal("replay has no -json row extractor")
+	}
+	inOrder := false
+	for _, n := range order {
+		if n == "replay" {
+			inOrder = true
+		}
+	}
+	if !inOrder {
+		t.Fatal("replay missing from the all sequence")
 	}
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	janusd -addr :8080 [-miss-threshold 0.01]
+//	janusd -addr :8080 [-miss-threshold 0.01] [-drain-timeout 10s]
 //
 // API:
 //
@@ -13,22 +13,64 @@
 //	POST /v1/decide           {"workflow","suffix","remaining_ms"} -> decision
 //	GET  /v1/stats?workflow=  supervisor hit/miss counters
 //	GET  /v1/healthz          liveness
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight requests for up to -drain-timeout before exiting, so a
+// platform rollout never kills a decision mid-request.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"janus/internal/adapter"
 	"janus/internal/httpapi"
 )
 
+// serve runs the HTTP server on the listener until ctx is cancelled, then
+// drains in-flight requests via http.Server.Shutdown bounded by drain.
+// It returns nil on a clean drain, the Shutdown error when the timeout
+// expires first, and the Serve error if the server fails outright.
+func serve(ctx context.Context, server *http.Server, ln net.Listener, drain time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- server.Serve(ln) }()
+	select {
+	case err := <-errc:
+		// Serve never returns nil; ErrServerClosed here would mean an
+		// external Shutdown raced ours, which is still a clean exit.
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	// Shutdown unblocked Serve; collect its ErrServerClosed so the
+	// goroutine never leaks.
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	missThreshold := flag.Float64("miss-threshold", adapter.DefaultMissThreshold,
 		"miss rate above which the supervisor flags hint regeneration")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
+		"how long to drain in-flight requests after SIGINT/SIGTERM")
 	flag.Parse()
 
 	srv := httpapi.NewServer(
@@ -38,12 +80,18 @@ func main() {
 		}),
 	)
 	server := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("janusd: adapter service listening on %s", *addr)
-	if err := server.ListenAndServe(); err != nil {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		log.Fatal(err)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("janusd: adapter service listening on %s", ln.Addr())
+	if err := serve(ctx, server, ln, *drainTimeout); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("janusd: drained and stopped")
 }

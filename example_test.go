@@ -222,3 +222,53 @@ func ExampleExecutor_RunMixed() {
 	// assistant: 50 traces, tenant tag "assistant"
 	// video: 50 traces, tenant tag "video"
 }
+
+// ExampleExecutor_RunReplay serves a deterministic non-stationary arrival
+// stream — a plateau, a burst, a diurnal cycle — under the elastic
+// warm-pool autoscaler, on one virtual clock.
+func ExampleExecutor_RunReplay() {
+	sched, err := janus.NewReplaySchedule(7,
+		janus.ReplayZipfMix("assistant"),
+		janus.ReplayPlateau(10*time.Second, 2),
+		janus.ReplayBurst(10*time.Second, 2, 8),
+		janus.ReplayDiurnal(20*time.Second, 1, 4, 10*time.Second),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arrivals := janus.ReplayTenantArrivalTimes(sched.Arrivals())
+	coloc, err := janus.NewColocationSampler([]float64{0.5, 0.35, 0.15})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reqs, err := janus.GenerateWorkload(janus.WorkloadConfig{
+		Workflow: janus.IntelligentAssistant(), Functions: janus.Catalog(), Batch: 1,
+		Arrivals: arrivals["assistant"], Colocation: coloc,
+		Interference: janus.DefaultInterference(), StageCorrelation: 0.5, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	scaler, err := janus.NewAutoscaler(janus.DefaultAutoscalerConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ex, err := janus.NewExecutor(janus.DefaultExecutorConfig(), janus.Catalog())
+	if err != nil {
+		log.Fatal(err)
+	}
+	traces, metrics, err := ex.RunReplay(
+		[]janus.TenantWorkload{{Requests: reqs,
+			Allocator: &janus.FixedAllocator{System: "fixed", Sizes: []int{2000, 2000, 2000}}}},
+		janus.ReplayConfig{Interval: 500 * time.Millisecond, Horizon: sched.Duration(), Controller: scaler},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("served %d requests over %v with elastic pools (churn %d grown, %d shrunk)\n",
+		len(traces[""]), sched.Duration(), metrics.PoolGrown, metrics.PoolShrunk)
+	fmt.Printf("pod-seconds accounted: %t\n", metrics.PodSeconds > 0)
+	// Output:
+	// served 111 requests over 40s with elastic pools (churn 31 grown, 8 shrunk)
+	// pod-seconds accounted: true
+}

@@ -69,6 +69,12 @@ type Adapter struct {
 	epoch       int64
 	epochHits   int64
 	epochMisses int64
+	// epochBudgetLo/Hi bound the remaining budgets observed against the
+	// current bundle — the drifted budget distribution an online
+	// regeneration re-synthesizes against. Valid when epochBudgetSeen.
+	epochBudgetLo   time.Duration
+	epochBudgetHi   time.Duration
+	epochBudgetSeen bool
 
 	missThreshold float64
 	minDecisions  int64
@@ -136,7 +142,7 @@ func (a *Adapter) Decide(suffix int, remaining time.Duration) (Decision, error) 
 		return Decision{}, fmt.Errorf("adapter: suffix %d out of range [0, %d)", suffix, b.Stages())
 	}
 	r, ok := b.Tables[suffix].Lookup(remaining)
-	a.record(ok, d.epoch)
+	a.record(ok, d.epoch, remaining)
 	if !ok {
 		// Miss: scale to the ceiling to protect the SLO (§III-D).
 		return Decision{Millicores: b.MaxMillicores, Hit: false, Percentile: 99}, nil
@@ -149,8 +155,9 @@ func (a *Adapter) Decide(suffix int, remaining time.Duration) (Decision, error) 
 // window. The regeneration trigger fires off the epoch window alone, so a
 // freshly swapped-in bundle cannot be condemned by misses the previous
 // bundle took, including misses from decisions that were already in
-// flight when Replace landed (their stale epoch excludes them).
-func (a *Adapter) record(hit bool, epoch int64) {
+// flight when Replace landed (their stale epoch excludes them). The
+// decision's remaining budget widens the epoch's observed budget range.
+func (a *Adapter) record(hit bool, epoch int64, remaining time.Duration) {
 	a.mu.Lock()
 	if hit {
 		a.hits++
@@ -166,6 +173,13 @@ func (a *Adapter) record(hit bool, epoch int64) {
 	} else {
 		a.epochMisses++
 	}
+	if !a.epochBudgetSeen || remaining < a.epochBudgetLo {
+		a.epochBudgetLo = remaining
+	}
+	if !a.epochBudgetSeen || remaining > a.epochBudgetHi {
+		a.epochBudgetHi = remaining
+	}
+	a.epochBudgetSeen = true
 	epochTotal := a.epochHits + a.epochMisses
 	shouldNotify := !a.notified &&
 		a.onRegenerate != nil &&
@@ -215,6 +229,17 @@ func (a *Adapter) EpochStats() (hits, misses int64, missRate float64) {
 	return a.epochHits, a.epochMisses, a.epochMissRateLocked()
 }
 
+// EpochBudgetRange reports the smallest and largest remaining budgets
+// decided against the current bundle — the drifted budget distribution an
+// online regeneration re-synthesizes hints for. ok is false before the
+// epoch's first decision. The low bound can be negative: a request past
+// its deadline still asks for an allocation.
+func (a *Adapter) EpochBudgetRange() (lo, hi time.Duration, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.epochBudgetLo, a.epochBudgetHi, a.epochBudgetSeen
+}
+
 // Replace swaps in a regenerated bundle (the asynchronous regeneration
 // completing), re-arms the notification, and opens a fresh observation
 // epoch: the trigger's window resets so only decisions against the new
@@ -233,6 +258,9 @@ func (a *Adapter) Replace(b *hints.Bundle) error {
 	a.notified = false
 	a.epochHits = 0
 	a.epochMisses = 0
+	a.epochBudgetSeen = false
+	a.epochBudgetLo = 0
+	a.epochBudgetHi = 0
 	return nil
 }
 

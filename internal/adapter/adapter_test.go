@@ -283,7 +283,7 @@ func TestStaleEpochDecisionsExcludedFromWindow(t *testing.T) {
 	// The in-flight decisions complete after the swap: all misses, all
 	// attributed to the pre-swap bundle.
 	for i := 0; i < 5; i++ {
-		a.record(false, stale.epoch)
+		a.record(false, stale.epoch, 100*time.Millisecond)
 	}
 	if eh, em, _ := a.EpochStats(); eh != 0 || em != 0 {
 		t.Fatalf("stale-epoch decisions leaked into the new window: %d/%d", eh, em)
@@ -399,4 +399,39 @@ func TestReplaceWhileDeciding(t *testing.T) {
 	}
 	stop.Store(true)
 	wg.Wait()
+}
+
+func TestEpochBudgetRangeTracksAndResets(t *testing.T) {
+	a, err := New(bundle(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := a.EpochBudgetRange(); ok {
+		t.Fatal("budget range reported before any decision")
+	}
+	budgets := []time.Duration{2500 * time.Millisecond, 800 * time.Millisecond, 4 * time.Second, -50 * time.Millisecond}
+	for _, b := range budgets {
+		if _, err := a.Decide(0, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lo, hi, ok := a.EpochBudgetRange()
+	if !ok || lo != -50*time.Millisecond || hi != 4*time.Second {
+		t.Fatalf("EpochBudgetRange = [%v, %v] ok=%t, want [-50ms, 4s]", lo, hi, ok)
+	}
+	// Replace opens a fresh observation window: the drifted range the
+	// previous bundle saw must not leak into the new bundle's.
+	if err := a.Replace(bundle(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := a.EpochBudgetRange(); ok {
+		t.Fatal("budget range survived a bundle swap")
+	}
+	if _, err := a.Decide(0, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, ok = a.EpochBudgetRange()
+	if !ok || lo != 3*time.Second || hi != 3*time.Second {
+		t.Fatalf("post-swap EpochBudgetRange = [%v, %v] ok=%t", lo, hi, ok)
+	}
 }

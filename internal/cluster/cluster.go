@@ -126,6 +126,14 @@ type Cluster struct {
 	nextID int
 	// pools maps function -> idle warm pod IDs (LIFO for cache warmth).
 	pools map[string][]*Pod
+	// targets maps function -> warm-pool target depth. Deploy initializes
+	// every function to Config.PoolSize; SetPoolTarget lets an elastic
+	// controller resize pools per function mid-run.
+	targets map[string]int
+	// grown/shrunk count pool-churn pods: warm pods built by scale-up
+	// (each paying a cold start before it is usable) and idle pods
+	// destroyed by scale-down.
+	grown, shrunk int
 }
 
 // New builds a cluster.
@@ -133,7 +141,7 @@ func New(cfg Config) (*Cluster, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	c := &Cluster{cfg: cfg, pools: make(map[string][]*Pod)}
+	c := &Cluster{cfg: cfg, pools: make(map[string][]*Pod), targets: make(map[string]int)}
 	for i := 0; i < cfg.Nodes; i++ {
 		c.nodes = append(c.nodes, &node{id: i, capacity: cfg.NodeMillicores, pods: make(map[int]*Pod)})
 	}
@@ -150,6 +158,7 @@ func (c *Cluster) Deploy(function string) error {
 		return fmt.Errorf("cluster: %s already deployed", function)
 	}
 	c.pools[function] = nil
+	c.targets[function] = c.cfg.PoolSize
 	for i := 0; i < c.cfg.PoolSize; i++ {
 		pod, err := c.createPod(function, c.cfg.IdleMillicores)
 		if err != nil {
@@ -248,13 +257,15 @@ func (c *Cluster) Resize(pod *Pod, millicores int) error {
 }
 
 // Release returns a pod to its function's warm pool, shrinking it to the
-// idle allocation. Pools beyond PoolSize are trimmed by destroying the pod.
+// idle allocation. Pools at or beyond the function's target depth (set by
+// Deploy to Config.PoolSize, adjustable via SetPoolTarget) are trimmed by
+// destroying the pod.
 func (c *Cluster) Release(pod *Pod) error {
 	if !pod.busy {
 		return fmt.Errorf("cluster: Release of idle pod %d", pod.ID)
 	}
 	pod.busy = false
-	if len(c.pools[pod.Function]) >= c.cfg.PoolSize {
+	if len(c.pools[pod.Function]) >= c.targets[pod.Function] {
 		return c.destroy(pod)
 	}
 	if err := c.Resize(pod, max(c.cfg.IdleMillicores, 1)); err != nil {
@@ -342,6 +353,86 @@ func (c *Cluster) NodeColocated(nodeID int, function string) int {
 // WarmPods reports the number of idle warm pods for the function.
 func (c *Cluster) WarmPods(function string) int {
 	return len(c.pools[function])
+}
+
+// TotalPods reports the number of pods (idle and busy) across all nodes —
+// the live footprint pod-seconds accounting integrates.
+func (c *Cluster) TotalPods() int {
+	total := 0
+	for _, n := range c.nodes {
+		total += len(n.pods)
+	}
+	return total
+}
+
+// PoolTarget reports the function's warm-pool target depth.
+func (c *Cluster) PoolTarget(function string) (int, error) {
+	if _, ok := c.pools[function]; !ok {
+		return 0, fmt.Errorf("cluster: %s not deployed", function)
+	}
+	return c.targets[function], nil
+}
+
+// SetPoolTarget changes the function's warm-pool target depth — the
+// elastic-scaling primitive. Lowering the target takes effect lazily:
+// Release trims returning pods down to it (surplus idle pods are shed
+// with RemoveWarmPod). Raising it does not conjure warm pods: each new
+// pod must be built with AddWarmPod after paying a cold start, which is
+// the honest scale-up cost an autoscaler owes.
+func (c *Cluster) SetPoolTarget(function string, target int) error {
+	if _, ok := c.pools[function]; !ok {
+		return fmt.Errorf("cluster: %s not deployed", function)
+	}
+	if target < 0 {
+		return fmt.Errorf("cluster: pool target for %s must be >= 0, got %d", function, target)
+	}
+	c.targets[function] = target
+	return nil
+}
+
+// AddWarmPod builds one idle warm pod for the function (scale-up landing
+// after its cold-start delay) and counts it as pool churn. It fails when
+// no node has the idle allocation free — the controller's growth simply
+// does not land on a full cluster.
+func (c *Cluster) AddWarmPod(function string) (*Pod, error) {
+	if _, ok := c.pools[function]; !ok {
+		return nil, fmt.Errorf("cluster: %s not deployed", function)
+	}
+	pod, err := c.createPod(function, max(c.cfg.IdleMillicores, 1))
+	if err != nil {
+		return nil, err
+	}
+	c.pools[function] = append(c.pools[function], pod)
+	c.grown++
+	return pod, nil
+}
+
+// RemoveWarmPod destroys one idle warm pod of the function (scale-down)
+// and counts it as pool churn. It fails when the pool has no idle pod to
+// shed; busy pods drain naturally — Release trims them against the
+// lowered target.
+func (c *Cluster) RemoveWarmPod(function string) error {
+	pool, ok := c.pools[function]
+	if !ok {
+		return fmt.Errorf("cluster: %s not deployed", function)
+	}
+	if len(pool) == 0 {
+		return fmt.Errorf("cluster: %s has no idle warm pod to remove", function)
+	}
+	pod := pool[len(pool)-1]
+	c.pools[function] = pool[:len(pool)-1]
+	if err := c.destroy(pod); err != nil {
+		return err
+	}
+	c.shrunk++
+	return nil
+}
+
+// PoolChurn reports the pods built by scale-up and destroyed by
+// scale-down across the cluster's lifetime (AddWarmPod / RemoveWarmPod;
+// Deploy pre-warming and Release trimming are not churn).
+func (c *Cluster) PoolChurn() (grown, shrunk int) {
+	return c.grown, c.shrunk
 }
 
 // Functions lists deployed function names, sorted.

@@ -345,3 +345,136 @@ func TestDefaultConfigMatchesPaperTestbed(t *testing.T) {
 		t.Error("pool manager should pre-warm pods (the paper picks PoolManager to avoid cold starts)")
 	}
 }
+
+func TestPoolTargetDefaultsToConfig(t *testing.T) {
+	c := small(t)
+	tgt, err := c.PoolTarget("f")
+	if err != nil || tgt != 2 {
+		t.Fatalf("PoolTarget = %d, %v; want config PoolSize 2", tgt, err)
+	}
+	if _, err := c.PoolTarget("g"); err == nil {
+		t.Fatal("PoolTarget for undeployed function accepted")
+	}
+}
+
+func TestSetPoolTargetGovernsReleaseTrimming(t *testing.T) {
+	c := small(t)
+	if err := c.SetPoolTarget("f", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Shed the two pre-warmed idle pods, then check a released pod is
+	// destroyed rather than pooled: target 0 means no warm pods survive.
+	if err := c.RemoveWarmPod("f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveWarmPod("f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveWarmPod("f"); err == nil {
+		t.Fatal("removed a warm pod from an empty pool")
+	}
+	pod, cold, err := c.Acquire("f", 1000)
+	if err != nil || !cold {
+		t.Fatalf("Acquire after shedding = cold %t, %v", cold, err)
+	}
+	if err := c.Release(pod); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.WarmPods("f"); got != 0 {
+		t.Fatalf("released pod pooled despite target 0 (warm %d)", got)
+	}
+	if got := c.TotalPods(); got != 0 {
+		t.Fatalf("TotalPods = %d, want 0", got)
+	}
+	// Raising the target lets Release refill the pool again.
+	if err := c.SetPoolTarget("f", 1); err != nil {
+		t.Fatal(err)
+	}
+	pod, _, err = c.Acquire("f", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(pod); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.WarmPods("f"); got != 1 {
+		t.Fatalf("warm pods after refill = %d, want 1", got)
+	}
+}
+
+func TestSetPoolTargetValidation(t *testing.T) {
+	c := small(t)
+	if err := c.SetPoolTarget("g", 1); err == nil {
+		t.Fatal("target for undeployed function accepted")
+	}
+	if err := c.SetPoolTarget("f", -1); err == nil {
+		t.Fatal("negative target accepted")
+	}
+}
+
+func TestAddWarmPodBuildsAndAccounts(t *testing.T) {
+	c := small(t)
+	pod, err := c.AddWarmPod("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pod.Busy() {
+		t.Fatal("scale-up pod born busy")
+	}
+	if got := c.WarmPods("f"); got != 3 {
+		t.Fatalf("warm pods after AddWarmPod = %d, want 3", got)
+	}
+	grown, shrunk := c.PoolChurn()
+	if grown != 1 || shrunk != 0 {
+		t.Fatalf("churn after grow = %d/%d, want 1/0", grown, shrunk)
+	}
+	if err := c.RemoveWarmPod("f"); err != nil {
+		t.Fatal(err)
+	}
+	grown, shrunk = c.PoolChurn()
+	if grown != 1 || shrunk != 1 {
+		t.Fatalf("churn after shrink = %d/%d, want 1/1", grown, shrunk)
+	}
+	if _, err := c.AddWarmPod("g"); err == nil {
+		t.Fatal("AddWarmPod for undeployed function accepted")
+	}
+	if err := c.RemoveWarmPod("g"); err == nil {
+		t.Fatal("RemoveWarmPod for undeployed function accepted")
+	}
+}
+
+func TestAddWarmPodCapacityExhaustion(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 1, NodeMillicores: 1000, PoolSize: 0, IdleMillicores: 400})
+	if err := c.Deploy("f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddWarmPod("f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddWarmPod("f"); err != nil {
+		t.Fatal(err)
+	}
+	// 800 of 1000 millicores reserved by idle pods: a third does not fit.
+	if _, err := c.AddWarmPod("f"); err == nil {
+		t.Fatal("scale-up landed beyond node capacity")
+	}
+	grown, _ := c.PoolChurn()
+	if grown != 2 {
+		t.Fatalf("failed grow counted as churn (grown %d)", grown)
+	}
+}
+
+func TestTotalPodsCountsIdleAndBusy(t *testing.T) {
+	c := small(t)
+	if got := c.TotalPods(); got != 2 {
+		t.Fatalf("TotalPods = %d, want the 2 pre-warmed", got)
+	}
+	pod, _, err := c.Acquire("f", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TotalPods(); got != 2 {
+		t.Fatalf("TotalPods after warm acquire = %d, want 2", got)
+	}
+	_ = pod
+}

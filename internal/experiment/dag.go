@@ -77,22 +77,24 @@ func DAGPoints() ([]Point, error) {
 	return out, nil
 }
 
-// DAGRow is one system's summary in the arbitrary-DAG scenario.
+// DAGRow is one system's summary in the arbitrary-DAG scenario. The JSON
+// field names follow the janusbench -json schema (snake_case, durations
+// as nanosecond integers — see experiment.ReplayRow).
 type DAGRow struct {
-	System         string
-	P50            time.Duration
-	P99            time.Duration
-	ViolationRate  float64
-	MeanMillicores float64
-	MissRate       float64
+	System         string        `json:"system"`
+	P50            time.Duration `json:"p50_ns"`
+	P99            time.Duration `json:"p99_ns"`
+	ViolationRate  float64       `json:"violation_rate"`
+	MeanMillicores float64       `json:"mean_millicores"`
+	MissRate       float64       `json:"miss_rate"`
 	// Decisions is the mean allocation decisions per request: one per
 	// decision group (5 here — detect and classify share one), not one
 	// per stage, which no stage-indexed engine could produce for this
 	// workflow.
-	Decisions float64
+	Decisions float64 `json:"decisions"`
 	// ColdStarts and Parked total the substrate events across the run.
-	ColdStarts int
-	Parked     int
+	ColdStarts int `json:"cold_starts"`
+	Parked     int `json:"parked"`
 }
 
 // DAGScenario serves the six-node ML-inference DAG under every scenario

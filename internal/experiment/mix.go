@@ -217,29 +217,11 @@ func (s *Suite) runMixedOne(spec mixSpec) (*MixRun, error) {
 // returns results in input order — the same determinism-preserving shape
 // as Runner.Run, for specs instead of points.
 func (s *Suite) runMixedSpecs(specs []mixSpec) ([]*MixRun, error) {
-	par := s.parallelism()
-	if par > len(specs) {
-		par = len(specs)
-	}
 	results := make([]*MixRun, len(specs))
 	errs := make([]error, len(specs))
-	idx := make(chan int)
-	done := make(chan struct{})
-	for w := 0; w < par; w++ {
-		go func() {
-			for i := range idx {
-				results[i], errs[i] = s.runMixedOne(specs[i])
-			}
-			done <- struct{}{}
-		}()
-	}
-	for i := range specs {
-		idx <- i
-	}
-	close(idx)
-	for w := 0; w < par; w++ {
-		<-done
-	}
+	fanIndexed(len(specs), s.parallelism(), func(i int) {
+		results[i], errs[i] = s.runMixedOne(specs[i])
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("experiment: mixed run %s: %w", specs[i].key(), err)

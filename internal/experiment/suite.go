@@ -115,6 +115,7 @@ func NewSuiteWith(cfg Config) *Suite {
 		workloads:   make(map[string][]*platform.Request),
 		runs:        make(map[string]*SystemRun),
 		mixed:       make(map[string]*MixRun),
+		replays:     make(map[string]*ReplayRun),
 	}
 }
 
@@ -137,6 +138,7 @@ type Suite struct {
 	workloads   map[string][]*platform.Request
 	runs        map[string]*SystemRun
 	mixed       map[string]*MixRun
+	replays     map[string]*ReplayRun
 	fig6        []Fig6Row
 }
 
@@ -161,6 +163,34 @@ func (s *Suite) parallelism() int {
 		n = defaultParallelism()
 	}
 	return n
+}
+
+// fanIndexed runs fn(0), ..., fn(n-1) over at most par worker goroutines
+// and waits for all of them — the input-order-preserving fan-out the
+// mixed and replay scenario drivers share (each fn writes its own result
+// slot). Runner.Run keeps its own loop: it adds progress reporting and
+// context cancellation this shape does not need.
+func fanIndexed(n, par int, fn func(i int)) {
+	if par > n {
+		par = n
+	}
+	idx := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < par; w++ {
+		go func() {
+			for i := range idx {
+				fn(i)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	for w := 0; w < par; w++ {
+		<-done
+	}
 }
 
 // colocationFor returns the co-location mix each workflow's pods see: IA

@@ -152,6 +152,13 @@ type WorkloadConfig struct {
 	// ArrivalRatePerSec is the Poisson arrival rate; <= 0 means requests
 	// arrive back to back at a fixed small spacing (closed-loop style).
 	ArrivalRatePerSec float64
+	// Arrivals, when non-empty, supplies explicit admission instants (one
+	// request per entry, ascending) instead of the Poisson/closed-loop
+	// stream — the seam a non-stationary replay schedule feeds. N, if
+	// set, must match; draws are sampled exactly as for generated
+	// arrivals, so the same request index faces the same runtime
+	// conditions whichever way its admission instant was produced.
+	Arrivals []time.Duration
 	// Colocation samples the per-stage co-location count baked into each
 	// draw (mirroring the contention mix the profiler saw).
 	Colocation *interfere.CountSampler
@@ -179,6 +186,19 @@ func GenerateWorkload(cfg WorkloadConfig) ([]*Request, error) {
 	var stages [][]workflow.Node
 	for _, g := range cfg.Workflow.DecisionGroups() {
 		stages = append(stages, g.Nodes)
+	}
+	if len(cfg.Arrivals) > 0 {
+		if cfg.N != 0 && cfg.N != len(cfg.Arrivals) {
+			return nil, fmt.Errorf("platform: N %d does not match %d explicit arrivals", cfg.N, len(cfg.Arrivals))
+		}
+		cfg.N = len(cfg.Arrivals)
+		prev := time.Duration(-1)
+		for i, at := range cfg.Arrivals {
+			if at < 0 || at < prev {
+				return nil, fmt.Errorf("platform: explicit arrival %d at %v is negative or out of order", i, at)
+			}
+			prev = at
+		}
 	}
 	if cfg.N <= 0 {
 		return nil, fmt.Errorf("platform: workload needs N > 0, got %d", cfg.N)
@@ -211,10 +231,13 @@ func GenerateWorkload(cfg WorkloadConfig) ([]*Request, error) {
 	reqs := make([]*Request, cfg.N)
 	at := time.Duration(0)
 	for i := 0; i < cfg.N; i++ {
-		if cfg.ArrivalRatePerSec > 0 {
+		switch {
+		case len(cfg.Arrivals) > 0:
+			at = cfg.Arrivals[i]
+		case cfg.ArrivalRatePerSec > 0:
 			gap := arrivals.Exp(cfg.ArrivalRatePerSec)
 			at += time.Duration(gap * float64(time.Second))
-		} else {
+		default:
 			at += 5 * time.Millisecond
 		}
 		stream := root.Split(fmt.Sprintf("req/%d", i))
@@ -354,6 +377,9 @@ type runState struct {
 	// is exactly the cross-tenant contention a shared substrate implies.
 	waiting []func()
 	failed  error
+	// window accumulates the per-function observations a replay run's
+	// control ticks consume; nil outside RunReplay.
+	window *replayWindow
 }
 
 // dagPlan is the precomputed readiness structure of one workflow DAG: how
@@ -439,6 +465,20 @@ func (e *Executor) Run(reqs []*Request, alloc Allocator) ([]Trace, error) {
 // fail the run explicitly: a zero-value trace (E2E 0, zero millicores)
 // would silently flatter every violation-rate and cost metric downstream.
 func (e *Executor) RunMixed(tenants []TenantWorkload) (map[string][]Trace, error) {
+	st, err := e.prepareRun(tenants)
+	if err != nil {
+		return nil, err
+	}
+	st.engine.Run()
+	return st.collect()
+}
+
+// prepareRun validates the tenant workloads, builds a fresh cluster and
+// event engine, deploys the union of every tenant's functions, and
+// schedules all admissions — the shared front half of RunMixed and
+// RunReplay. The caller decides what else rides on the engine before
+// draining it.
+func (e *Executor) prepareRun(tenants []TenantWorkload) (*runState, error) {
 	if len(tenants) == 0 {
 		return nil, fmt.Errorf("platform: no tenant workloads")
 	}
@@ -525,7 +565,13 @@ func (e *Executor) RunMixed(tenants []TenantWorkload) (map[string][]Trace, error
 			st.engine.ScheduleAt(r.Arrival, func(time.Duration) { st.startRequest(tn, r, plan) })
 		}
 	}
-	st.engine.Run()
+	return st, nil
+}
+
+// collect checks the drained run for failures and starvation and splits
+// the traces per tenant.
+func (st *runState) collect() (map[string][]Trace, error) {
+	total := st.total
 	if st.failed != nil {
 		return nil, st.failed
 	}
@@ -616,9 +662,21 @@ func (st *runState) startNode(rs *reqState, group, member, mc int, hit, retried 
 		// Each node parks independently — its group siblings keep running.
 		if !retried {
 			rs.acc.Parked++
+			if st.window != nil {
+				st.window.queued[fn]++
+			}
 		}
 		st.waiting = append(st.waiting, func() { st.startNode(rs, group, member, mc, hit, true) })
 		return
+	}
+	if st.window != nil {
+		if retried {
+			st.window.queued[fn]--
+		}
+		st.window.acquires[fn]++
+		if cold {
+			st.window.cold[fn]++
+		}
 	}
 	st.execute(rs, group, member, pod, cold, hit)
 }

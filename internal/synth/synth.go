@@ -88,6 +88,13 @@ type Config struct {
 	// workflow (group 0's cone), as the paper does per-testbed (§V-F).
 	// Zero values mean "use Eq. 3".
 	BudgetOverrideMs [2]int
+	// BudgetFloorMs optionally extends every cone's exploration range
+	// downward to this floor (in ms). Online regeneration sets it to the
+	// smallest remaining budget the adapter observed, so a bundle
+	// re-synthesized under drifted traffic covers the tight budgets the
+	// deployed one was missing on; budgets below the cone's minimum
+	// feasible latency still yield no hint. Zero means no extension.
+	BudgetFloorMs int
 	// Parallelism bounds the worker goroutines sweeping budgets; default
 	// GOMAXPROCS.
 	Parallelism int
@@ -159,6 +166,9 @@ func New(cfg Config) (*Synthesizer, error) {
 	}
 	if cfg.BudgetOverrideMs[0] < 0 || cfg.BudgetOverrideMs[1] < cfg.BudgetOverrideMs[0] {
 		return nil, fmt.Errorf("synth: invalid budget override %v", cfg.BudgetOverrideMs)
+	}
+	if cfg.BudgetFloorMs < 0 {
+		return nil, fmt.Errorf("synth: negative budget floor %d", cfg.BudgetFloorMs)
 	}
 	set := cfg.Profiles
 	grid := set.At(0).Grid
@@ -313,6 +323,21 @@ func (s *Synthesizer) GenerateSuffix(suffix int) (*hints.RawTable, error) {
 	}
 	step := s.cfg.BudgetStepMs
 	var budgets []int
+	if floor := s.cfg.BudgetFloorMs; floor > 0 && floor < tmin {
+		// Extend the sweep downward to the observed floor, anchored at
+		// tmin so every original budget stays on the grid: the floor adds
+		// coverage below the original minimum without re-pricing above
+		// it. The step count rounds up so the first extended budget lands
+		// at or below the floor — a floor inside the last step would
+		// otherwise stay uncovered and keep missing after the swap.
+		k := (tmin - floor + step - 1) / step
+		for t := tmin - k*step; t < tmin; t += step {
+			if t < 1 {
+				continue
+			}
+			budgets = append(budgets, t)
+		}
+	}
 	for t := tmin; t <= tmax; t += step {
 		budgets = append(budgets, t)
 	}

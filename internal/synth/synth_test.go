@@ -387,3 +387,71 @@ func TestHeadSizeTrendsDownWithBudget(t *testing.T) {
 		prev = total
 	}
 }
+
+func TestBudgetFloorExtendsEveryConeDownward(t *testing.T) {
+	base := newSynth(t, Config{Mode: ModeJanus})
+	floored := newSynth(t, Config{Mode: ModeJanus, BudgetFloorMs: 1})
+	for suffix := 0; suffix < 3; suffix++ {
+		raw, err := base.GenerateSuffix(suffix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ext, err := floored.GenerateSuffix(suffix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ext.Hints) < len(raw.Hints) {
+			t.Fatalf("suffix %d: floored sweep produced fewer hints (%d < %d)", suffix, len(ext.Hints), len(raw.Hints))
+		}
+		// The floor can only add coverage below the Eq. 3 minimum; any
+		// hint it adds must be feasible, i.e. cheaper budgets demand
+		// at-least-as-large head allocations.
+		if ext.Hints[0].BudgetMs > raw.Hints[0].BudgetMs {
+			t.Fatalf("suffix %d: floored minimum %d above un-floored %d", suffix, ext.Hints[0].BudgetMs, raw.Hints[0].BudgetMs)
+		}
+		// Budgets within the original range keep their original plans:
+		// the floor extends the sweep, it does not re-price it.
+		byBudget := map[int]int{}
+		for _, h := range ext.Hints {
+			byBudget[h.BudgetMs] = h.HeadMillicores
+		}
+		for _, h := range raw.Hints {
+			if got, ok := byBudget[h.BudgetMs]; !ok || got != h.HeadMillicores {
+				t.Fatalf("suffix %d: budget %d resized from %d to %d under the floor", suffix, h.BudgetMs, h.HeadMillicores, got)
+			}
+		}
+	}
+}
+
+func TestBudgetFloorValidation(t *testing.T) {
+	if _, err := New(Config{Profiles: iaProfiles(t), BudgetStepMs: 10, BudgetFloorMs: -1}); err == nil {
+		t.Fatal("negative budget floor accepted")
+	}
+}
+
+func TestBudgetFloorInsideLastStepStillCovered(t *testing.T) {
+	// A floor that is not step-aligned with the sweep minimum must still
+	// end up covered: the extension rounds its step count up, so the
+	// first extended budget lands at or below the floor instead of
+	// leaving a sub-step gap that would keep missing after a hot-swap.
+	// The override window sits fully inside the feasible region (IA's
+	// suffix-0 hints start around 2.8 s at this profile scale), so every
+	// extended budget below it can actually yield a hint.
+	base := newSynth(t, Config{Mode: ModeJanus, BudgetOverrideMs: [2]int{3000, 3400}})
+	floor := 2995 // 5ms below the override minimum, step is 10ms
+	floored := newSynth(t, Config{Mode: ModeJanus, BudgetOverrideMs: [2]int{3000, 3400}, BudgetFloorMs: floor})
+	raw, err := base.GenerateSuffix(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := floored.GenerateSuffix(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ext.Hints) <= len(raw.Hints) {
+		t.Fatalf("floor inside the last step added no coverage (%d vs %d hints)", len(ext.Hints), len(raw.Hints))
+	}
+	if ext.Hints[0].BudgetMs > floor {
+		t.Fatalf("lowest swept budget %d above the observed floor %d", ext.Hints[0].BudgetMs, floor)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"janus/internal/adapter"
+	"janus/internal/autoscale"
 	"janus/internal/baseline"
 	"janus/internal/cluster"
 	"janus/internal/core"
@@ -47,6 +48,7 @@ import (
 	"janus/internal/perfmodel"
 	"janus/internal/platform"
 	"janus/internal/profile"
+	"janus/internal/replay"
 	"janus/internal/synth"
 	"janus/internal/workflow"
 )
@@ -500,3 +502,136 @@ type MixRun = experiment.MixRun
 
 // MixTenantRow summarizes one tenant's share of a mixed trace set.
 type MixTenantRow = experiment.MixTenantRow
+
+// Non-stationary replay and the online bilateral loop: a phase-based load
+// generator (ReplaySchedule) materializes a deterministic bursty/diurnal
+// arrival stream that Executor.RunReplay serves with a control loop
+// interleaved on the same virtual clock — the elastic warm-pool
+// Autoscaler retargets per-function pools each interval (scale-up pods
+// pay the full cold start before serving anyone), and OnlineRegen
+// hot-swaps a tenant's hint bundle mid-run when drifted budgets push the
+// adapter's epoch miss rate over the threshold.
+
+// ReplaySchedule composes phases (ramp, plateau, burst, diurnal sine),
+// each with its own arrival rate and tenant mix, into one deterministic
+// seeded arrival stream (Arrivals).
+type ReplaySchedule = replay.Schedule
+
+// ReplayPhase is one segment of a replay schedule.
+type ReplayPhase = replay.Phase
+
+// ReplayTenantShare weights one tenant in a phase's traffic mix.
+type ReplayTenantShare = replay.TenantShare
+
+// ReplayArrival is one admitted request of a materialized stream.
+type ReplayArrival = replay.Arrival
+
+// NewReplaySchedule validates the phases and default tenant mix and
+// builds a schedule.
+func NewReplaySchedule(seed uint64, mix []ReplayTenantShare, phases ...ReplayPhase) (*ReplaySchedule, error) {
+	return replay.NewSchedule(seed, mix, phases...)
+}
+
+// Replay phase constructors.
+
+// ReplayPlateau returns a constant-rate phase.
+func ReplayPlateau(d time.Duration, rate float64) ReplayPhase { return replay.Plateau(d, rate) }
+
+// ReplayRamp returns a linear-rate phase from `from` to `to`.
+func ReplayRamp(d time.Duration, from, to float64) ReplayPhase { return replay.Ramp(d, from, to) }
+
+// ReplayBurst returns a baseline-rate phase whose middle third spikes to
+// peak.
+func ReplayBurst(d time.Duration, base, peak float64) ReplayPhase { return replay.Burst(d, base, peak) }
+
+// ReplayDiurnal returns a sinusoidal phase oscillating between trough and
+// peak with the given period.
+func ReplayDiurnal(d time.Duration, trough, peak float64, period time.Duration) ReplayPhase {
+	return replay.Diurnal(d, trough, peak, period)
+}
+
+// ReplayZipfMix spreads tenant weights by the Zipf popularity law the
+// azure trace generator is calibrated to (the first tenant dominates).
+func ReplayZipfMix(tenants ...string) []ReplayTenantShare { return replay.ZipfMix(tenants...) }
+
+// ReplayTenantArrivalTimes splits a stream into per-tenant admission
+// instants — the WorkloadConfig.Arrivals input for each tenant's
+// GenerateWorkload call.
+func ReplayTenantArrivalTimes(arrivals []ReplayArrival) map[string][]time.Duration {
+	return replay.TenantArrivalTimes(arrivals)
+}
+
+// ReplayConfig drives Executor.RunReplay's control loop (interval,
+// horizon, pool controller, OnTick hook).
+type ReplayConfig = platform.ReplayConfig
+
+// ReplayMetrics summarizes a replay run's provisioning cost: pod-seconds,
+// peak pods, pool churn.
+type ReplayMetrics = platform.ReplayMetrics
+
+// ReplayFunctionStats is one function's demand snapshot at a control
+// instant (busy/warm pods, queued acquisitions, cold starts).
+type ReplayFunctionStats = platform.ReplayFunctionStats
+
+// ReplayAction is a deferred effect an OnTick hook schedules on the run's
+// virtual clock.
+type ReplayAction = platform.ReplayAction
+
+// PoolController recomputes per-function warm-pool targets each control
+// interval; Autoscaler is the standard implementation.
+type PoolController = platform.PoolController
+
+// Autoscaler is the elastic warm-pool controller: it grows a pool by its
+// cold-start deficit when it ran dry, sheds idle pods when acquisitions
+// park on exhausted node capacity (the queue warm pods cannot fix), and
+// otherwise drains low-occupancy pools after a cooldown — clamped to
+// [MinPool, MaxPool].
+type Autoscaler = autoscale.Autoscaler
+
+// AutoscalerConfig parameterizes an Autoscaler.
+type AutoscalerConfig = autoscale.Config
+
+// NewAutoscaler validates the configuration and builds a controller
+// (one per replay run — it carries per-run cooldown state).
+func NewAutoscaler(cfg AutoscalerConfig) (*Autoscaler, error) { return autoscale.New(cfg) }
+
+// DefaultAutoscalerConfig returns a general-purpose controller setting
+// (pools breathing 1..12 with a 10 s cooldown); the suite's replay
+// experiment tunes its own AutoscalerConfig to its schedule.
+func DefaultAutoscalerConfig() AutoscalerConfig { return autoscale.DefaultConfig() }
+
+// OnlineRegen closes the bilateral loop during a replay: it watches an
+// adapter's epoch miss rate, re-synthesizes the hint bundle against the
+// observed (drifted) budget distribution, and hot-swaps it via the
+// adapter's atomic Replace after a virtual regeneration latency. Plug
+// its Tick into ReplayConfig.OnTick.
+type OnlineRegen = autoscale.Regen
+
+// OnlineRegenConfig parameterizes an OnlineRegen hook.
+type OnlineRegenConfig = autoscale.RegenConfig
+
+// BundleSwap records one hint-bundle hot-swap of a replay run: the swap
+// instant, the triggering miss rate, and the observed budget floor.
+type BundleSwap = autoscale.Swap
+
+// NewOnlineRegen validates the configuration and builds the hook.
+func NewOnlineRegen(cfg OnlineRegenConfig) (*OnlineRegen, error) { return autoscale.NewRegen(cfg) }
+
+// Replay experiment surface (ExperimentSuite.ReplayScenario; janusbench
+// -experiment replay).
+
+// ReplayRow summarizes one tenant's share of a replay run (or the
+// aggregate across tenants).
+type ReplayRow = experiment.ReplayRow
+
+// ReplayRun is one replay serving run: the full tenant stream under one
+// provider configuration, with per-tenant rows, provisioning metrics,
+// and the hint-bundle hot-swap record.
+type ReplayRun = experiment.ReplayRun
+
+// ReplayExperimentPoint describes one replay scenario configuration.
+type ReplayExperimentPoint = experiment.ReplayPoint
+
+// ReplayExperimentPoints enumerates the replay scenario grid: static
+// pools, the elastic autoscaler, and autoscaler + online regeneration.
+func ReplayExperimentPoints() []ReplayExperimentPoint { return experiment.ReplayPoints() }
