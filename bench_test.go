@@ -450,3 +450,24 @@ func BenchmarkReplayScenario(b *testing.B) {
 	}
 	b.ReportMetric(closedAttainment*100, "closed_loop_slo_attainment_%")
 }
+
+// BenchmarkFleetScenario times the fleet-scale replay grid: the same
+// non-stationary schedule at ~230k requests on a 200-node cluster, under
+// every provider configuration. This is the workload the indexed cluster
+// state is sized against; BENCH_PR6.json records its trajectory.
+func BenchmarkFleetScenario(b *testing.B) {
+	s := suite()
+	var closedAttainment float64
+	for i := 0; i < b.N; i++ {
+		runs, err := s.FleetScenario()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, run := range runs {
+			if run.Config == "autoscaler+regen" {
+				closedAttainment = run.Aggregate.SLOAttainment
+			}
+		}
+	}
+	b.ReportMetric(closedAttainment*100, "closed_loop_slo_attainment_%")
+}

@@ -1,0 +1,128 @@
+// TestBenchGuard is the benchmark-regression harness: it replays the
+// alloc-critical benchmarks with -benchtime=1x and diffs allocs/op
+// against the thresholds committed in BENCH_PR6.json (the `guard`
+// section). The indexed cluster's contract is that pickNode and the
+// Colocated census never allocate on the hot path; an accidental
+// closure capture or slice growth there would be invisible to the
+// functional tests and only show up as a fleet-grid slowdown months
+// later, so CI fails the moment allocs/op crosses a threshold.
+//
+// Knobs:
+//
+//	JANUS_BENCHGUARD=off   skip the guard (triaging an intentional
+//	                       allocation change; update BENCH_PR6.json's
+//	                       thresholds in the same commit instead of
+//	                       leaving the knob set)
+//
+// The guard shells out to `go test -bench` per package so each
+// benchmark runs exactly as CI's bench-smoke job runs it, rather than
+// through testing.Benchmark (which cannot reach other packages'
+// benchmarks and skips their TestMain setup).
+package janus_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// benchTrajectory mirrors the slice of BENCH_PR6.json the guard consumes;
+// the measurement sections are documented in docs/BENCHMARKS.md.
+type benchTrajectory struct {
+	Guard struct {
+		// AllocsPerOp maps package path -> benchmark name -> maximum
+		// allowed allocs/op.
+		AllocsPerOp map[string]map[string]int64 `json:"allocs_per_op"`
+	} `json:"guard"`
+}
+
+func TestBenchGuard(t *testing.T) {
+	if os.Getenv("JANUS_BENCHGUARD") == "off" {
+		t.Skip("JANUS_BENCHGUARD=off")
+	}
+	if testing.Short() {
+		t.Skip("bench guard runs real benchmarks; skipped in -short mode")
+	}
+	raw, err := os.ReadFile("BENCH_PR6.json")
+	if err != nil {
+		t.Fatalf("reading committed trajectory: %v", err)
+	}
+	var traj benchTrajectory
+	if err := json.Unmarshal(raw, &traj); err != nil {
+		t.Fatalf("parsing BENCH_PR6.json: %v", err)
+	}
+	if len(traj.Guard.AllocsPerOp) == 0 {
+		t.Fatal("BENCH_PR6.json has no guard.allocs_per_op thresholds; the guard is guarding nothing")
+	}
+	pkgs := make([]string, 0, len(traj.Guard.AllocsPerOp))
+	for pkg := range traj.Guard.AllocsPerOp {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	for _, pkg := range pkgs {
+		thresholds := traj.Guard.AllocsPerOp[pkg]
+		got, err := runBenchmarks(pkg, thresholds)
+		if err != nil {
+			t.Fatalf("package %s: %v", pkg, err)
+		}
+		names := make([]string, 0, len(thresholds))
+		for name := range thresholds {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			allocs, ok := got[name]
+			if !ok {
+				t.Errorf("%s: benchmark %s did not run — renamed or deleted? update BENCH_PR6.json's guard section", pkg, name)
+				continue
+			}
+			if max := thresholds[name]; allocs > max {
+				t.Errorf("%s: %s allocates %d/op, threshold %d/op — the hot path regressed to per-call allocation (set JANUS_BENCHGUARD=off only while triaging; fix or re-baseline BENCH_PR6.json)",
+					pkg, name, allocs, max)
+			}
+		}
+	}
+}
+
+// runBenchmarks executes the named benchmarks once each and returns their
+// measured allocs/op.
+func runBenchmarks(pkg string, thresholds map[string]int64) (map[string]int64, error) {
+	names := make([]string, 0, len(thresholds))
+	for name := range thresholds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	pattern := "^(" + strings.Join(names, "|") + ")$"
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
+		"-benchtime", "1x", "-benchmem", "-timeout", "15m", pkg)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go test -bench failed: %v\n%s", err, out.String())
+	}
+	got := make(map[string]int64)
+	for _, line := range strings.Split(out.String(), "\n") {
+		fields := strings.Fields(line)
+		// A result line reads: BenchmarkName-8  1  123 ns/op  0 B/op  0 allocs/op
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") || fields[len(fields)-1] != "allocs/op" {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+		allocs, err := strconv.ParseInt(fields[len(fields)-2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("unparseable allocs/op in %q: %v", line, err)
+		}
+		got[name] = allocs
+	}
+	return got, nil
+}

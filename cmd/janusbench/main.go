@@ -156,6 +156,25 @@ var experiments = map[string]exp{
 			}
 			return rows, nil
 		}},
+	"fleet": {run: func(s *experiment.Suite) (fmt.Stringer, error) {
+		runs, err := s.FleetScenario()
+		if err != nil {
+			return nil, err
+		}
+		return wrap(experiment.FormatReplay(runs)), nil
+	}, desc: "fleet-scale replay: the non-stationary grid on 200 nodes, O(100k+) requests",
+		rows: func(s *experiment.Suite) (any, error) {
+			runs, err := s.FleetScenario()
+			if err != nil {
+				return nil, err
+			}
+			var rows []experiment.ReplayRow
+			for _, run := range runs {
+				rows = append(rows, run.Rows...)
+				rows = append(rows, run.Aggregate)
+			}
+			return rows, nil
+		}},
 	"mix": {run: func(s *experiment.Suite) (fmt.Stringer, error) {
 		scenario, err := s.MixScenario()
 		if err != nil {
@@ -184,7 +203,7 @@ var experiments = map[string]exp{
 // order fixes the -experiment all sequence.
 var order = []string{
 	"fig1a", "fig1b", "fig1c", "fig2", "fig4", "fig5",
-	"fig6", "fig7", "fig8", "fig9", "sp", "dag", "mix", "replay", "table1", "table2", "overhead",
+	"fig6", "fig7", "fig8", "fig9", "sp", "dag", "mix", "replay", "fleet", "table1", "table2", "overhead",
 }
 
 // listString renders the -list output: one "name  description" line per

@@ -285,3 +285,19 @@ func (al *Allocator) Allocate(req *platform.Request, group int, remaining time.D
 	}
 	return d.Millicores, d.Hit
 }
+
+// AllocEpoch implements platform.MemoizableAllocator: the adapter's
+// decisions depend on the remaining budget only through its millisecond
+// floor (hints.Table.Lookup truncates to whole milliseconds) and on the
+// deployed bundle, which changes exactly when Replace advances the epoch.
+func (al *Allocator) AllocEpoch() int64 { return al.bundle.Load().epoch }
+
+// RecordCached implements platform.MemoizableAllocator: a decision served
+// from the platform's memo replays the same bookkeeping Decide performs —
+// lifetime and epoch hit/miss counters, the epoch's observed budget range
+// at the true remaining value, and the regeneration trigger — attributed
+// to the epoch the memoized decision was made under, exactly as an
+// in-flight decision against a just-replaced bundle would be.
+func (al *Allocator) RecordCached(group int, remaining time.Duration, epoch int64, hit bool) {
+	al.record(hit, epoch, remaining)
+}

@@ -435,3 +435,65 @@ func TestEpochBudgetRangeTracksAndResets(t *testing.T) {
 		t.Fatalf("post-swap EpochBudgetRange = [%v, %v] ok=%t", lo, hi, ok)
 	}
 }
+
+// TestMemoContractMatchesDecide pins the MemoizableAllocator contract the
+// platform's memo relies on: AllocEpoch tracks Replace exactly, and
+// RecordCached mutates every statistic — lifetime stats, the epoch
+// window, the observed budget range, and the regeneration trigger — the
+// way an equivalent Decide would.
+func TestMemoContractMatchesDecide(t *testing.T) {
+	build := func() *Allocator {
+		a, err := New(bundle(t), WithMinDecisions(1), WithRegenerateCallback(func(float64) {}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Allocator{Adapter: a, System: "janus"}
+	}
+	decided, cached := build(), build()
+	if decided.AllocEpoch() != 0 || cached.AllocEpoch() != 0 {
+		t.Fatal("fresh adapters must start at epoch 0")
+	}
+	budgets := []time.Duration{
+		2003 * time.Millisecond, 2003*time.Millisecond + 400*time.Microsecond,
+		time.Millisecond, 500 * time.Millisecond, -20 * time.Millisecond,
+	}
+	for _, b := range budgets {
+		// The cached twin replays every one of decided's outcomes through
+		// RecordCached alone; its statistics must land exactly where
+		// decided's Decide-driven bookkeeping does.
+		_, hit := decided.Allocate(nil, 0, b)
+		cached.RecordCached(0, b, cached.AllocEpoch(), hit)
+	}
+	dh, dm, dr := decided.Stats()
+	ch, cm, cr := cached.Stats()
+	if dh != ch || dm != cm || dr != cr {
+		t.Fatalf("lifetime stats diverged: decide (%d, %d, %v), cached (%d, %d, %v)", dh, dm, dr, ch, cm, cr)
+	}
+	dh, dm, _ = decided.EpochStats()
+	ch, cm, _ = cached.EpochStats()
+	if dh != ch || dm != cm {
+		t.Fatalf("epoch stats diverged: decide (%d, %d), cached (%d, %d)", dh, dm, ch, cm)
+	}
+	dlo, dhi, dok := decided.EpochBudgetRange()
+	clo, chi, cok := cached.EpochBudgetRange()
+	if dlo != clo || dhi != chi || dok != cok {
+		t.Fatalf("budget range diverged: decide (%v, %v, %v), cached (%v, %v, %v)", dlo, dhi, dok, clo, chi, cok)
+	}
+	// Replace advances the epoch the memo keys on, and a stale-epoch
+	// RecordCached must stay out of the new epoch window, like a stale
+	// in-flight Decide.
+	stale := cached.AllocEpoch()
+	if err := cached.Replace(bundle(t)); err != nil {
+		t.Fatal(err)
+	}
+	if cached.AllocEpoch() != stale+1 {
+		t.Fatalf("AllocEpoch = %d after Replace, want %d", cached.AllocEpoch(), stale+1)
+	}
+	cached.RecordCached(0, time.Second, stale, true)
+	if eh, em, _ := cached.EpochStats(); eh != 0 || em != 0 {
+		t.Fatalf("stale RecordCached leaked into new epoch window: (%d, %d)", eh, em)
+	}
+	if _, _, seen := cached.EpochBudgetRange(); seen {
+		t.Fatal("stale RecordCached widened the new epoch's budget range")
+	}
+}

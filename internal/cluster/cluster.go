@@ -15,9 +15,17 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
+
+// ErrNoCapacity reports a capacity miss: no node can host (Acquire's cold
+// start) or grow into (Resize) the requested millicores right now. It is
+// a shared sentinel rather than a formatted error because the serving
+// plane parks and retries on it — at fleet scale the miss path runs
+// millions of times per run, and error construction must not allocate.
+var ErrNoCapacity = errors.New("cluster: insufficient free millicores")
 
 // Placement selects the node a new pod lands on. Both policies are
 // deterministic (ties break toward lower node IDs) so discrete-event runs
@@ -103,6 +111,9 @@ type Pod struct {
 
 	millicores int
 	busy       bool
+	// fnIdx is the dense index Deploy assigned to Function, so the busy
+	// census is integer-indexed rather than keyed by name on the hot path.
+	fnIdx int
 }
 
 // Millicores reports the pod's current CPU allocation.
@@ -116,6 +127,12 @@ type node struct {
 	capacity  int
 	allocated int
 	pods      map[int]*Pod
+	// busyPods and busyByFn are incrementally maintained censuses: the
+	// node's executing-pod count and its per-function breakdown (indexed
+	// by the dense function index). They make Colocated, NodeColocated,
+	// and NodeBusyPods O(1) reads instead of scans over pods.
+	busyPods int
+	busyByFn []int
 }
 
 // Cluster tracks nodes, pods, and warm pools. It is not safe for concurrent
@@ -134,6 +151,21 @@ type Cluster struct {
 	// (each paying a cold start before it is usable) and idle pods
 	// destroyed by scale-down.
 	grown, shrunk int
+
+	// The indexed state below is derived from nodes/pods and maintained
+	// incrementally at every mutation, so census and placement reads cost
+	// O(1) (O(log nodes) for placement) regardless of fleet size.
+	//
+	// fnIdx assigns each deployed function a dense integer; fnSorted
+	// mirrors pools' keys in sorted order for Functions().
+	fnIdx    map[string]int
+	fnSorted []string
+	// free indexes per-node free millicores for pickNode.
+	free *freeIndex
+	// totalPods and busyByFn are cluster-wide running totals: all hosted
+	// pods, and executing pods per dense function index.
+	totalPods int
+	busyByFn  []int
 }
 
 // New builds a cluster.
@@ -141,11 +173,42 @@ func New(cfg Config) (*Cluster, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	c := &Cluster{cfg: cfg, pools: make(map[string][]*Pod), targets: make(map[string]int)}
+	c := &Cluster{
+		cfg:     cfg,
+		pools:   make(map[string][]*Pod),
+		targets: make(map[string]int),
+		fnIdx:   make(map[string]int),
+		free:    newFreeIndex(cfg.Nodes),
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		c.nodes = append(c.nodes, &node{id: i, capacity: cfg.NodeMillicores, pods: make(map[int]*Pod)})
+		c.free.set(i, cfg.NodeMillicores)
 	}
 	return c, nil
+}
+
+// setAllocated is the single mutation point for a node's millicore
+// accounting; it keeps the free-capacity index honest.
+func (c *Cluster) setAllocated(n *node, delta int) {
+	n.allocated += delta
+	c.free.set(n.id, n.capacity-n.allocated)
+}
+
+// setBusy is the single mutation point for a pod's busy bit; it keeps the
+// node and cluster censuses honest.
+func (c *Cluster) setBusy(pod *Pod, busy bool) {
+	if pod.busy == busy {
+		return
+	}
+	pod.busy = busy
+	n := c.nodes[pod.NodeID]
+	d := 1
+	if !busy {
+		d = -1
+	}
+	n.busyPods += d
+	n.busyByFn[pod.fnIdx] += d
+	c.busyByFn[pod.fnIdx] += d
 }
 
 // Deploy pre-warms PoolSize pods for the function, spreading them across
@@ -159,6 +222,15 @@ func (c *Cluster) Deploy(function string) error {
 	}
 	c.pools[function] = nil
 	c.targets[function] = c.cfg.PoolSize
+	c.fnIdx[function] = len(c.fnIdx)
+	c.busyByFn = append(c.busyByFn, 0)
+	for _, n := range c.nodes {
+		n.busyByFn = append(n.busyByFn, 0)
+	}
+	at := sort.SearchStrings(c.fnSorted, function)
+	c.fnSorted = append(c.fnSorted, "")
+	copy(c.fnSorted[at+1:], c.fnSorted[at:])
+	c.fnSorted[at] = function
 	for i := 0; i < c.cfg.PoolSize; i++ {
 		pod, err := c.createPod(function, c.cfg.IdleMillicores)
 		if err != nil {
@@ -178,35 +250,32 @@ func (c *Cluster) Deployed(function string) bool {
 func (c *Cluster) createPod(function string, millicores int) (*Pod, error) {
 	n := c.pickNode(millicores)
 	if n == nil {
-		return nil, fmt.Errorf("cluster: no node with %d free millicores for %s", millicores, function)
+		return nil, ErrNoCapacity
 	}
 	c.nextID++
-	pod := &Pod{ID: c.nextID, Function: function, NodeID: n.id, millicores: millicores}
+	pod := &Pod{ID: c.nextID, Function: function, NodeID: n.id, millicores: millicores, fnIdx: c.fnIdx[function]}
 	n.pods[pod.ID] = pod
-	n.allocated += millicores
+	c.setAllocated(n, millicores)
+	c.totalPods++
 	return pod, nil
 }
 
 // pickNode returns the node the configured placement policy selects for a
 // request, or nil when no node fits. Both policies prefer lower IDs on
-// ties for determinism.
+// ties for determinism; the free-capacity index answers both queries in
+// O(log nodes) with tie-breaking identical to the original left-to-right
+// scan (see freeIndex).
 func (c *Cluster) pickNode(millicores int) *node {
-	var best *node
-	for _, n := range c.nodes {
-		free := n.capacity - n.allocated
-		if free < millicores {
-			continue
-		}
-		switch c.cfg.Placement {
-		case PlacementFirstFit:
-			return n
-		default: // PlacementSpread
-			if best == nil || free > best.capacity-best.allocated {
-				best = n
-			}
-		}
+	var id int
+	if c.cfg.Placement == PlacementFirstFit {
+		id = c.free.firstFit(millicores)
+	} else { // PlacementSpread
+		id = c.free.spread(millicores)
 	}
-	return best
+	if id < 0 {
+		return nil
+	}
+	return c.nodes[id]
 }
 
 // Acquire takes a pod for one execution of the function at the given
@@ -222,21 +291,48 @@ func (c *Cluster) Acquire(function string, millicores int) (*Pod, bool, error) {
 	}
 	if len(pool) > 0 {
 		pod := pool[len(pool)-1]
+		// Peek before popping: when the pod's node cannot grow it to the
+		// requested size, the pop/Resize/push-back cycle nets out to no
+		// state change, so skip it (this is the path every parked
+		// acquisition retries on every release during saturation).
+		if n := c.nodes[pod.NodeID]; n.allocated+millicores-pod.millicores > n.capacity {
+			return nil, false, ErrNoCapacity
+		}
 		c.pools[function] = pool[:len(pool)-1]
 		if err := c.Resize(pod, millicores); err != nil {
 			// Undo the pop before reporting: the pod stays warm.
 			c.pools[function] = append(c.pools[function], pod)
 			return nil, false, err
 		}
-		pod.busy = true
+		c.setBusy(pod, true)
 		return pod, false, nil
 	}
 	pod, err := c.createPod(function, millicores)
 	if err != nil {
 		return nil, false, err
 	}
-	pod.busy = true
+	c.setBusy(pod, true)
 	return pod, true, nil
+}
+
+// AcquireThreshold reports the largest allocation Acquire(function, ·)
+// would currently succeed for — 0 when the function is unknown or nothing
+// fits. Exact and O(1): a non-empty warm pool serves from its top pod, so
+// the threshold is that pod's node headroom plus the pod's current
+// allocation; an empty pool cold-starts wherever the free-capacity
+// index's maximum allows. The serving plane's parked-acquisition scan
+// uses it to skip certain-failure retries without paying the attempt.
+func (c *Cluster) AcquireThreshold(function string) int {
+	pool, ok := c.pools[function]
+	if !ok {
+		return 0
+	}
+	if len(pool) > 0 {
+		pod := pool[len(pool)-1]
+		n := c.nodes[pod.NodeID]
+		return n.capacity - n.allocated + pod.millicores
+	}
+	return c.free.max()
 }
 
 // Resize changes a pod's allocation in place (the late-binding primitive:
@@ -248,10 +344,9 @@ func (c *Cluster) Resize(pod *Pod, millicores int) error {
 	n := c.nodes[pod.NodeID]
 	delta := millicores - pod.millicores
 	if n.allocated+delta > n.capacity {
-		return fmt.Errorf("cluster: node %d cannot grow pod %d by %d millicores (allocated %d / %d)",
-			n.id, pod.ID, delta, n.allocated, n.capacity)
+		return ErrNoCapacity
 	}
-	n.allocated += delta
+	c.setAllocated(n, delta)
 	pod.millicores = millicores
 	return nil
 }
@@ -264,7 +359,7 @@ func (c *Cluster) Release(pod *Pod) error {
 	if !pod.busy {
 		return fmt.Errorf("cluster: Release of idle pod %d", pod.ID)
 	}
-	pod.busy = false
+	c.setBusy(pod, false)
 	if len(c.pools[pod.Function]) >= c.targets[pod.Function] {
 		return c.destroy(pod)
 	}
@@ -280,23 +375,19 @@ func (c *Cluster) destroy(pod *Pod) error {
 	if _, ok := n.pods[pod.ID]; !ok {
 		return fmt.Errorf("cluster: destroying unknown pod %d", pod.ID)
 	}
-	n.allocated -= pod.millicores
+	c.setBusy(pod, false)
+	c.setAllocated(n, -pod.millicores)
 	delete(n.pods, pod.ID)
+	c.totalPods--
 	return nil
 }
 
 // Colocated reports how many busy pods of the same function share the
 // pod's node, including the pod itself — the census the interference model
-// consumes.
+// consumes. The incrementally maintained per-node counters make this an
+// O(1) indexed read.
 func (c *Cluster) Colocated(pod *Pod) int {
-	n := c.nodes[pod.NodeID]
-	count := 0
-	for _, other := range n.pods {
-		if other.Function == pod.Function && other.busy {
-			count++
-		}
-	}
-	return count
+	return c.nodes[pod.NodeID].busyByFn[pod.fnIdx]
 }
 
 // Nodes reports the number of worker nodes.
@@ -327,27 +418,30 @@ func (c *Cluster) NodePods(nodeID int) int {
 // NodeBusyPods reports how many of a node's pods are executing — the
 // occupancy the placement policies trade against co-location interference.
 func (c *Cluster) NodeBusyPods(nodeID int) int {
-	count := 0
-	for _, p := range c.nodes[nodeID].pods {
-		if p.busy {
-			count++
-		}
-	}
-	return count
+	return c.nodes[nodeID].busyPods
 }
 
 // NodeColocated reports a node's busy-instance census for one function —
 // the per-placement quantity Colocated reads for a hosted pod, exposed by
 // node so experiment reports can break occupancy down without a pod in
-// hand.
+// hand. Undeployed functions have no pods, so their census is zero.
 func (c *Cluster) NodeColocated(nodeID int, function string) int {
-	count := 0
-	for _, p := range c.nodes[nodeID].pods {
-		if p.Function == function && p.busy {
-			count++
-		}
+	idx, ok := c.fnIdx[function]
+	if !ok {
+		return 0
 	}
-	return count
+	return c.nodes[nodeID].busyByFn[idx]
+}
+
+// BusyPods reports the cluster-wide executing-pod census for one function
+// — the sum of NodeColocated over every node, maintained incrementally so
+// per-tick telemetry does not scan the fleet.
+func (c *Cluster) BusyPods(function string) int {
+	idx, ok := c.fnIdx[function]
+	if !ok {
+		return 0
+	}
+	return c.busyByFn[idx]
 }
 
 // WarmPods reports the number of idle warm pods for the function.
@@ -356,13 +450,9 @@ func (c *Cluster) WarmPods(function string) int {
 }
 
 // TotalPods reports the number of pods (idle and busy) across all nodes —
-// the live footprint pod-seconds accounting integrates.
+// the live footprint pod-seconds accounting integrates every tick.
 func (c *Cluster) TotalPods() int {
-	total := 0
-	for _, n := range c.nodes {
-		total += len(n.pods)
-	}
-	return total
+	return c.totalPods
 }
 
 // PoolTarget reports the function's warm-pool target depth.
@@ -435,12 +525,10 @@ func (c *Cluster) PoolChurn() (grown, shrunk int) {
 	return c.grown, c.shrunk
 }
 
-// Functions lists deployed function names, sorted.
+// Functions lists deployed function names, sorted. The returned slice is
+// the caller's to keep.
 func (c *Cluster) Functions() []string {
-	out := make([]string, 0, len(c.pools))
-	for f := range c.pools {
-		out = append(out, f)
-	}
-	sort.Strings(out)
+	out := make([]string, len(c.fnSorted))
+	copy(out, c.fnSorted)
 	return out
 }

@@ -1,0 +1,88 @@
+package cluster
+
+// freeIndex is a segment tree over node IDs holding the maximum free
+// millicores in each subtree. It answers both placement policies in
+// O(log nodes) with exactly the linear scan's tie-breaking:
+//
+//   - spread: descend toward the larger child, preferring the left child
+//     on ties. The leaf reached is the lowest-ID node with maximum free
+//     capacity — the same node a left-to-right scan keeping the first
+//     strict maximum returns (any node that cannot fit the request also
+//     cannot be the maximum once the root proves some node fits).
+//   - first-fit: descend into the leftmost subtree whose max fits. The
+//     leaf reached is the lowest-ID node with free >= mc, the node a
+//     left-to-right scan returns first.
+//
+// Padding leaves beyond the real node count hold -1 so they never win
+// either descent (free capacity is always >= 0).
+type freeIndex struct {
+	base int   // leaf count, first power of two >= nodes
+	tree []int // 1-based heap layout; tree[base+id] is node id's free mc
+}
+
+func newFreeIndex(nodes int) *freeIndex {
+	base := 1
+	for base < nodes {
+		base <<= 1
+	}
+	ix := &freeIndex{base: base, tree: make([]int, 2*base)}
+	for i := range ix.tree {
+		ix.tree[i] = -1
+	}
+	return ix
+}
+
+// set records node id's free millicores and repairs ancestors, stopping
+// as soon as an ancestor's max is unchanged.
+func (ix *freeIndex) set(id, free int) {
+	i := ix.base + id
+	ix.tree[i] = free
+	for i >>= 1; i >= 1; i >>= 1 {
+		m := ix.tree[2*i]
+		if ix.tree[2*i+1] > m {
+			m = ix.tree[2*i+1]
+		}
+		if ix.tree[i] == m {
+			break
+		}
+		ix.tree[i] = m
+	}
+}
+
+// max returns the largest free capacity on any node — the root. Both
+// descents return -1 exactly when max() < mc, which is what makes
+// AcquireThreshold's cold-start bound exact.
+func (ix *freeIndex) max() int { return ix.tree[1] }
+
+// spread returns the lowest-ID node with maximum free capacity, or -1
+// when even that node has less than mc free.
+func (ix *freeIndex) spread(mc int) int {
+	if ix.tree[1] < mc {
+		return -1
+	}
+	i := 1
+	for i < ix.base {
+		if ix.tree[2*i] >= ix.tree[2*i+1] {
+			i = 2 * i
+		} else {
+			i = 2*i + 1
+		}
+	}
+	return i - ix.base
+}
+
+// firstFit returns the lowest-ID node with at least mc free, or -1.
+func (ix *freeIndex) firstFit(mc int) int {
+	if ix.tree[1] < mc {
+		return -1
+	}
+	i := 1
+	for i < ix.base {
+		if ix.tree[2*i] >= mc {
+			i = 2 * i
+		} else {
+			i = 2*i + 1
+		}
+	}
+	return i - ix.base
+}

@@ -1,0 +1,31 @@
+package experiment
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestFleetProfileScale is a profiling harness, not a regression test: it
+// runs the fleet grid at JANUS_FLEET_REQS scale so `-cpuprofile` can see
+// the paper-scale hot path without paying the full paper runtime. Skipped
+// unless the env var is set.
+func TestFleetProfileScale(t *testing.T) {
+	reqs := os.Getenv("JANUS_FLEET_REQS")
+	if reqs == "" {
+		t.Skip("set JANUS_FLEET_REQS to run")
+	}
+	n, err := strconv.Atoi(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSuiteWith(Config{Seed: 1, ProfilerSamples: 600, BudgetStepMs: 20,
+		Requests: n, ArrivalRatePerSec: 2})
+	runs, err := s.FleetScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range runs {
+		t.Logf("%s: %d tenant rows", run.Config, len(run.Rows))
+	}
+}

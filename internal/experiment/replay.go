@@ -196,6 +196,11 @@ type ReplayRow struct {
 // provider configuration.
 type ReplayRun struct {
 	Config string
+	// Scenario names the schedule grid the run belongs to ("replay" or
+	// "fleet"), and Nodes/NodeMillicores record the cluster it ran on.
+	Scenario       string
+	Nodes          int
+	NodeMillicores int
 	// Schedule is the rendered phase sequence the run replayed.
 	Schedule string
 	// Rows holds per-tenant summaries in ReplayTenants order; Aggregate
@@ -360,11 +365,31 @@ func (s *Suite) replayRegenFor(mt MixTenant, a *adapter.Adapter) (*autoscale.Reg
 	})
 }
 
-// runReplayOne serves the full replay stream under one provider
+// scheduleSpec identifies one non-stationary serving grid: the schedule
+// to replay and the cluster to replay it on. replaySpec is the PR 5
+// scenario on the small shared cluster; fleetSpec (fleet.go) scales the
+// same machinery to hundreds of nodes.
+type scheduleSpec struct {
+	scenario       string
+	nodes          int
+	nodeMillicores int
+	schedule       func(*Suite) (*replay.Schedule, error)
+}
+
+func replaySpec() scheduleSpec {
+	return scheduleSpec{
+		scenario:       "replay",
+		nodes:          MixDefaultNodes,
+		nodeMillicores: ReplayNodeMillicores,
+		schedule:       (*Suite).ReplaySchedule,
+	}
+}
+
+// runReplayOne serves the full schedule-driven stream under one provider
 // configuration, filling the replay-run cache. Concurrent callers of the
-// same configuration share one serving run (singleflight).
-func (s *Suite) runReplayOne(config string) (*ReplayRun, error) {
-	key := "replay/" + config
+// same (scenario, configuration) share one serving run (singleflight).
+func (s *Suite) runReplayOne(spec scheduleSpec, config string) (*ReplayRun, error) {
+	key := spec.scenario + "/" + config
 	s.mu.Lock()
 	run, ok := s.replays[key]
 	s.mu.Unlock()
@@ -378,7 +403,7 @@ func (s *Suite) runReplayOne(config string) (*ReplayRun, error) {
 		if ok {
 			return run, nil
 		}
-		run, err := s.serveReplay(config)
+		run, err := s.serveSchedule(spec, config)
 		if err != nil {
 			return nil, err
 		}
@@ -393,13 +418,14 @@ func (s *Suite) runReplayOne(config string) (*ReplayRun, error) {
 	return v.(*ReplayRun), nil
 }
 
-// serveReplay executes one replay configuration end to end.
-func (s *Suite) serveReplay(config string) (*ReplayRun, error) {
+// serveSchedule executes one provider configuration of one schedule grid
+// end to end.
+func (s *Suite) serveSchedule(spec scheduleSpec, config string) (*ReplayRun, error) {
 	tenants, err := ReplayTenants()
 	if err != nil {
 		return nil, err
 	}
-	sched, err := s.ReplaySchedule()
+	sched, err := spec.schedule(s)
 	if err != nil {
 		return nil, err
 	}
@@ -434,8 +460,8 @@ func (s *Suite) serveReplay(config string) (*ReplayRun, error) {
 	}
 	cfg := platform.DefaultExecutorConfig()
 	cfg.Cluster = cluster.Config{
-		Nodes:          MixDefaultNodes,
-		NodeMillicores: ReplayNodeMillicores,
+		Nodes:          spec.nodes,
+		NodeMillicores: spec.nodeMillicores,
 		PoolSize:       replayPoolSize,
 		IdleMillicores: 100,
 		Placement:      cluster.PlacementSpread,
@@ -471,14 +497,17 @@ func (s *Suite) serveReplay(config string) (*ReplayRun, error) {
 	}
 	traces, metrics, err := ex.RunReplay(workloads, rcfg)
 	if err != nil {
-		return nil, fmt.Errorf("experiment: replay %s: %w", config, err)
+		return nil, fmt.Errorf("experiment: %s %s: %w", spec.scenario, config, err)
 	}
 	run := &ReplayRun{
-		Config:   config,
-		Schedule: sched.String(),
-		Metrics:  *metrics,
-		Swaps:    make(map[string][]autoscale.Swap),
-		Traces:   traces,
+		Config:         config,
+		Scenario:       spec.scenario,
+		Nodes:          spec.nodes,
+		NodeMillicores: spec.nodeMillicores,
+		Schedule:       sched.String(),
+		Metrics:        *metrics,
+		Swaps:          make(map[string][]autoscale.Swap),
+		Traces:         traces,
 	}
 	var merged []platform.Trace
 	for _, mt := range tenants {
@@ -497,15 +526,21 @@ func (s *Suite) serveReplay(config string) (*ReplayRun, error) {
 // configuration (fanned over the suite's worker pool) and returns the
 // runs in ReplayConfigs order.
 func (s *Suite) ReplayScenario() ([]*ReplayRun, error) {
+	return s.scheduleScenario(replaySpec())
+}
+
+// scheduleScenario serves one schedule grid under every provider
+// configuration, fanned over the suite's worker pool.
+func (s *Suite) scheduleScenario(spec scheduleSpec) ([]*ReplayRun, error) {
 	configs := ReplayConfigs()
 	results := make([]*ReplayRun, len(configs))
 	errs := make([]error, len(configs))
 	fanIndexed(len(configs), s.parallelism(), func(i int) {
-		results[i], errs[i] = s.runReplayOne(configs[i])
+		results[i], errs[i] = s.runReplayOne(spec, configs[i])
 	})
 	for _, err := range errs {
 		if err != nil {
-			// runReplayOne/serveReplay already name the configuration.
+			// runReplayOne/serveSchedule already name the configuration.
 			return nil, err
 		}
 	}
@@ -535,8 +570,12 @@ func ReplayPoints() []ReplayPoint {
 func FormatReplay(runs []*ReplayRun) string {
 	var b strings.Builder
 	if len(runs) > 0 {
-		fmt.Fprintf(&b, "Replay: non-stationary ia+va+dag stream on %d node(s) x %d millicores, control interval %v\n",
-			MixDefaultNodes, ReplayNodeMillicores, ReplayInterval)
+		scenario := runs[0].Scenario
+		if scenario == "" {
+			scenario = "replay"
+		}
+		fmt.Fprintf(&b, "%s: non-stationary ia+va+dag stream on %d node(s) x %d millicores, control interval %v\n",
+			strings.ToUpper(scenario[:1])+scenario[1:], runs[0].Nodes, runs[0].NodeMillicores, ReplayInterval)
 		fmt.Fprintf(&b, "Schedule: %s\n", runs[0].Schedule)
 	}
 	fmt.Fprintf(&b, "%-16s %-6s %6s %5s %8s %8s %9s %12s %9s %6s %7s\n",

@@ -1,0 +1,146 @@
+package platform
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// stepAllocator is a deterministic allocator whose decision is a pure
+// function of (group, millisecond-floored remaining budget) within an
+// epoch — the MemoizableAllocator contract — with its own bookkeeping so
+// tests can compare recorded side effects between memoized and
+// unmemoized serving. Epoch 1 flips the decision function, modeling a
+// hot-swapped bundle.
+type stepAllocator struct {
+	epoch   int64
+	calls   int // Allocate invocations (memoized runs make fewer)
+	records int // decisions recorded, cached or not
+	budgets []time.Duration
+}
+
+func (s *stepAllocator) Name() string { return "step" }
+
+func (s *stepAllocator) decide(group int, remaining time.Duration) (int, bool) {
+	ms := int64(remaining / time.Millisecond)
+	if ms < 0 {
+		ms = -ms // requests past their deadline still get an allocation
+	}
+	mc := 500 + int(ms%7)*250 + group*100
+	if s.epoch > 0 {
+		mc += 1000
+	}
+	return mc, ms%3 != 0
+}
+
+func (s *stepAllocator) Allocate(req *Request, group int, remaining time.Duration) (int, bool) {
+	s.calls++
+	s.records++
+	s.budgets = append(s.budgets, remaining)
+	return s.decide(group, remaining)
+}
+
+func (s *stepAllocator) AllocEpoch() int64 { return s.epoch }
+
+func (s *stepAllocator) RecordCached(group int, remaining time.Duration, epoch int64, hit bool) {
+	s.records++
+	s.budgets = append(s.budgets, remaining)
+}
+
+// plainStep forwards to a stepAllocator without embedding it, so none of
+// the memo-contract methods are promoted and the platform serves it
+// unmemoized.
+type plainStep struct{ s *stepAllocator }
+
+func (p plainStep) Name() string { return p.s.Name() }
+
+func (p plainStep) Allocate(req *Request, group int, remaining time.Duration) (int, bool) {
+	return p.s.Allocate(req, group, remaining)
+}
+
+var _ MemoizableAllocator = (*stepAllocator)(nil)
+var _ Allocator = plainStep{}
+
+// TestMemoizedServingMatchesUnmemoized serves the identical workload
+// through the same decision function twice — once with the memo engaged,
+// once with it hidden — and requires byte-identical traces plus identical
+// recorded budgets: the memo may only skip redundant decision
+// computation, never change an observable.
+func TestMemoizedServingMatchesUnmemoized(t *testing.T) {
+	reqs := iaWorkload(t, 300)
+	memoed := &stepAllocator{}
+	e := defaultExecutor(t)
+	got, err := e.Run(reqs, memoed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := &stepAllocator{}
+	want, err := defaultExecutor(t).Run(iaWorkload(t, 300), plainStep{plain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memoed.calls >= plain.calls {
+		t.Fatalf("memo never engaged: %d calls memoized vs %d unmemoized", memoed.calls, plain.calls)
+	}
+	if memoed.records != plain.records {
+		t.Fatalf("recorded decisions diverged: %d memoized, %d unmemoized", memoed.records, plain.records)
+	}
+	if !reflect.DeepEqual(memoed.budgets, plain.budgets) {
+		t.Fatal("recorded budget sequences diverged")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("trace counts diverged: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		g.System, w.System = "", ""
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("trace %d diverged:\nmemoized   %+v\nunmemoized %+v", i, g, w)
+		}
+	}
+}
+
+// TestMemoClearedOnEpochChange flips the allocator's epoch mid-run (a
+// hot-swapped bundle) and requires post-flip decisions to come from the
+// new decision function, not stale memo entries.
+func TestMemoClearedOnEpochChange(t *testing.T) {
+	reqs := iaWorkload(t, 200)
+	flip := &stepAllocator{}
+	e := defaultExecutor(t)
+	st, err := e.prepareRun([]TenantWorkload{{Requests: reqs, Allocator: flip}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.engine.ScheduleAt(reqs[100].Arrival, func(time.Duration) { flip.epoch = 1 })
+	st.engine.Run()
+	traces, err := st.collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawNew := false
+	for _, tr := range traces[""] {
+		for _, stg := range tr.Stages {
+			if stg.Millicores >= 1500 {
+				sawNew = true
+			}
+		}
+	}
+	if !sawNew {
+		t.Fatal("no post-epoch-flip allocation observed; memo served stale decisions")
+	}
+	// Replaying the run with the same flip must stay deterministic.
+	flip2 := &stepAllocator{}
+	st2, err := defaultExecutor(t).prepareRun([]TenantWorkload{{Requests: iaWorkload(t, 200), Allocator: flip2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2.engine.ScheduleAt(reqs[100].Arrival, func(time.Duration) { flip2.epoch = 1 })
+	st2.engine.Run()
+	traces2, err := st2.collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(traces[""], traces2[""]) {
+		t.Fatal("epoch-flip run not deterministic across replays")
+	}
+}

@@ -349,12 +349,53 @@ type TenantWorkload struct {
 	Allocator Allocator
 }
 
+// MemoizableAllocator marks an allocator whose decisions are a pure
+// function of (decision group, millisecond-truncated remaining budget)
+// between epochs — the adapter's contract: hints.Table.Lookup floors the
+// budget to whole milliseconds, and the bundle only changes when Replace
+// opens a new epoch. The serving plane memoizes such allocators per
+// tenant: repeated decisions in the same bucket skip the table search,
+// and RecordCached replays the bookkeeping side effects (hit/miss
+// counters, epoch windows, the observed budget range, the regeneration
+// trigger) with the decision's true remaining budget, so every observable
+// statistic — including the instants regeneration fires — is identical to
+// the unmemoized run.
+type MemoizableAllocator interface {
+	Allocator
+	// AllocEpoch identifies the allocator's current decision epoch; any
+	// change invalidates previously returned decisions.
+	AllocEpoch() int64
+	// RecordCached replays the recording side effects of a decision served
+	// from the memo: group and the true (untruncated) remaining budget,
+	// the epoch the memoized decision was made under, and its hit outcome.
+	RecordCached(group int, remaining time.Duration, epoch int64, hit bool)
+}
+
+// memoKey buckets allocation decisions: workflow and group identify the
+// hints table, budgetMs the millisecond bucket Lookup floors to.
+type memoKey struct {
+	wf       *workflow.Workflow
+	group    int
+	budgetMs int64
+}
+
+type memoVal struct {
+	mc  int
+	hit bool
+}
+
 // tenantRun is one tenant's in-flight serving state.
 type tenantRun struct {
 	name   string
 	alloc  Allocator
 	traces []Trace
 	done   int
+	// memoable/memo/memoEpoch cache decisions of a MemoizableAllocator;
+	// memo is nil for allocators without the contract. Single-goroutine,
+	// like everything reached from the event loop.
+	memoable  MemoizableAllocator
+	memo      map[memoKey]memoVal
+	memoEpoch int64
 }
 
 type runState struct {
@@ -371,15 +412,45 @@ type runState struct {
 	// surface as an error instead of draining out as zero-value traces.
 	done  int
 	total int
-	// waiting holds node continuations blocked on pod capacity, FIFO.
+	// waiting holds node acquisitions blocked on pod capacity, FIFO.
 	// Capacity freed by any release can unblock any tenant's waiter (a
 	// node hosts pods of every function), so the queue is global — which
 	// is exactly the cross-tenant contention a shared substrate implies.
-	waiting []func()
+	// Parked work is plain data, not closures: at fleet scale the queue
+	// runs thousands deep through a burst, and wake() recycles the two
+	// backing arrays instead of allocating per episode.
+	waiting     []parkedNode
+	wakeScratch []parkedNode
+	// fnSlots assigns each parked function a dense slot so wake() caches
+	// acquire thresholds in flat arrays instead of string-keyed maps —
+	// a saturated scan touches every parked entry per release, and at
+	// fleet scale that is millions of certain-failure probes per run.
+	// thrGen[slot] == gen marks thr[slot] as current; bumping gen (each
+	// scan start, and after every state-mutating acquisition) invalidates
+	// the whole cache in O(1).
+	fnSlots map[string]int
+	thr     []int
+	thrGen  []int
+	gen     int
 	failed  error
+	// reqStates holds every request's in-flight state in one arena,
+	// initialized up front by prepareRun; admission closures index into it
+	// instead of allocating per request.
+	reqStates []reqState
 	// window accumulates the per-function observations a replay run's
 	// control ticks consume; nil outside RunReplay.
 	window *replayWindow
+}
+
+// parkedNode is one pod acquisition waiting on cluster capacity: the
+// already-decided allocation for one member node of a decision group.
+type parkedNode struct {
+	rs            *reqState
+	group, member int
+	mc            int
+	hit           bool
+	fn            string
+	slot          int // dense function index for wake's threshold cache
 }
 
 // dagPlan is the precomputed readiness structure of one workflow DAG: how
@@ -427,12 +498,15 @@ func (st *runState) planFor(w *workflow.Workflow) *dagPlan {
 }
 
 // reqState is one in-flight request: its trace accumulator plus the
-// per-group readiness countdowns.
+// per-group readiness countdowns. States live in the run's arena; the
+// trace accumulator is a value (copied out on completion) and pending /
+// acc.Stages are arena sub-slices sized exactly by the request's plan, so
+// serving a request allocates nothing beyond its scheduled events.
 type reqState struct {
 	tn   *tenantRun
 	r    *Request
 	plan *dagPlan
-	acc  *Trace
+	acc  Trace
 	// pending[g] counts the group's unfinished predecessor nodes; the
 	// group starts when it reaches zero.
 	pending []int
@@ -518,17 +592,22 @@ func (e *Executor) prepareRun(tenants []TenantWorkload) (*runState, error) {
 		cluster: cl,
 		stream:  rng.New(e.cfg.Seed).Split("executor"),
 		plans:   make(map[*workflow.Workflow]*dagPlan),
+		fnSlots: make(map[string]int),
 		total:   total,
 	}
 	// Validate every request against the plan the engine will actually
 	// execute — the workflow-derived decision groups, not the request's
 	// cached copy — and deploy the union of every tenant's functions
 	// once: tenants running the same function share its warm pool and
-	// co-location census.
+	// co-location census. The same pass sizes the run's arenas: the total
+	// readiness countdowns and executed-node traces across all requests.
 	deployed := map[string]bool{}
+	totalPending, totalNodes := 0, 0
 	for _, tw := range tenants {
 		for _, r := range tw.Requests {
 			plan := st.planFor(r.Workflow)
+			totalPending += len(plan.predCount)
+			totalNodes += plan.nodes
 			if len(r.Groups) != len(plan.groups) || len(r.Draws) != len(plan.groups) {
 				return nil, fmt.Errorf("platform: tenant %q request %d carries %d groups / %d draw rows, workflow %s has %d decision groups",
 					tw.Tenant, r.ID, len(r.Groups), len(r.Draws), r.Workflow.Name(), len(plan.groups))
@@ -555,14 +634,41 @@ func (e *Executor) prepareRun(tenants []TenantWorkload) (*runState, error) {
 	// Admissions are scheduled tenant by tenant in input order; the event
 	// engine merges them by arrival time, breaking ties by scheduling
 	// sequence, so the interleaving is a pure function of the inputs and
-	// mixed runs replay byte for byte.
+	// mixed runs replay byte for byte. Every request's in-flight state is
+	// fully initialized here out of three arena allocations (states,
+	// countdowns, stage traces); admission merely arms the root groups.
+	st.reqStates = make([]reqState, total)
+	pendArena := make([]int, totalPending)
+	stageArena := make([]StageTrace, totalNodes)
+	ri, po, so := 0, 0, 0
 	for _, tw := range tenants {
 		tn := &tenantRun{name: tw.Tenant, alloc: tw.Allocator, traces: make([]Trace, len(tw.Requests))}
+		if m, ok := tw.Allocator.(MemoizableAllocator); ok {
+			tn.memoable = m
+			tn.memo = make(map[memoKey]memoVal)
+			tn.memoEpoch = m.AllocEpoch()
+		}
 		st.tenants = append(st.tenants, tn)
 		for _, r := range tw.Requests {
-			r := r
 			plan := st.planFor(r.Workflow)
-			st.engine.ScheduleAt(r.Arrival, func(time.Duration) { st.startRequest(tn, r, plan) })
+			rs := &st.reqStates[ri]
+			ri++
+			rs.tn, rs.r, rs.plan = tn, r, plan
+			np := len(plan.predCount)
+			rs.pending = pendArena[po : po+np : po+np]
+			po += np
+			copy(rs.pending, plan.predCount)
+			rs.remaining = plan.nodes
+			rs.acc = Trace{
+				RequestID: r.ID,
+				Tenant:    tn.name,
+				System:    tn.alloc.Name(),
+				Arrival:   r.Arrival,
+				SLO:       r.Workflow.SLO(),
+				Stages:    stageArena[so:so : so+plan.nodes],
+			}
+			so += plan.nodes
+			st.engine.ScheduleAt(r.Arrival, func(time.Duration) { st.startRequest(rs) })
 		}
 	}
 	return st, nil
@@ -592,19 +698,11 @@ func (st *runState) collect() (map[string][]Trace, error) {
 	return out, nil
 }
 
-// startRequest admits one request: it arms the readiness countdowns and
-// starts every group with no predecessors (the root group).
-func (st *runState) startRequest(tn *tenantRun, r *Request, plan *dagPlan) {
+// startRequest admits one request whose state prepareRun already armed:
+// every group with no predecessors (the root group) starts immediately.
+func (st *runState) startRequest(rs *reqState) {
 	if st.failed != nil {
 		return
-	}
-	rs := &reqState{
-		tn:        tn,
-		r:         r,
-		plan:      plan,
-		acc:       &Trace{RequestID: r.ID, Tenant: tn.name, System: tn.alloc.Name(), Arrival: r.Arrival, SLO: r.Workflow.SLO()},
-		pending:   append([]int(nil), plan.predCount...),
-		remaining: plan.nodes,
 	}
 	for g := range rs.pending {
 		if rs.pending[g] == 0 {
@@ -629,7 +727,7 @@ func (st *runState) startGroup(rs *reqState, group int) {
 	}
 	now := st.engine.Now()
 	remaining := rs.r.Workflow.SLO() - (now - rs.r.Arrival)
-	mc, hit := rs.tn.alloc.Allocate(rs.r, group, remaining)
+	mc, hit := st.allocate(rs, group, remaining)
 	if mc <= 0 {
 		st.fail(fmt.Errorf("platform: allocator %s returned non-positive allocation %d", rs.tn.alloc.Name(), mc))
 		return
@@ -644,6 +742,32 @@ func (st *runState) startGroup(rs *reqState, group int) {
 			return
 		}
 	}
+}
+
+// allocate makes one decision, serving it from the tenant's memo when the
+// allocator declared itself memoizable. Cache hits replay the allocator's
+// recording side effects through RecordCached with the true remaining
+// budget, so stats, epoch windows, and regeneration instants match the
+// unmemoized run exactly; the memo is cleared whenever the allocator's
+// epoch moves (a hot-swapped bundle decides differently).
+func (st *runState) allocate(rs *reqState, group int, remaining time.Duration) (int, bool) {
+	tn := rs.tn
+	if tn.memo == nil {
+		return tn.alloc.Allocate(rs.r, group, remaining)
+	}
+	ep := tn.memoable.AllocEpoch()
+	if ep != tn.memoEpoch {
+		clear(tn.memo)
+		tn.memoEpoch = ep
+	}
+	k := memoKey{wf: rs.r.Workflow, group: group, budgetMs: int64(remaining / time.Millisecond)}
+	if v, ok := tn.memo[k]; ok {
+		tn.memoable.RecordCached(group, remaining, ep, v.hit)
+		return v.mc, v.hit
+	}
+	mc, hit := tn.alloc.Allocate(rs.r, group, remaining)
+	tn.memo[k] = memoVal{mc: mc, hit: hit}
+	return mc, hit
 }
 
 // startNode acquires a pod for one node, parking the acquisition (not the
@@ -666,7 +790,7 @@ func (st *runState) startNode(rs *reqState, group, member, mc int, hit, retried 
 				st.window.queued[fn]++
 			}
 		}
-		st.waiting = append(st.waiting, func() { st.startNode(rs, group, member, mc, hit, true) })
+		st.waiting = append(st.waiting, parkedNode{rs: rs, group: group, member: member, mc: mc, hit: hit, fn: fn, slot: st.slotOf(fn)})
 		return
 	}
 	if st.window != nil {
@@ -735,7 +859,7 @@ func (st *runState) nodeDone(rs *reqState, step string, end time.Duration) {
 	if rs.remaining == 0 {
 		rs.acc.Done = end
 		rs.acc.E2E = end - rs.r.Arrival
-		rs.tn.traces[rs.r.ID] = *rs.acc
+		rs.tn.traces[rs.r.ID] = rs.acc
 		rs.tn.done++
 		st.done++
 		return
@@ -751,17 +875,54 @@ func (st *runState) nodeDone(rs *reqState, step string, end time.Duration) {
 	}
 }
 
-// wake re-admits all parked continuations in FIFO order; those that still
-// cannot acquire a pod re-park themselves.
+// slotOf returns fn's dense slot, assigning one on first park.
+func (st *runState) slotOf(fn string) int {
+	s, ok := st.fnSlots[fn]
+	if !ok {
+		s = len(st.fnSlots)
+		st.fnSlots[fn] = s
+		st.thr = append(st.thr, 0)
+		st.thrGen = append(st.thrGen, 0)
+	}
+	return s
+}
+
+// wake re-admits all parked acquisitions in FIFO order; those that still
+// cannot acquire a pod re-park themselves. The drained queue and the
+// re-park queue swap backing arrays across calls, so steady-state parking
+// churn allocates nothing. wake never re-enters itself: acquisitions
+// either succeed (scheduling a completion event) or re-park — neither
+// releases a pod synchronously.
+//
+// A retry is attempted only when the cluster's AcquireThreshold says it
+// would succeed — the predicate is exact, so an entry failing it re-parks
+// with precisely the state evolution of a failed Acquire (none). Without
+// the gate, a saturated scan pays a pool lookup and a capacity check per
+// parked entry per release; with it, certain failures cost an integer
+// compare against a per-function threshold cached for the scan (and
+// invalidated after every successful acquisition, which can change any
+// function's threshold).
 func (st *runState) wake() {
 	if len(st.waiting) == 0 {
 		return
 	}
 	queue := st.waiting
-	st.waiting = nil
-	for _, next := range queue {
-		next()
+	st.waiting = st.wakeScratch[:0]
+	st.gen++
+	for i := range queue {
+		p := &queue[i]
+		if st.thrGen[p.slot] != st.gen {
+			st.thr[p.slot] = st.cluster.AcquireThreshold(p.fn)
+			st.thrGen[p.slot] = st.gen
+		}
+		if p.mc > st.thr[p.slot] {
+			st.waiting = append(st.waiting, *p)
+			continue
+		}
+		st.startNode(p.rs, p.group, p.member, p.mc, p.hit, true)
+		st.gen++
 	}
+	st.wakeScratch = queue[:0]
 }
 
 func (st *runState) fail(err error) {

@@ -100,6 +100,11 @@ type replayWindow struct {
 	queued   map[string]int
 	cold     map[string]int
 	acquires map[string]int
+	// fns and stats are the snapshot's reusable buffers: the deployed
+	// function set is fixed once serving starts, so each control tick
+	// refills the same slice instead of rebuilding it.
+	fns   []string
+	stats []ReplayFunctionStats
 }
 
 func newReplayWindow() *replayWindow {
@@ -111,20 +116,19 @@ func (w *replayWindow) reset() {
 	clear(w.acquires)
 }
 
-// snapshot builds the per-function stats for a control tick, sorted by
-// function name so controllers see a deterministic order.
+// snapshot fills the per-function stats for a control tick, sorted by
+// function name so controllers see a deterministic order. The returned
+// slice is reused by the next tick; controllers must not retain it.
 func (w *replayWindow) snapshot(cl *cluster.Cluster) []ReplayFunctionStats {
-	fns := cl.Functions()
-	out := make([]ReplayFunctionStats, len(fns))
-	for i, fn := range fns {
-		busy := 0
-		for n := 0; n < cl.Nodes(); n++ {
-			busy += cl.NodeColocated(n, fn)
-		}
+	if w.fns == nil {
+		w.fns = cl.Functions()
+		w.stats = make([]ReplayFunctionStats, len(w.fns))
+	}
+	for i, fn := range w.fns {
 		target, _ := cl.PoolTarget(fn)
-		out[i] = ReplayFunctionStats{
+		w.stats[i] = ReplayFunctionStats{
 			Function:   fn,
-			Busy:       busy,
+			Busy:       cl.BusyPods(fn),
 			Warm:       cl.WarmPods(fn),
 			Target:     target,
 			Queued:     w.queued[fn],
@@ -132,7 +136,7 @@ func (w *replayWindow) snapshot(cl *cluster.Cluster) []ReplayFunctionStats {
 			Acquires:   w.acquires[fn],
 		}
 	}
-	return out
+	return w.stats
 }
 
 // RunReplay serves the tenants' schedule-derived request streams on one

@@ -231,6 +231,17 @@ type Trace = platform.Trace
 // Allocator implementations.
 type Allocator = platform.Allocator
 
+// MemoizableAllocator marks an Allocator whose Allocate result is a pure
+// function of (decision group, millisecond-floored remaining budget)
+// within one epoch. The Executor memoizes such allocators across
+// identical decision instants — repeated lookups skip Allocate and replay
+// the allocator's bookkeeping through RecordCached with the true
+// remaining budget, so every observable (stats, epoch windows, traces)
+// stays byte-identical to unmemoized serving. The built-in Adapter
+// allocators satisfy it; custom allocators opt in by implementing the two
+// extra methods.
+type MemoizableAllocator = platform.MemoizableAllocator
+
 // FixedAllocator serves immutable per-stage sizes (early binding).
 type FixedAllocator = platform.Fixed
 
@@ -635,3 +646,20 @@ type ReplayExperimentPoint = experiment.ReplayPoint
 // ReplayExperimentPoints enumerates the replay scenario grid: static
 // pools, the elastic autoscaler, and autoscaler + online regeneration.
 func ReplayExperimentPoints() []ReplayExperimentPoint { return experiment.ReplayPoints() }
+
+// Fleet-scale replay (ExperimentSuite.FleetScenario; janusbench
+// -experiment fleet): the replay scenario's non-stationary shape at
+// hundreds of nodes and hundreds of thousands of requests in one
+// discrete-event run — the workload the indexed cluster state is sized
+// against, and the one the BENCH_*.json trajectory files track.
+
+// Fleet cluster dimensions: two hundred nodes of the replay scenario's
+// size, so the fleet is exactly a 100x wider replay substrate.
+const (
+	FleetNodes          = experiment.FleetNodes
+	FleetNodeMillicores = experiment.FleetNodeMillicores
+)
+
+// FleetExperimentPoints enumerates the fleet scenario grid — the replay
+// provider configurations at fleet scale.
+func FleetExperimentPoints() []ReplayExperimentPoint { return experiment.FleetPoints() }

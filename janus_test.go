@@ -1,6 +1,7 @@
 package janus_test
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -100,5 +101,26 @@ func TestFacadeBundleRoundTrip(t *testing.T) {
 	}
 	if _, err := a.Decide(0, 1500*time.Millisecond); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFacadeFleetSurface pins the fleet-scale exports: the grid
+// enumerates the replay configurations at fleet dimensions.
+func TestFacadeFleetSurface(t *testing.T) {
+	if janus.FleetNodes < 100 {
+		t.Fatalf("FleetNodes = %d; the fleet scenario promises hundreds of nodes", janus.FleetNodes)
+	}
+	if janus.FleetNodeMillicores <= 0 {
+		t.Fatalf("FleetNodeMillicores = %d", janus.FleetNodeMillicores)
+	}
+	pts := janus.FleetExperimentPoints()
+	if len(pts) != len(janus.ReplayExperimentPoints()) {
+		t.Fatalf("fleet grid has %d points, replay grid %d — they serve the same configurations",
+			len(pts), len(janus.ReplayExperimentPoints()))
+	}
+	for _, p := range pts {
+		if !strings.Contains(p.Description, "fleet scale") {
+			t.Fatalf("point %q does not describe fleet scale: %q", p.Config, p.Description)
+		}
 	}
 }
