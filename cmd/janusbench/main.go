@@ -21,7 +21,12 @@
 // serves a non-stationary burst+diurnal schedule over the ia/va/dag
 // catalog under static pools, the elastic warm-pool autoscaler, and the
 // autoscaler with online hint regeneration (the bilateral loop closed
-// mid-run).
+// mid-run); fleet scales the same non-stationary grid to a 200-node
+// cluster and O(100k+) requests; trigger serves the dynamic
+// trigger-based workflow — conditional branch, data-dependent map
+// width, bounded retries, and an externally timed gate — comparing
+// static worst-case planning against online shape-aware planning on
+// the identical request stream and trigger queue.
 //
 // Serving points fan out over a worker pool (-parallelism, default
 // GOMAXPROCS); results are identical at every setting because requests
@@ -175,6 +180,25 @@ var experiments = map[string]exp{
 			}
 			return rows, nil
 		}},
+	"trigger": {run: func(s *experiment.Suite) (fmt.Stringer, error) {
+		runs, err := s.TriggerScenario()
+		if err != nil {
+			return nil, err
+		}
+		return wrap(experiment.FormatTrigger(runs)), nil
+	}, desc: "dynamic trigger orchestration: static worst-case vs online shape-aware planning",
+		rows: func(s *experiment.Suite) (any, error) {
+			runs, err := s.TriggerScenario()
+			if err != nil {
+				return nil, err
+			}
+			var rows []experiment.ReplayRow
+			for _, run := range runs {
+				rows = append(rows, run.Rows...)
+				rows = append(rows, run.Aggregate)
+			}
+			return rows, nil
+		}},
 	"mix": {run: func(s *experiment.Suite) (fmt.Stringer, error) {
 		scenario, err := s.MixScenario()
 		if err != nil {
@@ -203,7 +227,7 @@ var experiments = map[string]exp{
 // order fixes the -experiment all sequence.
 var order = []string{
 	"fig1a", "fig1b", "fig1c", "fig2", "fig4", "fig5",
-	"fig6", "fig7", "fig8", "fig9", "sp", "dag", "mix", "replay", "fleet", "table1", "table2", "overhead",
+	"fig6", "fig7", "fig8", "fig9", "sp", "dag", "mix", "replay", "fleet", "trigger", "table1", "table2", "overhead",
 }
 
 // listString renders the -list output: one "name  description" line per

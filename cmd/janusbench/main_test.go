@@ -91,6 +91,13 @@ func TestListOutput(t *testing.T) {
 	if !strings.Contains(out, "dag") {
 		t.Fatal("-list omits the dag experiment")
 	}
+	// The catalog surfaces added after the figure set must be listed too:
+	// the -list output is the discovery surface the doc comment points at.
+	for _, name := range []string{"replay", "fleet", "trigger"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list omits the %s experiment", name)
+		}
+	}
 }
 
 // TestOrderMatchesExperiments keeps the -experiment all sequence and the
@@ -189,5 +196,34 @@ func TestReplayRegistered(t *testing.T) {
 	}
 	if !inOrder {
 		t.Fatal("replay missing from the all sequence")
+	}
+}
+
+// TestTriggerRegistered keeps the dynamic-orchestration scenario wired
+// through the run-selection surfaces: registry, all-sequence, -json row
+// extractor, and a description that names both comparison arms.
+func TestTriggerRegistered(t *testing.T) {
+	targets, err := resolveTargets("trigger")
+	if err != nil || len(targets) != 1 || targets[0] != "trigger" {
+		t.Fatalf("resolveTargets(trigger) = %v, %v", targets, err)
+	}
+	e, ok := experiments["trigger"]
+	if !ok {
+		t.Fatal("trigger not registered")
+	}
+	if e.rows == nil {
+		t.Fatal("trigger has no -json row extractor")
+	}
+	if !strings.Contains(e.desc, "worst-case") || !strings.Contains(e.desc, "shape-aware") {
+		t.Fatalf("trigger description does not name the comparison arms: %q", e.desc)
+	}
+	inOrder := false
+	for _, n := range order {
+		if n == "trigger" {
+			inOrder = true
+		}
+	}
+	if !inOrder {
+		t.Fatal("trigger missing from the all sequence")
 	}
 }

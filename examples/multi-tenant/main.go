@@ -6,12 +6,13 @@
 //     early-binding allocator, a VA chain under another) contending for a
 //     small two-node cluster, with per-tenant metrics split out of the
 //     mixed trace set.
+//
 //  2. The experiment suite's tenant-mix scenario: ia + va + va-sp under
 //     each serving system, plus the placement comparison and the
 //     node-count scale-out sweep (janusbench -experiment mix prints the
 //     same tables at paper scale).
 //
-//	go run ./examples/multi-tenant
+//     go run ./examples/multi-tenant
 package main
 
 import (

@@ -5,13 +5,14 @@
 //     on a small cluster, once with static pools and once under the
 //     elastic warm-pool autoscaler — same arrival stream, pod-seconds
 //     and SLO attainment compared side by side.
+//
 //  2. The experiment suite's replay scenario: the ia + va + dag catalog
 //     under static pools, the autoscaler, and the autoscaler with online
 //     hint regeneration (the closed bilateral loop), including the
 //     mid-run hot-swap instants (janusbench -experiment replay prints
 //     the same tables at paper scale).
 //
-//	go run ./examples/replay
+//     go run ./examples/replay
 package main
 
 import (

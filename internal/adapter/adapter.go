@@ -150,6 +150,30 @@ func (a *Adapter) Decide(suffix int, remaining time.Duration) (Decision, error) 
 	return Decision{Millicores: r.Millicores, Hit: true, Percentile: r.Percentile}, nil
 }
 
+// DecideShaped is Decide for a dynamic workflow's decision: when the
+// serving plane resolved part of the group's shape at the readiness
+// instant (the group's map member drew its width), the bundle's variant
+// table for that (group, shape) pair answers — synthesized against the
+// resolved width instead of the worst case, so tight budgets that would
+// miss on the conservative base table still find a plan. With no shape
+// resolved, or a bundle carrying no variant for the key (static bundles
+// carry none at all), the decision falls back to the base table and is
+// exactly Decide.
+func (a *Adapter) DecideShaped(group int, shape string, remaining time.Duration) (Decision, error) {
+	d := a.bundle.Load()
+	b := d.b
+	t, ok := b.ShapedTable(group, shape)
+	if shape == "" || !ok {
+		return a.Decide(group, remaining)
+	}
+	r, hit := t.Lookup(remaining)
+	a.record(hit, d.epoch, remaining)
+	if !hit {
+		return Decision{Millicores: b.MaxMillicores, Hit: false, Percentile: 99}, nil
+	}
+	return Decision{Millicores: r.Millicores, Hit: true, Percentile: r.Percentile}, nil
+}
+
 // record counts one decision, both cumulatively (Stats) and — when the
 // decision was made against the current bundle — in the bundle's epoch
 // window. The regeneration trigger fires off the epoch window alone, so a
@@ -270,6 +294,11 @@ func (a *Adapter) Replace(b *hints.Bundle) error {
 type Allocator struct {
 	*Adapter
 	System string
+	// ShapeBlind discards resolved-shape keys before deciding, forcing
+	// every dynamic decision onto the conservative base tables. This is
+	// the static worst-case arm of the trigger experiment: same bundle,
+	// same budgets, shape information withheld.
+	ShapeBlind bool
 }
 
 // Name implements platform.Allocator.
@@ -281,6 +310,23 @@ func (al *Allocator) Allocate(req *platform.Request, group int, remaining time.D
 	if err != nil {
 		// Group indices come from the executor and bundles are validated
 		// against the workflow at deployment; a mismatch is a bug.
+		panic(err)
+	}
+	return d.Millicores, d.Hit
+}
+
+// AllocateShaped implements platform.ShapeAwareAllocator: a dynamic
+// workflow's decision carries the group's resolved-shape key, answered by
+// the bundle's variant table when one exists and by the conservative base
+// table otherwise.
+func (al *Allocator) AllocateShaped(req *platform.Request, group int, shape string, remaining time.Duration) (int, bool) {
+	if al.ShapeBlind {
+		shape = ""
+	}
+	d, err := al.DecideShaped(group, shape, remaining)
+	if err != nil {
+		// Same contract as Allocate: the executor only hands us groups the
+		// validated bundle covers.
 		panic(err)
 	}
 	return d.Millicores, d.Hit

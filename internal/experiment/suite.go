@@ -116,6 +116,7 @@ func NewSuiteWith(cfg Config) *Suite {
 		runs:        make(map[string]*SystemRun),
 		mixed:       make(map[string]*MixRun),
 		replays:     make(map[string]*ReplayRun),
+		triggerRuns: make(map[string]*TriggerRun),
 	}
 }
 
@@ -139,6 +140,7 @@ type Suite struct {
 	runs        map[string]*SystemRun
 	mixed       map[string]*MixRun
 	replays     map[string]*ReplayRun
+	triggerRuns map[string]*TriggerRun
 	fig6        []Fig6Row
 }
 

@@ -22,8 +22,17 @@ type Bundle struct {
 	// MaxMillicores is the per-function escalation ceiling on table miss.
 	MaxMillicores int `json:"max_millicores"`
 	// Tables holds one condensed table per decision group, index ==
-	// group index (== chain suffix for chains).
+	// group index (== chain suffix for chains). For dynamic workflows
+	// these are the conservative worst-case tables (map members at
+	// maximum width) every shape-blind decision falls back to.
 	Tables []*Table `json:"tables"`
+	// Shaped holds a dynamic workflow's shape-variant tables, keyed by
+	// decision-group index and then by the resolved-shape key the serving
+	// plane reports at the group's readiness instant ("w=3" when the
+	// group's map member drew width 3). Static bundles leave it nil; the
+	// field is omitted from JSON then, so static bundle serde is
+	// unchanged byte for byte.
+	Shaped map[int]map[string]*Table `json:"shaped,omitempty"`
 }
 
 // Validate checks bundle invariants.
@@ -54,7 +63,37 @@ func (b *Bundle) Validate() error {
 			return fmt.Errorf("hints: bundle table %d: %w", i, err)
 		}
 	}
+	for g, variants := range b.Shaped {
+		if g < 0 || g >= len(b.Tables) {
+			return fmt.Errorf("hints: shaped tables for group %d, but bundle has %d groups", g, len(b.Tables))
+		}
+		if len(variants) == 0 {
+			return fmt.Errorf("hints: empty shape-variant map for group %d", g)
+		}
+		for shape, t := range variants {
+			if shape == "" {
+				return fmt.Errorf("hints: group %d has a variant with an empty shape key", g)
+			}
+			if t == nil {
+				return fmt.Errorf("hints: group %d shape %q table missing", g, shape)
+			}
+			if t.Suffix != g {
+				return fmt.Errorf("hints: group %d shape %q table has suffix %d", g, shape, t.Suffix)
+			}
+			if err := t.Validate(); err != nil {
+				return fmt.Errorf("hints: group %d shape %q: %w", g, shape, err)
+			}
+		}
+	}
 	return nil
+}
+
+// ShapedTable returns the variant table for a (group, shape) pair, or
+// false when the bundle carries no variant for it — the caller then falls
+// back to the group's conservative base table.
+func (b *Bundle) ShapedTable(group int, shape string) (*Table, bool) {
+	t, ok := b.Shaped[group][shape]
+	return t, ok
 }
 
 // Stages reports the number of decision groups covered (the chain length

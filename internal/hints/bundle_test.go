@@ -91,6 +91,88 @@ func TestBundleRoundTrip(t *testing.T) {
 	}
 }
 
+// shapedBundle extends validBundle with one width-variant table on
+// group 1: the variant covers tighter budgets than the base.
+func shapedBundle() *Bundle {
+	b := validBundle()
+	v, _ := Condense(&RawTable{Suffix: 1, Weight: 1, Hints: []Hint{
+		{BudgetMs: 600, HeadMillicores: 2800, HeadPercentile: 99},
+		{BudgetMs: 601, HeadMillicores: 1800, HeadPercentile: 99},
+	}})
+	b.Shaped = map[int]map[string]*Table{1: {"w=1": v}}
+	return b
+}
+
+func TestBundleShapedValidation(t *testing.T) {
+	if err := shapedBundle().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Bundle)
+		errHas string
+	}{
+		{"group out of range", func(b *Bundle) { b.Shaped[9] = b.Shaped[1]; delete(b.Shaped, 1) }, "group 9"},
+		{"empty variant map", func(b *Bundle) { b.Shaped[1] = map[string]*Table{} }, "empty shape-variant"},
+		{"empty shape key", func(b *Bundle) { b.Shaped[1][""] = b.Shaped[1]["w=1"]; delete(b.Shaped[1], "w=1") }, "empty shape key"},
+		{"nil variant table", func(b *Bundle) { b.Shaped[1]["w=1"] = nil }, "missing"},
+		{"variant suffix mismatch", func(b *Bundle) { b.Shaped[1]["w=1"].Suffix = 0 }, "suffix"},
+		{"invalid variant table", func(b *Bundle) { b.Shaped[1]["w=1"].Ranges[0].Millicores = -1 }, "shape"},
+	}
+	for _, c := range cases {
+		b := shapedBundle()
+		c.mutate(b)
+		err := b.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.errHas) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.errHas)
+		}
+	}
+}
+
+func TestShapedTableLookupAndRoundTrip(t *testing.T) {
+	b := shapedBundle()
+	if _, ok := b.ShapedTable(1, "w=2"); ok {
+		t.Fatal("unknown shape reported covered")
+	}
+	if _, ok := b.ShapedTable(0, "w=1"); ok {
+		t.Fatal("shape on unshaped group reported covered")
+	}
+	data, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseBundle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := back.ShapedTable(1, "w=1")
+	if !ok {
+		t.Fatal("round trip lost the shaped table")
+	}
+	r, ok := v.Lookup(601 * time.Millisecond)
+	if !ok || r.Millicores != 1800 {
+		t.Fatalf("round-tripped shaped lookup = %+v, %v", r, ok)
+	}
+}
+
+// TestStaticBundleSerdeUnchanged pins the additive-field claim: a bundle
+// without shaped tables marshals without any trace of the new field, so
+// static bundles' wire format is exactly what it was before dynamic
+// orchestration existed.
+func TestStaticBundleSerdeUnchanged(t *testing.T) {
+	data, err := validBundle().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "shaped") {
+		t.Fatalf("static bundle JSON mentions shaped tables: %s", data)
+	}
+}
+
 func TestMarshalRejectsInvalid(t *testing.T) {
 	b := validBundle()
 	b.Workflow = ""

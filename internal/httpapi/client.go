@@ -45,6 +45,14 @@ func (c *Client) SubmitBundle(b *hints.Bundle) error {
 // trip. Positive sub-millisecond budgets round up to 1 ms rather than
 // truncating to an invalid zero.
 func (c *Client) Decide(workflow string, suffix int, remaining time.Duration) (adapter.Decision, error) {
+	return c.DecideShaped(workflow, suffix, "", remaining)
+}
+
+// DecideShaped is Decide carrying the decision group's resolved-shape key
+// for dynamic workflows; the empty key is exactly Decide. The server
+// answers from the matching shape-variant table when the deployed bundle
+// has one and falls back to the conservative base otherwise.
+func (c *Client) DecideShaped(workflow string, suffix int, shape string, remaining time.Duration) (adapter.Decision, error) {
 	if remaining <= 0 {
 		return adapter.Decision{}, fmt.Errorf("httpapi: remaining budget must be positive, got %v", remaining)
 	}
@@ -52,7 +60,7 @@ func (c *Client) Decide(workflow string, suffix int, remaining time.Duration) (a
 	if ms == 0 {
 		ms = 1
 	}
-	req := DecideRequest{Workflow: workflow, Suffix: suffix, RemainingMs: ms}
+	req := DecideRequest{Workflow: workflow, Suffix: suffix, RemainingMs: ms, Shape: shape}
 	data, err := json.Marshal(req)
 	if err != nil {
 		return adapter.Decision{}, err
@@ -129,6 +137,17 @@ func (a *Allocator) Name() string { return a.System }
 // Allocate implements platform.Allocator.
 func (a *Allocator) Allocate(_ *platform.Request, stage int, remaining time.Duration) (int, bool) {
 	d, err := a.Client.Decide(a.Workflow, stage, remaining)
+	if err != nil {
+		return a.MaxMillicores, false
+	}
+	return d.Millicores, d.Hit
+}
+
+// AllocateShaped implements platform.ShapeAwareAllocator: dynamic
+// workflows served against a remote adapter pass each decision group's
+// resolved-shape key over the wire.
+func (a *Allocator) AllocateShaped(_ *platform.Request, stage int, shape string, remaining time.Duration) (int, bool) {
+	d, err := a.Client.DecideShaped(a.Workflow, stage, shape, remaining)
 	if err != nil {
 		return a.MaxMillicores, false
 	}

@@ -331,3 +331,144 @@ func TestDeployWhileDeciding(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestHealthzMethodValidation: the health check is a GET-only endpoint; a
+// probe that writes to it is misconfigured and must hear 405, not 200.
+func TestHealthzMethodValidation(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
+		req, err := http.NewRequest(method, ts.URL+"/v1/healthz", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s /v1/healthz -> %d, want 405", method, resp.StatusCode)
+		}
+	}
+	// GET still answers.
+	resp, err := ts.Client().Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/healthz -> %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestContentTypeValidation: the JSON POST endpoints reject non-JSON
+// Content-Types with 415 before reading the body, so a platform wired to
+// send form or octet-stream payloads fails loudly instead of hitting a
+// confusing parse error. Parameters on the media type are accepted.
+func TestContentTypeValidation(t *testing.T) {
+	srv, c := serve(t)
+	if err := c.SubmitBundle(bundle(t)); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := srv.Adapter("ia")
+	hitsBefore, missesBefore, _ := a.Stats()
+	body := `{"workflow":"ia","suffix":0,"remaining_ms":2001}`
+	for _, path := range []string{"/v1/decide", "/v1/bundles"} {
+		for _, ct := range []string{"", "text/plain", "application/x-www-form-urlencoded", "application/octet-stream"} {
+			req, err := http.NewRequest(http.MethodPost, c.base+path, strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ct != "" {
+				req.Header.Set("Content-Type", ct)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var eb errorBody
+			if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusUnsupportedMediaType {
+				t.Fatalf("POST %s with Content-Type %q -> %d, want 415", path, ct, resp.StatusCode)
+			}
+			if !strings.Contains(eb.Error, "application/json") {
+				t.Fatalf("POST %s error %q should name the required media type", path, eb.Error)
+			}
+		}
+	}
+	// The rejections never reached the adapter.
+	if hits, misses, _ := a.Stats(); hits != hitsBefore || misses != missesBefore {
+		t.Fatalf("415 rejections moved the supervisor counters: %d/%d -> %d/%d",
+			hitsBefore, missesBefore, hits, misses)
+	}
+	// A charset parameter on the JSON media type is fine.
+	resp, err := http.Post(c.base+"/v1/decide", "application/json; charset=utf-8", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("JSON with charset parameter -> %d, want 200", resp.StatusCode)
+	}
+}
+
+// shapedBundle extends the test bundle with a width-variant table on
+// suffix 1 covering budgets the conservative base misses on.
+func shapedBundle(t *testing.T) *hints.Bundle {
+	t.Helper()
+	b := bundle(t)
+	v, err := hints.Condense(&hints.RawTable{Suffix: 1, Weight: 1, Hints: []hints.Hint{
+		{BudgetMs: 400, HeadMillicores: 900, HeadPercentile: 95},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Shaped = map[int]map[string]*hints.Table{1: {"w=1": v}}
+	return b
+}
+
+// TestDecideShapedOverHTTP: a dynamic workflow's resolved-shape key rides
+// the decide request; the server answers from the shape-variant table and
+// falls back to the conservative base for unknown or absent keys.
+func TestDecideShapedOverHTTP(t *testing.T) {
+	_, c := serve(t)
+	if err := c.SubmitBundle(shapedBundle(t)); err != nil {
+		t.Fatal(err)
+	}
+	// 500ms is below the base table's floor for suffix 1 (1000ms) but
+	// inside the w=1 variant's coverage.
+	d, err := c.DecideShaped("ia", 1, "w=1", 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Hit || d.Millicores != 900 || d.Percentile != 95 {
+		t.Fatalf("shaped decision = %+v", d)
+	}
+	// Unknown shapes fall back to the base table — here a miss.
+	d, err = c.DecideShaped("ia", 1, "w=9", 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Hit || d.Millicores != 3000 {
+		t.Fatalf("unknown-shape decision = %+v", d)
+	}
+	// The shapeless path is untouched.
+	d, err = c.Decide("ia", 1, 1000*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Hit || d.Millicores != 1200 {
+		t.Fatalf("base decision = %+v", d)
+	}
+	// The remote allocator's shape-aware surface drives the same path.
+	al := &Allocator{Client: c, Workflow: "ia", System: "janus-remote", MaxMillicores: 3000}
+	mc, hit := al.AllocateShaped(nil, 1, "w=1", 500*time.Millisecond)
+	if !hit || mc != 900 {
+		t.Fatalf("AllocateShaped = %d, %v", mc, hit)
+	}
+}

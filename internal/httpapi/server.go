@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"sync"
 	"time"
@@ -33,6 +34,11 @@ type DecideRequest struct {
 	// miss — polluting the supervisor's miss rate, the very signal the
 	// regeneration loop triggers on.
 	RemainingMs int64 `json:"remaining_ms"`
+	// Shape is the decision group's resolved-shape key for dynamic
+	// workflows ("w=3" when the group's map member resolved to width 3).
+	// Empty — the static case — answers from the conservative base table;
+	// unknown keys fall back to it too.
+	Shape string `json:"shape,omitempty"`
 }
 
 // DecideResponse is the adapter's decision.
@@ -96,6 +102,10 @@ func (s *Server) Adapter(workflow string) (*adapter.Adapter, bool) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET required"})
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("/v1/bundles", s.handleBundles)
@@ -107,6 +117,9 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) handleBundles(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+		return
+	}
+	if !requireJSON(w, r) {
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 32<<20))
@@ -135,6 +148,9 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
 		return
 	}
+	if !requireJSON(w, r) {
+		return
+	}
 	var req DecideRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
@@ -152,7 +168,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("workflow %q not deployed", req.Workflow)})
 		return
 	}
-	d, err := a.Decide(req.Suffix, time.Duration(req.RemainingMs)*time.Millisecond)
+	d, err := a.DecideShaped(req.Suffix, req.Shape, time.Duration(req.RemainingMs)*time.Millisecond)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
@@ -173,6 +189,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	hits, misses, rate := a.Stats()
 	writeJSON(w, http.StatusOK, StatsResponse{Workflow: wf, Hits: hits, Misses: misses, MissRate: rate})
+}
+
+// requireJSON enforces the JSON media type on the mutating endpoints: a
+// body the server would parse as JSON anyway must declare itself as such,
+// so misconfigured platforms fail loudly with a 415 instead of a
+// confusing parse error. Media-type parameters (charset) are accepted.
+func requireJSON(w http.ResponseWriter, r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil || mt != "application/json" {
+		writeJSON(w, http.StatusUnsupportedMediaType,
+			errorBody{Error: fmt.Sprintf("Content-Type must be application/json, got %q", ct)})
+		return false
+	}
+	return true
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

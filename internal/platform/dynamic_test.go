@@ -1,0 +1,366 @@
+package platform
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"janus/internal/interfere"
+	"janus/internal/perfmodel"
+	"janus/internal/workflow"
+)
+
+// trigWorkflow builds the dynamic test workflow:
+//
+//	ingest -> triage(choice) -> {caption | detect -> ocr(map 1..4,
+//	retry<=2)} -> gate(await) -> publish
+//
+// Decision groups: {ingest} {triage} {caption, detect} {ocr} {gate}
+// {publish} — six groups, with caption and detect sharing one group
+// whose members have split liveness after the choice resolves.
+func trigWorkflow(t *testing.T) *workflow.Workflow {
+	t.Helper()
+	w, err := workflow.NewDynamic("trig", 1500*time.Millisecond,
+		[]workflow.Node{
+			{Name: "ingest", Function: "fe"},
+			{Name: "triage", Function: "ico"},
+			{Name: "caption", Function: "redis-read"},
+			{Name: "detect", Function: "icl"},
+			{Name: "ocr", Function: "aes-encrypt"},
+			{Name: "gate", Function: "redis-read"},
+			{Name: "publish", Function: "socket-comm"},
+		},
+		[][2]string{
+			{"ingest", "triage"},
+			{"triage", "caption"},
+			{"triage", "detect"},
+			{"detect", "ocr"},
+			{"caption", "gate"},
+			{"ocr", "gate"},
+			{"gate", "publish"},
+		},
+		[]workflow.DynamicNode{
+			{Step: "triage", Choice: &workflow.ChoiceSpec{Weights: []float64{0.55, 0.45}}},
+			{Step: "ocr", Map: &workflow.MapSpec{MaxWidth: 4}, Retry: &workflow.RetrySpec{MaxRetries: 2, FailureProb: 0.3}},
+			{Step: "gate", Await: true},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func trigWorkload(t *testing.T, w *workflow.Workflow, n int) []*Request {
+	t.Helper()
+	coloc, err := interfere.NewCountSampler([]float64{0.5, 0.35, 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := GenerateWorkload(WorkloadConfig{
+		Workflow:          w,
+		Functions:         perfmodel.Catalog(),
+		N:                 n,
+		Batch:             1,
+		ArrivalRatePerSec: 5,
+		Colocation:        coloc,
+		Interference:      interfere.Default(),
+		StageCorrelation:  0.5,
+		Seed:              7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+// gateTriggers builds one resume trigger per request for the gate step.
+func gateTriggers(reqs []*Request, tenant string, delay time.Duration) []Trigger {
+	out := make([]Trigger, len(reqs))
+	for i, r := range reqs {
+		out[i] = Trigger{At: r.Arrival + delay, Tenant: tenant, Request: r.ID, Step: "gate"}
+	}
+	return out
+}
+
+var trigSizes = []int{2000, 2000, 2000, 2000, 2000, 2000}
+
+func TestDynamicWorkloadResolutions(t *testing.T) {
+	w := trigWorkflow(t)
+	reqs := trigWorkload(t, w, 200)
+	sawLight, sawHeavy, sawWide, sawRetry := false, false, false, false
+	for _, r := range reqs {
+		if r.Dyn == nil {
+			t.Fatal("dynamic workflow generated without resolutions")
+		}
+		choice, ok := r.Dyn.Choice["triage"]
+		if !ok || choice < 0 || choice > 1 {
+			t.Fatalf("request %d triage choice %d", r.ID, choice)
+		}
+		if choice == 0 {
+			sawLight = true
+		} else {
+			sawHeavy = true
+		}
+		width := r.Dyn.Width["ocr"]
+		if width < 1 || width > 4 {
+			t.Fatalf("request %d ocr width %d outside [1, 4]", r.ID, width)
+		}
+		if width > 1 {
+			sawWide = true
+		}
+		attempts := r.Dyn.Attempts["ocr"]
+		if len(attempts) != width {
+			t.Fatalf("request %d has %d attempt counts for width %d", r.ID, len(attempts), width)
+		}
+		for rep, a := range attempts {
+			if a < 0 || a > 2 {
+				t.Fatalf("request %d replica %d plans %d failures", r.ID, rep, a)
+			}
+			if a > 0 {
+				sawRetry = true
+			}
+			if len(r.Dyn.NodeDraws["ocr"][rep]) != a+1 {
+				t.Fatalf("request %d replica %d draw count mismatch", r.ID, rep)
+			}
+		}
+	}
+	if !sawLight || !sawHeavy || !sawWide || !sawRetry {
+		t.Fatalf("resolutions not diverse: light=%v heavy=%v wide=%v retry=%v", sawLight, sawHeavy, sawWide, sawRetry)
+	}
+}
+
+func TestDynamicServingShapes(t *testing.T) {
+	w := trigWorkflow(t)
+	reqs := trigWorkload(t, w, 120)
+	e := defaultExecutor(t)
+	traces, _, err := e.RunReplay(
+		[]TenantWorkload{{Requests: reqs, Allocator: &Fixed{System: "fixed", Sizes: trigSizes}}},
+		ReplayConfig{Interval: 100 * time.Millisecond, Triggers: gateTriggers(reqs, "", 120*time.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range traces[""] {
+		r := reqs[tr.RequestID]
+		byStep := map[string]int{}
+		for _, st := range tr.Stages {
+			byStep[st.Step]++
+		}
+		heavy := r.Dyn.Choice["triage"] == 1
+		if heavy {
+			if byStep["caption"] != 0 || byStep["detect"] != 1 {
+				t.Fatalf("request %d heavy path executed caption=%d detect=%d", tr.RequestID, byStep["caption"], byStep["detect"])
+			}
+			wantOCR := 0
+			for _, a := range r.Dyn.Attempts["ocr"] {
+				wantOCR += a + 1
+			}
+			if byStep["ocr"] != wantOCR {
+				t.Fatalf("request %d executed %d ocr attempts, resolution implies %d", tr.RequestID, byStep["ocr"], wantOCR)
+			}
+		} else {
+			if byStep["caption"] != 1 || byStep["detect"] != 0 || byStep["ocr"] != 0 {
+				t.Fatalf("request %d light path executed caption=%d detect=%d ocr=%d",
+					tr.RequestID, byStep["caption"], byStep["detect"], byStep["ocr"])
+			}
+		}
+		if byStep["ingest"] != 1 || byStep["triage"] != 1 || byStep["gate"] != 1 || byStep["publish"] != 1 {
+			t.Fatalf("request %d static spine counts %v", tr.RequestID, byStep)
+		}
+		// The gate never starts before its trigger fires.
+		for _, st := range tr.Stages {
+			if st.Step == "gate" && st.Start < r.Arrival+120*time.Millisecond {
+				t.Fatalf("request %d gate started %v, trigger at %v", tr.RequestID, st.Start, r.Arrival+120*time.Millisecond)
+			}
+		}
+		// One decision per live group plus one per retry re-attempt.
+		liveGroups := 4 // ingest, triage, {caption|detect}, gate... plus below
+		retries := 0
+		if heavy {
+			liveGroups = 6
+			for _, a := range r.Dyn.Attempts["ocr"] {
+				retries += a
+			}
+		} else {
+			liveGroups = 5 // ocr group fully pruned
+		}
+		if tr.Decisions != liveGroups+retries {
+			t.Fatalf("request %d made %d decisions, want %d live groups + %d retries", tr.RequestID, tr.Decisions, liveGroups, retries)
+		}
+	}
+}
+
+func TestDynamicServingDeterministic(t *testing.T) {
+	w := trigWorkflow(t)
+	run := func() map[string][]Trace {
+		reqs := trigWorkload(t, w, 80)
+		traces, _, err := defaultExecutor(t).RunReplay(
+			[]TenantWorkload{{Requests: reqs, Allocator: &Fixed{System: "fixed", Sizes: trigSizes}}},
+			ReplayConfig{Interval: 100 * time.Millisecond, Triggers: gateTriggers(reqs, "", 90*time.Millisecond)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return traces
+	}
+	if !reflect.DeepEqual(run(), run()) {
+		t.Fatal("identical dynamic replays produced different traces")
+	}
+}
+
+// shapeRecorder is a ShapeAwareAllocator that records the shape keys it
+// is handed.
+type shapeRecorder struct {
+	Fixed
+	shapes map[int]map[string]bool
+}
+
+func (s *shapeRecorder) AllocateShaped(req *Request, group int, shape string, remaining time.Duration) (int, bool) {
+	if s.shapes[group] == nil {
+		s.shapes[group] = map[string]bool{}
+	}
+	s.shapes[group][shape] = true
+	return s.Allocate(req, group, remaining)
+}
+
+func TestDynamicShapeKeysReachAllocator(t *testing.T) {
+	w := trigWorkflow(t)
+	reqs := trigWorkload(t, w, 120)
+	rec := &shapeRecorder{Fixed: Fixed{System: "rec", Sizes: trigSizes}, shapes: map[int]map[string]bool{}}
+	if _, _, err := defaultExecutor(t).RunReplay(
+		[]TenantWorkload{{Requests: reqs, Allocator: rec}},
+		ReplayConfig{Interval: 100 * time.Millisecond, Triggers: gateTriggers(reqs, "", 90*time.Millisecond)}); err != nil {
+		t.Fatal(err)
+	}
+	// The ocr group (index 3) is the only one with a map member: every
+	// decision there carries a "w=N" key matching a generated width; no
+	// other group ever sees a non-empty shape.
+	for g, shapes := range rec.shapes {
+		for shape := range shapes {
+			if g == 3 {
+				if !strings.HasPrefix(shape, "w=") {
+					t.Fatalf("ocr group saw shape %q", shape)
+				}
+			} else if shape != "" {
+				t.Fatalf("group %d saw unexpected shape %q", g, shape)
+			}
+		}
+	}
+	widths := map[string]bool{}
+	for _, r := range reqs {
+		if r.Dyn.Choice["triage"] == 1 {
+			widths[fmt.Sprintf("w=%d", r.Dyn.Width["ocr"])] = true
+		}
+	}
+	if !reflect.DeepEqual(rec.shapes[3], widths) {
+		t.Fatalf("ocr shapes %v, workload widths %v", rec.shapes[3], widths)
+	}
+}
+
+func TestAwaitRequiresTriggers(t *testing.T) {
+	w := trigWorkflow(t)
+	reqs := trigWorkload(t, w, 5)
+	_, err := defaultExecutor(t).RunMixed(
+		[]TenantWorkload{{Requests: reqs, Allocator: &Fixed{System: "fixed", Sizes: trigSizes}}})
+	if err == nil || !strings.Contains(err.Error(), "no trigger") {
+		t.Fatalf("await workflow without triggers not rejected: %v", err)
+	}
+	// Covering only some requests is rejected too.
+	_, _, err = defaultExecutor(t).RunReplay(
+		[]TenantWorkload{{Requests: reqs, Allocator: &Fixed{System: "fixed", Sizes: trigSizes}}},
+		ReplayConfig{Interval: 100 * time.Millisecond, Triggers: gateTriggers(reqs, "", time.Millisecond)[:4]})
+	if err == nil || !strings.Contains(err.Error(), "no trigger") {
+		t.Fatalf("partial trigger coverage not rejected: %v", err)
+	}
+}
+
+func TestStartTriggerAdmission(t *testing.T) {
+	w := trigWorkflow(t)
+	reqs := trigWorkload(t, w, 20)
+	triggers := gateTriggers(reqs, "", 90*time.Millisecond)
+	// Request 0 is started by a stream event well after its generated
+	// arrival; its SLO clock must start at the fire instant.
+	startAt := reqs[len(reqs)-1].Arrival + 500*time.Millisecond
+	triggers = append(triggers, Trigger{At: startAt, Request: 0})
+	// Its gate trigger must still be in the future relative to the new
+	// start; move it past the start instant.
+	triggers[0].At = startAt + 90*time.Millisecond
+	traces, _, err := defaultExecutor(t).RunReplay(
+		[]TenantWorkload{{Requests: reqs, Allocator: &Fixed{System: "fixed", Sizes: trigSizes}}},
+		ReplayConfig{Interval: 100 * time.Millisecond, Triggers: triggers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := traces[""][0]
+	if tr.Arrival != startAt {
+		t.Fatalf("start-triggered request admitted at %v, trigger fired at %v", tr.Arrival, startAt)
+	}
+	if tr.Done < startAt || tr.E2E != tr.Done-startAt {
+		t.Fatalf("start-triggered request E2E %v not measured from the fire instant (done %v)", tr.E2E, tr.Done)
+	}
+	if len(tr.Stages) == 0 || tr.Stages[0].Start < startAt {
+		t.Fatalf("start-triggered request ran before its trigger: %+v", tr.Stages[0])
+	}
+}
+
+func TestTriggerValidation(t *testing.T) {
+	w := trigWorkflow(t)
+	reqs := trigWorkload(t, w, 3)
+	base := gateTriggers(reqs, "", time.Millisecond)
+	cases := []struct {
+		name string
+		add  Trigger
+		want string
+	}{
+		{"unknown tenant", Trigger{Tenant: "ghost", Request: 0, Step: "gate"}, "unknown tenant"},
+		{"unknown request", Trigger{Request: 99, Step: "gate"}, "unknown request"},
+		{"non-await step", Trigger{Request: 0, Step: "detect"}, "not an await step"},
+		{"negative instant", Trigger{At: -time.Second, Request: 0, Step: "gate"}, "negative instant"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := defaultExecutor(t).RunReplay(
+				[]TenantWorkload{{Requests: reqs, Allocator: &Fixed{System: "fixed", Sizes: trigSizes}}},
+				ReplayConfig{Interval: 100 * time.Millisecond, Triggers: append(append([]Trigger(nil), base...), tc.add)})
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v does not mention %q", err, tc.want)
+			}
+		})
+	}
+	// Duplicate start trigger.
+	dup := append(append([]Trigger(nil), base...),
+		Trigger{At: time.Second, Request: 1}, Trigger{At: 2 * time.Second, Request: 1})
+	_, _, err := defaultExecutor(t).RunReplay(
+		[]TenantWorkload{{Requests: reqs, Allocator: &Fixed{System: "fixed", Sizes: trigSizes}}},
+		ReplayConfig{Interval: 100 * time.Millisecond, Triggers: dup})
+	if err == nil || !strings.Contains(err.Error(), "more than one start trigger") {
+		t.Fatalf("duplicate start trigger not rejected: %v", err)
+	}
+}
+
+// TestDynamicAlongsideStaticTenant pins that a dynamic tenant and a
+// static tenant share one replay cluster without perturbing the static
+// tenant's semantics (its traces still complete and carry static-shape
+// stage counts).
+func TestDynamicAlongsideStaticTenant(t *testing.T) {
+	w := trigWorkflow(t)
+	dynReqs := trigWorkload(t, w, 40)
+	statReqs := iaWorkload(t, 40)
+	traces, _, err := defaultExecutor(t).RunReplay(
+		[]TenantWorkload{
+			{Tenant: "dyn", Requests: dynReqs, Allocator: &Fixed{System: "fixed", Sizes: trigSizes}},
+			{Tenant: "stat", Requests: statReqs, Allocator: &Fixed{System: "fixed", Sizes: []int{2000, 2000, 2000}}},
+		},
+		ReplayConfig{Interval: 100 * time.Millisecond, Triggers: gateTriggers(dynReqs, "dyn", 90*time.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces["dyn"]) != 40 || len(traces["stat"]) != 40 {
+		t.Fatalf("trace counts dyn=%d stat=%d", len(traces["dyn"]), len(traces["stat"]))
+	}
+	for _, tr := range traces["stat"] {
+		if len(tr.Stages) != 3 {
+			t.Fatalf("static tenant request %d executed %d stages", tr.RequestID, len(tr.Stages))
+		}
+	}
+}

@@ -107,7 +107,7 @@ func TestMemoClearedOnEpochChange(t *testing.T) {
 	reqs := iaWorkload(t, 200)
 	flip := &stepAllocator{}
 	e := defaultExecutor(t)
-	st, err := e.prepareRun([]TenantWorkload{{Requests: reqs, Allocator: flip}})
+	st, err := e.prepareRun([]TenantWorkload{{Requests: reqs, Allocator: flip}}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestMemoClearedOnEpochChange(t *testing.T) {
 	}
 	// Replaying the run with the same flip must stay deterministic.
 	flip2 := &stepAllocator{}
-	st2, err := defaultExecutor(t).prepareRun([]TenantWorkload{{Requests: iaWorkload(t, 200), Allocator: flip2}})
+	st2, err := defaultExecutor(t).prepareRun([]TenantWorkload{{Requests: iaWorkload(t, 200), Allocator: flip2}}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -68,6 +68,35 @@ type Request struct {
 	// Batch is the batch size (the paper's "concurrency") the request's
 	// function executions run with.
 	Batch int
+	// Dyn carries the pre-sampled dynamic resolutions (chosen branches,
+	// map widths, retry outcomes and their extra draws) for requests of a
+	// dynamic workflow; nil for static workflows. Resolving from the
+	// request's seeded stream — not at scheduling time — is what keeps
+	// dynamic runs byte-identical across parallelism and lets every
+	// serving system face the same resolved shapes.
+	Dyn *DynDraws
+}
+
+// DynDraws is a request's pre-sampled dynamic-shape resolution. Maps are
+// keyed by step name; only annotated steps appear.
+type DynDraws struct {
+	// Choice maps a choice step to the index of its taken successor edge
+	// (in edge-declaration order).
+	Choice map[string]int
+	// Width maps a map step to its resolved fan-out width in
+	// [1, MaxWidth] — drawn "at the fork's readiness instant" in paper
+	// terms; pre-sampling it is observationally identical because the
+	// value is revealed to the allocator only at that instant.
+	Width map[string]int
+	// Attempts maps a map/retry step to the number of failed attempts
+	// preceding each replica's success, indexed by replica (length =
+	// resolved width; 1 for non-map retry steps). Zero for steps without
+	// a retry spec.
+	Attempts map[string][]int
+	// NodeDraws maps a map/retry step to its per-execution draws,
+	// indexed [replica][attempt]. Steps without map/retry specs use the
+	// base Draws[g][b] entry.
+	NodeDraws map[string][][]perfmodel.Draw
 }
 
 // Allocator decides the millicore allocation for a request's decision
@@ -86,6 +115,41 @@ type Allocator interface {
 	Allocate(req *Request, group int, remaining time.Duration) (millicores int, hit bool)
 }
 
+// ShapeAwareAllocator is an Allocator that can exploit the parts of a
+// dynamic workflow's shape already resolved at a decision instant. The
+// serving plane calls AllocateShaped for every decision of a dynamic
+// workflow, passing the resolved-shape key of the decision group ("w=3"
+// when the group's map member resolved to width 3; "" when nothing in
+// the group resolved). Allocators fall back to their conservative
+// worst-case table when they have no variant for the key — plain
+// Allocators never see shapes at all, which is exactly the static
+// worst-case planning the trigger experiment compares against.
+type ShapeAwareAllocator interface {
+	Allocator
+	AllocateShaped(req *Request, group int, shape string, remaining time.Duration) (millicores int, hit bool)
+}
+
+// Trigger is one external event on a replay run's virtual clock — a
+// timer or stream event addressed to a tenant's request. With Step
+// empty it starts the request: admission happens at At instead of the
+// request's Arrival instant (the request must not also arrive on its
+// own). With Step naming an await node it resumes the request: the
+// await step's allocation decision and launch happen at its actual
+// post-trigger readiness instant. A trigger that fires before its
+// await step is ready latches, so early events are never lost.
+type Trigger struct {
+	// At is the fire instant on the virtual clock.
+	At time.Duration
+	// Tenant names the workload the trigger addresses ("" in a
+	// single-tenant run).
+	Tenant string
+	// Request is the addressed request's ID within the tenant.
+	Request int
+	// Step is the await step to resume; empty means the trigger starts
+	// the request.
+	Step string
+}
+
 // StageTrace records one executed node of a request. The name is kept
 // from the stage-indexed engine: Stage is the node's decision-group index
 // and Branch its position within the group, which for chains and
@@ -100,7 +164,12 @@ type StageTrace struct {
 	Branch int
 	// Node is the cluster node the pod ran on — the placement the
 	// configured cluster policy chose.
-	Node       int
+	Node int
+	// Replica and Attempt locate the execution within a dynamic node:
+	// the map replica index and the 0-based retry attempt. Both are 0
+	// for static workflows and for dynamic nodes without map/retry.
+	Replica    int
+	Attempt    int
 	Millicores int
 	Start      time.Duration
 	End        time.Duration
@@ -118,9 +187,9 @@ type Trace struct {
 	Tenant  string
 	System  string
 	Arrival time.Duration
-	Done      time.Duration
-	E2E       time.Duration
-	SLO       time.Duration
+	Done    time.Duration
+	E2E     time.Duration
+	SLO     time.Duration
 	// Stages holds one entry per executed node, in completion order.
 	Stages          []StageTrace
 	TotalMillicores int
@@ -257,6 +326,13 @@ func GenerateWorkload(cfg WorkloadConfig) ([]*Request, error) {
 				draws[s][b] = f.NewDraw(drawStream, cfg.Batch, coloc, cfg.Interference)
 			}
 		}
+		var dyn *DynDraws
+		if cfg.Workflow.IsDynamic() {
+			// Dynamic resolutions ride a dedicated child stream, so a
+			// static workflow's draw sequence is untouched and adding an
+			// annotation never perturbs the base draws above.
+			dyn = sampleDynDraws(cfg, stream.Split("dyn"), common, shared)
+		}
 		reqs[i] = &Request{
 			ID:       i,
 			Workflow: cfg.Workflow,
@@ -264,9 +340,75 @@ func GenerateWorkload(cfg WorkloadConfig) ([]*Request, error) {
 			Draws:    draws,
 			Arrival:  at,
 			Batch:    cfg.Batch,
+			Dyn:      dyn,
 		}
 	}
 	return reqs, nil
+}
+
+// sampleDynDraws resolves one request's dynamic shape from its seeded
+// stream: taken branch per choice step, fan-out width per map step,
+// failed-attempt counts per retry step, and a draw for every extra
+// execution (map replicas and retry attempts) the resolution implies.
+func sampleDynDraws(cfg WorkloadConfig, dynStream, common *rng.Stream, shared bool) *DynDraws {
+	w := cfg.Workflow
+	dyn := &DynDraws{
+		Choice:    map[string]int{},
+		Width:     map[string]int{},
+		Attempts:  map[string][]int{},
+		NodeDraws: map[string][][]perfmodel.Draw{},
+	}
+	for _, step := range w.DynamicSteps() {
+		d, _ := w.Dynamic(step)
+		if d.Choice != nil {
+			weights := d.Choice.Weights
+			if weights == nil {
+				weights = make([]float64, len(w.Successors(step)))
+				for i := range weights {
+					weights[i] = 1
+				}
+			}
+			dyn.Choice[step] = dynStream.Choice(weights)
+			continue
+		}
+		if d.Map == nil && d.Retry == nil {
+			continue // await-only steps execute exactly once off the base draw
+		}
+		width := 1
+		if d.Map != nil {
+			decay := d.Map.Decay
+			if decay == 0 {
+				decay = workflow.DefaultMapDecay
+			}
+			width = dynStream.TruncGeometric(d.Map.MaxWidth, decay)
+			dyn.Width[step] = width
+		}
+		attempts := make([]int, width)
+		if d.Retry != nil {
+			for r := range attempts {
+				for attempts[r] < d.Retry.MaxRetries && dynStream.Float64() < d.Retry.FailureProb {
+					attempts[r]++
+				}
+			}
+		}
+		dyn.Attempts[step] = attempts
+		node, _ := w.Node(step)
+		f := cfg.Functions[node.Function]
+		nodeDraws := make([][]perfmodel.Draw, width)
+		for r := range nodeDraws {
+			nodeDraws[r] = make([]perfmodel.Draw, attempts[r]+1)
+			for a := range nodeDraws[r] {
+				drawStream := dynStream
+				if shared {
+					drawStream = common.Split("replay")
+				}
+				coloc := cfg.Colocation.Sample(drawStream)
+				nodeDraws[r][a] = f.NewDraw(drawStream, cfg.Batch, coloc, cfg.Interference)
+			}
+		}
+		dyn.NodeDraws[step] = nodeDraws
+	}
+	return dyn
 }
 
 // ExecutorConfig sizes the serving plane.
@@ -444,13 +586,22 @@ type runState struct {
 
 // parkedNode is one pod acquisition waiting on cluster capacity: the
 // already-decided allocation for one member node of a decision group.
+// replica distinguishes map replicas of a dynamic node; it is always 0
+// on the static path. wake copies these
+// records in an O(parked) scan per release at fleet depth, so the
+// layout is deliberately narrow: int32 covers every field's range
+// (group/member/slot are dense small indexes, replica < MaxMapWidth,
+// millicores < 2^31) and keeps the record at 48 bytes — smaller than
+// the pre-dynamic int-field layout even with the replica field added.
 type parkedNode struct {
-	rs            *reqState
-	group, member int
-	mc            int
-	hit           bool
-	fn            string
-	slot          int // dense function index for wake's threshold cache
+	rs      *reqState
+	fn      string
+	group   int32
+	member  int32
+	replica int32
+	mc      int32
+	slot    int32 // dense function index for wake's threshold cache
+	hit     bool
 }
 
 // dagPlan is the precomputed readiness structure of one workflow DAG: how
@@ -466,8 +617,13 @@ type dagPlan struct {
 	// predecessor set contains it.
 	dependents map[string][]int
 	// nodes is the total node count; a request completes when that many
-	// nodes have finished.
+	// nodes have finished (dead nodes — pruned by an upstream choice —
+	// count as finished at the instant their death is determined).
 	nodes int
+	// dyn is the dynamic-shape overlay (liveness edges, annotations,
+	// choice targets); nil for static workflows, whose serving path is
+	// untouched by it.
+	dyn *dynPlan
 }
 
 func newDAGPlan(w *workflow.Workflow) *dagPlan {
@@ -484,6 +640,9 @@ func newDAGPlan(w *workflow.Workflow) *dagPlan {
 		for _, pred := range grp.Preds {
 			p.dependents[pred] = append(p.dependents[pred], g)
 		}
+	}
+	if w.IsDynamic() {
+		p.dyn = newDynPlan(w, p)
 	}
 	return p
 }
@@ -508,10 +667,21 @@ type reqState struct {
 	plan *dagPlan
 	acc  Trace
 	// pending[g] counts the group's unfinished predecessor nodes; the
-	// group starts when it reaches zero.
+	// group starts when it reaches zero. A dead node (pruned by an
+	// upstream choice) counts as finished the instant its death is
+	// determined.
 	pending []int
 	// remaining counts unfinished nodes; the request completes at zero.
 	remaining int
+	// arrival is the instant the SLO clock started: the request's
+	// Arrival, or the fire instant of its start trigger.
+	arrival time.Duration
+	// external marks a request admitted by a start trigger rather than
+	// its own Arrival instant.
+	external bool
+	// dyn holds the per-request dynamic-shape state (liveness, replica
+	// joins, retry counters, await latches); nil for static plans.
+	dyn *dynReqState
 }
 
 // Run serves the requests with the given allocator and returns one trace
@@ -539,7 +709,7 @@ func (e *Executor) Run(reqs []*Request, alloc Allocator) ([]Trace, error) {
 // fail the run explicitly: a zero-value trace (E2E 0, zero millicores)
 // would silently flatter every violation-rate and cost metric downstream.
 func (e *Executor) RunMixed(tenants []TenantWorkload) (map[string][]Trace, error) {
-	st, err := e.prepareRun(tenants)
+	st, err := e.prepareRun(tenants, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -551,8 +721,10 @@ func (e *Executor) RunMixed(tenants []TenantWorkload) (map[string][]Trace, error
 // event engine, deploys the union of every tenant's functions, and
 // schedules all admissions — the shared front half of RunMixed and
 // RunReplay. The caller decides what else rides on the engine before
-// draining it.
-func (e *Executor) prepareRun(tenants []TenantWorkload) (*runState, error) {
+// draining it. triggers is the replay run's external-event queue (nil
+// outside RunReplay); workflows with await steps are only servable
+// when every await is covered by a trigger.
+func (e *Executor) prepareRun(tenants []TenantWorkload, triggers []Trigger) (*runState, error) {
 	if len(tenants) == 0 {
 		return nil, fmt.Errorf("platform: no tenant workloads")
 	}
@@ -629,6 +801,11 @@ func (e *Executor) prepareRun(tenants []TenantWorkload) (*runState, error) {
 					}
 				}
 			}
+			if plan.dyn != nil {
+				if err := plan.dyn.validateRequest(tw.Tenant, r); err != nil {
+					return nil, err
+				}
+			}
 		}
 	}
 	// Admissions are scheduled tenant by tenant in input order; the event
@@ -640,6 +817,10 @@ func (e *Executor) prepareRun(tenants []TenantWorkload) (*runState, error) {
 	st.reqStates = make([]reqState, total)
 	pendArena := make([]int, totalPending)
 	stageArena := make([]StageTrace, totalNodes)
+	var byTenant map[string]map[int]*reqState
+	if len(triggers) > 0 {
+		byTenant = make(map[string]map[int]*reqState, len(tenants))
+	}
 	ri, po, so := 0, 0, 0
 	for _, tw := range tenants {
 		tn := &tenantRun{name: tw.Tenant, alloc: tw.Allocator, traces: make([]Trace, len(tw.Requests))}
@@ -649,6 +830,11 @@ func (e *Executor) prepareRun(tenants []TenantWorkload) (*runState, error) {
 			tn.memoEpoch = m.AllocEpoch()
 		}
 		st.tenants = append(st.tenants, tn)
+		var byID map[int]*reqState
+		if byTenant != nil {
+			byID = make(map[int]*reqState, len(tw.Requests))
+			byTenant[tw.Tenant] = byID
+		}
 		for _, r := range tw.Requests {
 			plan := st.planFor(r.Workflow)
 			rs := &st.reqStates[ri]
@@ -659,19 +845,97 @@ func (e *Executor) prepareRun(tenants []TenantWorkload) (*runState, error) {
 			po += np
 			copy(rs.pending, plan.predCount)
 			rs.remaining = plan.nodes
+			rs.arrival = r.Arrival
+			if plan.dyn != nil {
+				rs.dyn = newDynReqState(plan.dyn)
+			}
 			rs.acc = Trace{
 				RequestID: r.ID,
 				Tenant:    tn.name,
 				System:    tn.alloc.Name(),
 				Arrival:   r.Arrival,
 				SLO:       r.Workflow.SLO(),
-				Stages:    stageArena[so:so : so+plan.nodes],
+				Stages:    stageArena[so : so : so+plan.nodes],
 			}
 			so += plan.nodes
-			st.engine.ScheduleAt(r.Arrival, func(time.Duration) { st.startRequest(rs) })
+			if byID != nil {
+				byID[r.ID] = rs
+			}
 		}
 	}
+	if err := st.armTriggers(triggers, byTenant); err != nil {
+		return nil, err
+	}
+	// Every await step must have a trigger addressed to it, or its
+	// request could never finish: awaits resume only via the replay
+	// engine's external-event queue.
+	for i := range st.reqStates {
+		rs := &st.reqStates[i]
+		if rs.dyn == nil {
+			continue
+		}
+		for _, flat := range rs.plan.dyn.awaits {
+			if !rs.dyn.armed[flat] {
+				return nil, fmt.Errorf("platform: await step %q of tenant %q request %d has no trigger; awaits resume only through ReplayConfig.Triggers",
+					rs.plan.dyn.steps[flat], rs.tn.name, rs.r.ID)
+			}
+		}
+	}
+	for i := range st.reqStates {
+		rs := &st.reqStates[i]
+		if rs.external {
+			continue // admitted by its start trigger instead
+		}
+		st.engine.ScheduleAt(rs.r.Arrival, func(time.Duration) { st.startRequest(rs) })
+	}
 	return st, nil
+}
+
+// armTriggers validates the external-event queue against the prepared
+// request states and schedules each trigger on the virtual clock. Start
+// triggers take over their request's admission; resume triggers latch
+// into the addressed await step. Trigger events are scheduled after all
+// admissions in queue order, so runs replay byte for byte.
+func (st *runState) armTriggers(triggers []Trigger, byTenant map[string]map[int]*reqState) error {
+	for i, tr := range triggers {
+		if tr.At < 0 {
+			return fmt.Errorf("platform: trigger %d fires at negative instant %v", i, tr.At)
+		}
+		byID, ok := byTenant[tr.Tenant]
+		if !ok {
+			return fmt.Errorf("platform: trigger %d addresses unknown tenant %q", i, tr.Tenant)
+		}
+		rs, ok := byID[tr.Request]
+		if !ok {
+			return fmt.Errorf("platform: trigger %d addresses unknown request %d of tenant %q", i, tr.Request, tr.Tenant)
+		}
+		if tr.Step == "" {
+			if rs.external {
+				return fmt.Errorf("platform: tenant %q request %d has more than one start trigger", tr.Tenant, tr.Request)
+			}
+			rs.external = true
+			st.engine.ScheduleAt(tr.At, func(now time.Duration) { st.startRequestAt(rs, now) })
+			continue
+		}
+		if rs.plan.dyn == nil {
+			return fmt.Errorf("platform: trigger %d resumes step %q of static workflow %s", i, tr.Step, rs.r.Workflow.Name())
+		}
+		flat, ok := rs.plan.dyn.flat[tr.Step]
+		if !ok || !rs.plan.dyn.isAwait(flat) {
+			return fmt.Errorf("platform: trigger %d resumes step %q of workflow %s, which is not an await step", i, tr.Step, rs.r.Workflow.Name())
+		}
+		rs.dyn.armed[flat] = true
+		st.engine.ScheduleAt(tr.At, func(now time.Duration) { st.fireTrigger(rs, flat, now) })
+	}
+	return nil
+}
+
+// startRequestAt admits a trigger-started request: its SLO clock starts
+// at the fire instant, not the (unused) Arrival it was generated with.
+func (st *runState) startRequestAt(rs *reqState, now time.Duration) {
+	rs.arrival = now
+	rs.acc.Arrival = now
+	st.startRequest(rs)
 }
 
 // collect checks the drained run for failures and starvation and splits
@@ -725,8 +989,12 @@ func (st *runState) startGroup(rs *reqState, group int) {
 	if st.failed != nil {
 		return
 	}
+	if rs.dyn != nil {
+		st.startGroupDyn(rs, group)
+		return
+	}
 	now := st.engine.Now()
-	remaining := rs.r.Workflow.SLO() - (now - rs.r.Arrival)
+	remaining := rs.r.Workflow.SLO() - (now - rs.arrival)
 	mc, hit := st.allocate(rs, group, remaining)
 	if mc <= 0 {
 		st.fail(fmt.Errorf("platform: allocator %s returned non-positive allocation %d", rs.tn.alloc.Name(), mc))
@@ -790,7 +1058,7 @@ func (st *runState) startNode(rs *reqState, group, member, mc int, hit, retried 
 				st.window.queued[fn]++
 			}
 		}
-		st.waiting = append(st.waiting, parkedNode{rs: rs, group: group, member: member, mc: mc, hit: hit, fn: fn, slot: st.slotOf(fn)})
+		st.waiting = append(st.waiting, parkedNode{rs: rs, group: int32(group), member: int32(member), mc: int32(mc), hit: hit, fn: fn, slot: int32(st.slotOf(fn))})
 		return
 	}
 	if st.window != nil {
@@ -858,7 +1126,7 @@ func (st *runState) nodeDone(rs *reqState, step string, end time.Duration) {
 	rs.remaining--
 	if rs.remaining == 0 {
 		rs.acc.Done = end
-		rs.acc.E2E = end - rs.r.Arrival
+		rs.acc.E2E = end - rs.arrival
 		rs.tn.traces[rs.r.ID] = rs.acc
 		rs.tn.done++
 		st.done++
@@ -915,11 +1183,15 @@ func (st *runState) wake() {
 			st.thr[p.slot] = st.cluster.AcquireThreshold(p.fn)
 			st.thrGen[p.slot] = st.gen
 		}
-		if p.mc > st.thr[p.slot] {
+		if int(p.mc) > st.thr[p.slot] {
 			st.waiting = append(st.waiting, *p)
 			continue
 		}
-		st.startNode(p.rs, p.group, p.member, p.mc, p.hit, true)
+		if p.rs.dyn != nil {
+			st.startNodeDyn(p.rs, int(p.group), int(p.member), int(p.replica), int(p.mc), p.hit, true)
+		} else {
+			st.startNode(p.rs, int(p.group), int(p.member), int(p.mc), p.hit, true)
+		}
 		st.gen++
 	}
 	st.wakeScratch = queue[:0]

@@ -74,6 +74,12 @@ type ReplayConfig struct {
 	// bilateral hook — miss-rate-triggered hint regeneration and
 	// hot-swap — plugs in here.
 	OnTick func(now time.Duration) []ReplayAction
+	// Triggers is the external-event queue riding the same virtual
+	// clock: timers and stream events that start requests (admission at
+	// the fire instant instead of the request's Arrival) or resume them
+	// at an await step. Every await step of every request must be
+	// covered by a trigger, or prepareRun rejects the run.
+	Triggers []Trigger
 }
 
 // ReplayMetrics summarizes a replay run's provisioning cost.
@@ -155,7 +161,7 @@ func (e *Executor) RunReplay(tenants []TenantWorkload, cfg ReplayConfig) (map[st
 	if cfg.Horizon < 0 {
 		return nil, nil, fmt.Errorf("platform: negative replay horizon %v", cfg.Horizon)
 	}
-	st, err := e.prepareRun(tenants)
+	st, err := e.prepareRun(tenants, cfg.Triggers)
 	if err != nil {
 		return nil, nil, err
 	}

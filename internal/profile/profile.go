@@ -248,8 +248,17 @@ type Set struct {
 	Workflow *workflow.Workflow
 	// Batch is the concurrency level.
 	Batch int
-	// Profiles holds one profile per decision group, in group order.
+	// Profiles holds one profile per decision group, in group order. For a
+	// dynamic workflow, a group containing a map member carries the
+	// max-width composite here — the conservative base every unresolved
+	// future composites through.
 	Profiles []*FunctionProfile
+	// Shaped holds the width-variant composites of a dynamic workflow's
+	// map groups: Shaped[g][shape] is group g's composite when its map
+	// member resolved to the width the shape key names ("w=3"). The
+	// variant at the map's maximum width is Profiles[g] itself. Nil for
+	// static workflows.
+	Shaped map[int]map[string]*FunctionProfile
 }
 
 // Groups returns the workflow's decision groups; Profiles[i] covers
@@ -292,6 +301,24 @@ func (s *Set) ConeProfiles(from int) ([]*FunctionProfile, error) {
 		out = append(out, max)
 	}
 	return out, nil
+}
+
+// ConeProfilesShaped is ConeProfiles with the cone head swapped for the
+// group's shape variant: element 0 becomes Shaped[from][shape], and every
+// downstream layer keeps its conservative base composite — futures not
+// yet resolved at the decision instant stay worst-case. An unknown shape
+// (or a static workflow) returns the base cone unchanged.
+func (s *Set) ConeProfilesShaped(from int, shape string) ([]*FunctionProfile, error) {
+	seq, err := s.ConeProfiles(from)
+	if err != nil {
+		return nil, err
+	}
+	variant, ok := s.Shaped[from][shape]
+	if !ok {
+		return seq, nil
+	}
+	seq[0] = variant
+	return seq, nil
 }
 
 // BudgetRangeMs returns the paper's Eq. 3 exploration bounds for the
@@ -479,6 +506,9 @@ func (p *Profiler) ProfileWorkflow(w *workflow.Workflow, batch int) (*Set, error
 		return nil, fmt.Errorf("profile: nil workflow")
 	}
 	set := &Set{Workflow: w, Batch: batch}
+	if w.IsDynamic() {
+		return p.profileDynamic(set, w, batch)
+	}
 	if w.IsChain() {
 		for _, n := range w.TopoOrder() {
 			fp, err := p.ProfileFunction(n.Function, batch)
@@ -497,6 +527,132 @@ func (p *Profiler) ProfileWorkflow(w *workflow.Workflow, batch int) (*Set, error
 		set.Profiles = append(set.Profiles, fp)
 	}
 	return set, nil
+}
+
+// profileDynamic profiles a dynamic workflow's groups: each resolvable
+// shape of a map group gets its own width-variant composite (the base is
+// the max-width variant, conservative), and every other group profiles
+// exactly as a static group does. Choice and await annotations need no
+// variants: an unchosen branch's groups simply never decide, and choice
+// branch-specificity is already inherent in the per-group descendant
+// cones.
+func (p *Profiler) profileDynamic(set *Set, w *workflow.Workflow, batch int) (*Set, error) {
+	for i, g := range w.DecisionGroups() {
+		mapStep, maxWidth := "", 1
+		for _, n := range g.Nodes {
+			if d, ok := w.Dynamic(n.Name); ok && d.Map != nil {
+				mapStep, maxWidth = n.Name, d.Map.MaxWidth
+			}
+		}
+		if maxWidth <= 1 {
+			fp, err := p.ProfileGroup(g, batch)
+			if err != nil {
+				return nil, fmt.Errorf("profile: group %d: %w", i, err)
+			}
+			set.Profiles = append(set.Profiles, fp)
+			continue
+		}
+		variants, err := p.ProfileGroupMap(g, mapStep, maxWidth, batch)
+		if err != nil {
+			return nil, fmt.Errorf("profile: group %d: %w", i, err)
+		}
+		set.Profiles = append(set.Profiles, variants[maxWidth-1])
+		if set.Shaped == nil {
+			set.Shaped = map[int]map[string]*FunctionProfile{}
+		}
+		shapes := make(map[string]*FunctionProfile, maxWidth)
+		for v := 1; v <= maxWidth; v++ {
+			shapes[fmt.Sprintf("w=%d", v)] = variants[v-1]
+		}
+		set.Shaped[i] = shapes
+	}
+	return set, nil
+}
+
+// ProfileGroupMap measures one decision group's composite latency for
+// every resolvable width of its map member in a single Monte-Carlo pass:
+// each sample draws the non-map members once, then draws maxWidth i.i.d.
+// replicas of the map member and records the running (prefix) max after
+// each one. Variant v is therefore the group's join latency when the map
+// resolved to v replicas, the variants are monotone in width by
+// construction (a prefix max can only grow), and the max-width variant is
+// the conservative base profile a shape-blind planner uses. The returned
+// slice holds widths 1..maxWidth in order.
+func (p *Profiler) ProfileGroupMap(g workflow.Group, mapStep string, maxWidth, batch int) ([]*FunctionProfile, error) {
+	if maxWidth < 1 {
+		return nil, fmt.Errorf("profile: map width %d invalid", maxWidth)
+	}
+	if p.SamplesPerConfig < 100 {
+		return nil, fmt.Errorf("profile: need at least 100 samples per config, have %d", p.SamplesPerConfig)
+	}
+	var mapFn *perfmodel.Function
+	others := make([]*perfmodel.Function, 0, len(g.Nodes))
+	for _, n := range g.Nodes {
+		fn, ok := p.Functions[n.Function]
+		if !ok {
+			return nil, fmt.Errorf("profile: unknown function %q", n.Function)
+		}
+		if !fn.SupportsBatch(batch) {
+			return nil, fmt.Errorf("profile: function %s does not support batch %d", n.Function, batch)
+		}
+		if n.Name == mapStep {
+			mapFn = fn
+			continue
+		}
+		others = append(others, fn)
+	}
+	if mapFn == nil {
+		return nil, fmt.Errorf("profile: map step %q not in group", mapStep)
+	}
+	name := GroupProfileName(g.Nodes)
+	levels := p.Grid.Levels()
+	lat := make([][][]int, maxWidth)
+	for v := range lat {
+		lat[v] = make([][]int, len(p.Percentiles))
+		for pi := range lat[v] {
+			lat[v][pi] = make([]int, len(levels))
+		}
+	}
+	samples := make([]*stats.Sample, maxWidth)
+	for ki, k := range levels {
+		stream := rng.New(p.Seed).Split(fmt.Sprintf("mapshape/%s/%s/b%d/k%d", name, mapStep, batch, k))
+		for v := range samples {
+			samples[v] = &stats.Sample{}
+		}
+		for i := 0; i < p.SamplesPerConfig; i++ {
+			var worst time.Duration
+			for _, fn := range others {
+				coloc := p.Colocation.Sample(stream)
+				d := fn.NewDraw(stream, batch, coloc, p.Interference)
+				if l := fn.Latency(d, k); l > worst {
+					worst = l
+				}
+			}
+			for v := 0; v < maxWidth; v++ {
+				coloc := p.Colocation.Sample(stream)
+				d := mapFn.NewDraw(stream, batch, coloc, p.Interference)
+				if l := mapFn.Latency(d, k); l > worst {
+					worst = l
+				}
+				samples[v].AddDuration(worst)
+			}
+		}
+		for v := 0; v < maxWidth; v++ {
+			for pi, pct := range p.Percentiles {
+				lat[v][pi][ki] = int(samples[v].Percentile(float64(pct))) + 1
+			}
+		}
+	}
+	out := make([]*FunctionProfile, maxWidth)
+	for v := 0; v < maxWidth; v++ {
+		fp, err := NewFunctionProfile(fmt.Sprintf("%s@w=%d", name, v+1), batch, p.Grid, p.Percentiles, lat[v])
+		if err != nil {
+			return nil, err
+		}
+		enforceMonotone(fp)
+		out[v] = fp
+	}
+	return out, nil
 }
 
 // GroupProfileName is the composite profile name of a decision group: the

@@ -1,0 +1,177 @@
+package synth
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"janus/internal/interfere"
+	"janus/internal/perfmodel"
+	"janus/internal/profile"
+	"janus/internal/workflow"
+)
+
+var (
+	dynSetOnce sync.Once
+	dynSet     *profile.Set
+)
+
+// dynProfiles profiles the dynamic trigger workflow once for all tests:
+// a conditional fork at triage, a width-4 map on ocr, an awaited gate.
+func dynProfiles(t *testing.T) *profile.Set {
+	t.Helper()
+	dynSetOnce.Do(func() {
+		nodes := []workflow.Node{
+			{Name: "ingest", Function: "fe"},
+			{Name: "triage", Function: "ico"},
+			{Name: "caption", Function: "redis-read"},
+			{Name: "detect", Function: "icl"},
+			{Name: "ocr", Function: "aes-encrypt"},
+			{Name: "gate", Function: "redis-read"},
+			{Name: "publish", Function: "socket-comm"},
+		}
+		edges := [][2]string{
+			{"ingest", "triage"},
+			{"triage", "caption"},
+			{"triage", "detect"},
+			{"detect", "ocr"},
+			{"caption", "gate"},
+			{"ocr", "gate"},
+			{"gate", "publish"},
+		}
+		w, err := workflow.NewDynamic("trig", 1500*time.Millisecond, nodes, edges, []workflow.DynamicNode{
+			{Step: "triage", Choice: &workflow.ChoiceSpec{Weights: []float64{0.55, 0.45}}},
+			{Step: "ocr", Map: &workflow.MapSpec{MaxWidth: 4}, Retry: &workflow.RetrySpec{MaxRetries: 2, FailureProb: 0.3}},
+			{Step: "gate", Await: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coloc, err := interfere.NewCountSampler([]float64{0.5, 0.35, 0.15})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := profile.NewProfiler(perfmodel.Catalog(), coloc, interfere.Default(), 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.SamplesPerConfig = 400
+		set, err := p.ProfileWorkflow(w, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dynSet = set
+	})
+	if dynSet == nil {
+		t.Fatal("dynamic profiling failed earlier")
+	}
+	return dynSet
+}
+
+// ocrGroup finds the decision group holding the map member.
+func ocrGroup(t *testing.T, set *profile.Set) int {
+	t.Helper()
+	for g := range set.Shaped {
+		return g
+	}
+	t.Fatal("no shaped group in dynamic set")
+	return -1
+}
+
+func TestShapedBundleGeneration(t *testing.T) {
+	set := dynProfiles(t)
+	s := newSynth(t, Config{Profiles: set})
+	res, err := s.GenerateBundle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := res.Bundle
+	og := ocrGroup(t, set)
+	if len(b.Shaped) != 1 || len(b.Shaped[og]) != 4 {
+		t.Fatalf("Shaped tables = %v, want 4 variants for group %d", b.Shaped, og)
+	}
+	// The max-width variant was synthesized from the very same head
+	// profile as the conservative base table, over the same downstream
+	// DP: the tables must be identical.
+	if !reflect.DeepEqual(b.Shaped[og]["w=4"], b.Tables[og]) {
+		t.Fatalf("max-width variant differs from the base table:\n%+v\n%+v", b.Shaped[og]["w=4"], b.Tables[og])
+	}
+	// Resolving a smaller width extends coverage to tighter budgets:
+	// each variant's minimum covered budget is monotone in width up to
+	// one sweep step of jitter (each variant's sweep is anchored at its
+	// own Eq. 3 floor, so adjacent grids are offset by less than a
+	// step), and the width-1 table reaches strictly below the worst
+	// case.
+	prev := -1
+	for v := 1; v <= 4; v++ {
+		tab, ok := b.ShapedTable(og, fmt.Sprintf("w=%d", v))
+		if !ok {
+			t.Fatalf("missing variant w=%d", v)
+		}
+		lo, ok := tab.MinBudgetMs()
+		if !ok {
+			t.Fatalf("variant w=%d is empty", v)
+		}
+		if lo < prev-10 {
+			t.Fatalf("min budget not monotone in width: w=%d covers %dms, w=%d covered %dms", v, lo, v-1, prev)
+		}
+		prev = lo
+	}
+	// The economic claim: at equal budgets, planning against the
+	// resolved width provisions no more — and in aggregate strictly
+	// fewer — millicores than planning against the worst case. Summed
+	// over the base table's covered range, the width-1 variant must be
+	// strictly cheaper.
+	baselo, _ := b.Tables[og].MinBudgetMs()
+	basehi, _ := b.Tables[og].MaxBudgetMs()
+	w1, base := 0, 0
+	for t := baselo; t <= basehi; t++ {
+		budget := time.Duration(t) * time.Millisecond
+		rb, ok := b.Tables[og].Lookup(budget)
+		if !ok {
+			continue
+		}
+		rv, ok := b.Shaped[og]["w=1"].Lookup(budget)
+		if !ok {
+			continue
+		}
+		w1 += rv.Millicores
+		base += rb.Millicores
+	}
+	if w1 >= base {
+		t.Fatalf("width-1 planning not cheaper than worst-case planning (%d vs %d millicore-ms)", w1, base)
+	}
+}
+
+// TestStaticBundleHasNoShapedTables pins hint-for-hint identity for the
+// static path: a static workflow's bundle carries no shaped tables and
+// its base tables are untouched by the shaped machinery.
+func TestStaticBundleHasNoShapedTables(t *testing.T) {
+	s := newSynth(t, Config{})
+	res, err := s.GenerateBundle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bundle.Shaped != nil {
+		t.Fatalf("static bundle has shaped tables: %v", res.Bundle.Shaped)
+	}
+}
+
+func TestShapedProfilesValidatedAtNew(t *testing.T) {
+	set := dynProfiles(t)
+	bad := &profile.Set{
+		Workflow: set.Workflow,
+		Batch:    set.Batch,
+		Profiles: set.Profiles,
+		Shaped:   map[int]map[string]*profile.FunctionProfile{99: {"w=1": set.At(0)}},
+	}
+	if _, err := New(Config{Profiles: bad, BudgetStepMs: 10}); err == nil {
+		t.Fatal("out-of-range shaped group accepted")
+	}
+	bad.Shaped = map[int]map[string]*profile.FunctionProfile{0: {"w=1": nil}}
+	if _, err := New(Config{Profiles: bad, BudgetStepMs: 10}); err == nil {
+		t.Fatal("nil shaped profile accepted")
+	}
+}

@@ -107,6 +107,12 @@ type Synthesizer struct {
 	// programs holds one budget-split program per decision group, each
 	// over the group's layered descendant cone.
 	programs []*coneProgram
+	// shaped holds one variant program per (group, resolved shape) of a
+	// dynamic workflow: the group's cone with its head swapped for the
+	// width-variant composite. Downstream layers — futures unresolved at
+	// the decision instant — keep the conservative base, so every
+	// variant shares the base program's P99 DP.
+	shaped map[int]map[string]*coneProgram
 }
 
 // coneProgram is the Algorithm 1 machinery for one decision group's cone:
@@ -207,7 +213,59 @@ func New(cfg Config) (*Synthesizer, error) {
 		p.buildDP()
 		s.programs = append(s.programs, p)
 	}
+	for g, variants := range set.Shaped {
+		if g < 0 || g >= set.Len() {
+			return nil, fmt.Errorf("synth: shaped profiles for group %d, but workflow has %d groups", g, set.Len())
+		}
+		for shape, fp := range variants {
+			if fp == nil {
+				return nil, fmt.Errorf("synth: group %d shape %q profile missing", g, shape)
+			}
+			if fp.Grid != grid {
+				return nil, fmt.Errorf("synth: group %d shape %q uses a different grid", g, shape)
+			}
+			if s.shaped == nil {
+				s.shaped = map[int]map[string]*coneProgram{}
+			}
+			if s.shaped[g] == nil {
+				s.shaped[g] = map[string]*coneProgram{}
+			}
+			s.shaped[g][shape] = variantProgram(s.programs[g], fp)
+		}
+	}
 	return s, nil
+}
+
+// variantProgram derives the budget-split program of one resolved shape
+// from the group's base program: the head profile is swapped for the
+// shape variant and the Eq. 3 bounds recomputed, while the downstream
+// layers — and therefore the P99 DP, which never reads the head — are
+// shared with the base. The sweep stays clamped to the base's table
+// width, which is safe because a resolved shape can only shrink the head
+// (a prefix max over fewer replicas), never outgrow the worst case.
+func variantProgram(base *coneProgram, head *profile.FunctionProfile) *coneProgram {
+	seq := append([]*profile.FunctionProfile(nil), base.profiles...)
+	seq[0] = head
+	tmin, tmax := 0, 0
+	for _, fp := range seq {
+		tmin += fp.LMs(fp.Percentiles[0], fp.Grid.Max)
+		tmax += fp.LMs(99, fp.Grid.Min)
+	}
+	if tmax > base.maxMs {
+		tmax = base.maxMs
+	}
+	return &coneProgram{
+		cfg:       base.cfg,
+		profiles:  seq,
+		levels:    base.levels,
+		kmax:      base.kmax,
+		tmin:      tmin,
+		tmax:      tmax,
+		maxMs:     base.maxMs,
+		dp:        base.dp,
+		choiceIdx: base.choiceIdx,
+		resil:     base.resil,
+	}
 }
 
 // buildDP fills dp/choiceIdx/resil bottom-up over the cone's layer
@@ -313,7 +371,12 @@ func (s *Synthesizer) GenerateSuffix(suffix int) (*hints.RawTable, error) {
 	if suffix < 0 || suffix >= s.set.Len() {
 		return nil, fmt.Errorf("synth: suffix %d out of range [0, %d)", suffix, s.set.Len())
 	}
-	prog := s.programs[suffix]
+	return s.generateTable(s.programs[suffix], suffix)
+}
+
+// generateTable sweeps one cone program's budget range — base or shape
+// variant — into a raw table carrying the given suffix index.
+func (s *Synthesizer) generateTable(prog *coneProgram, suffix int) (*hints.RawTable, error) {
 	tmin, tmax := prog.tmin, prog.tmax
 	if suffix == 0 && s.cfg.BudgetOverrideMs != [2]int{} {
 		tmin, tmax = s.cfg.BudgetOverrideMs[0], s.cfg.BudgetOverrideMs[1]
@@ -552,6 +615,27 @@ func (s *Synthesizer) GenerateBundle() (*Result, error) {
 		res.Bundle.Tables = append(res.Bundle.Tables, tab)
 		res.RawCounts = append(res.RawCounts, len(raw.Hints))
 		res.CondensedCounts = append(res.CondensedCounts, tab.Size())
+	}
+	for g, variants := range s.shaped {
+		for shape, prog := range variants {
+			raw, err := s.generateTable(prog, g)
+			if err != nil {
+				return nil, err
+			}
+			tab, err := hints.Condense(raw)
+			if err != nil {
+				return nil, err
+			}
+			tab.Workflow = s.set.Workflow.Name()
+			tab.Batch = s.set.Batch
+			if res.Bundle.Shaped == nil {
+				res.Bundle.Shaped = map[int]map[string]*hints.Table{}
+			}
+			if res.Bundle.Shaped[g] == nil {
+				res.Bundle.Shaped[g] = map[string]*hints.Table{}
+			}
+			res.Bundle.Shaped[g][shape] = tab
+		}
 	}
 	if err := res.Bundle.Validate(); err != nil {
 		return nil, err

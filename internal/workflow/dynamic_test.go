@@ -1,0 +1,163 @@
+package workflow
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// dynNodes is the skeleton used across the dynamic-validation tests:
+//
+//	ingest -> triage -> {caption | detect} ; detect -> ocr ;
+//	{caption, ocr} -> gate -> publish
+func dynNodes() ([]Node, [][2]string) {
+	nodes := []Node{
+		{Name: "ingest", Function: "fe"},
+		{Name: "triage", Function: "ico"},
+		{Name: "caption", Function: "redis-read"},
+		{Name: "detect", Function: "icl"},
+		{Name: "ocr", Function: "aes-encrypt"},
+		{Name: "gate", Function: "redis-read"},
+		{Name: "publish", Function: "socket-comm"},
+	}
+	edges := [][2]string{
+		{"ingest", "triage"},
+		{"triage", "caption"},
+		{"triage", "detect"},
+		{"detect", "ocr"},
+		{"caption", "gate"},
+		{"ocr", "gate"},
+		{"gate", "publish"},
+	}
+	return nodes, edges
+}
+
+func TestNewDynamicValid(t *testing.T) {
+	nodes, edges := dynNodes()
+	w, err := NewDynamic("trig", time.Second, nodes, edges, []DynamicNode{
+		{Step: "triage", Choice: &ChoiceSpec{Weights: []float64{0.6, 0.4}}},
+		{Step: "ocr", Map: &MapSpec{MaxWidth: 4}, Retry: &RetrySpec{MaxRetries: 2, FailureProb: 0.15}},
+		{Step: "gate", Await: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.IsDynamic() {
+		t.Fatal("annotated workflow not dynamic")
+	}
+	if got := w.DynamicSteps(); !reflect.DeepEqual(got, []string{"triage", "ocr", "gate"}) {
+		t.Fatalf("DynamicSteps = %v", got)
+	}
+	if w.MapWidth("ocr") != 4 || w.MapWidth("detect") != 1 {
+		t.Fatalf("MapWidth ocr=%d detect=%d", w.MapWidth("ocr"), w.MapWidth("detect"))
+	}
+	d, ok := w.Dynamic("ocr")
+	if !ok || d.Map == nil || d.Retry == nil {
+		t.Fatalf("Dynamic(ocr) = %+v, %v", d, ok)
+	}
+	// Dynamic returns a deep copy: mutating it must not touch the workflow.
+	d.Map.MaxWidth = 99
+	if w.MapWidth("ocr") != 4 {
+		t.Fatal("Dynamic() leaked a mutable spec pointer")
+	}
+}
+
+// TestDynamicGroupsMatchSkeleton pins the tentpole's byte-identity claim
+// at the workflow layer: annotations never perturb the decision-group
+// partition or the cone layering — those are pure functions of the
+// skeleton, and a static DAG is the annotation-free special case.
+func TestDynamicGroupsMatchSkeleton(t *testing.T) {
+	nodes, edges := dynNodes()
+	static, err := New("trig", time.Second, nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := NewDynamic("trig", time.Second, nodes, edges, []DynamicNode{
+		{Step: "triage", Choice: &ChoiceSpec{}},
+		{Step: "ocr", Map: &MapSpec{MaxWidth: 4}},
+		{Step: "gate", Await: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(static.DecisionGroups(), dyn.DecisionGroups()) {
+		t.Fatal("dynamic annotations changed the decision-group partition")
+	}
+	for g := range static.DecisionGroups() {
+		if !reflect.DeepEqual(static.GroupConeLayers(g), dyn.GroupConeLayers(g)) {
+			t.Fatalf("dynamic annotations changed cone layers of group %d", g)
+		}
+	}
+}
+
+func TestDynamicValidationRejects(t *testing.T) {
+	nodes, edges := dynNodes()
+	cases := []struct {
+		name string
+		dyn  []DynamicNode
+		want string
+	}{
+		{"unbounded loop", []DynamicNode{{Step: "ocr", Retry: &RetrySpec{MaxRetries: 0}}}, "unbounded loop"},
+		{"negative retry bound", []DynamicNode{{Step: "ocr", Retry: &RetrySpec{MaxRetries: -3}}}, "unbounded loop"},
+		{"retry bound over limit", []DynamicNode{{Step: "ocr", Retry: &RetrySpec{MaxRetries: MaxRetryBound + 1}}}, "exceeds the limit"},
+		{"zero-width map", []DynamicNode{{Step: "ocr", Map: &MapSpec{MaxWidth: 0}}}, "width at least 1"},
+		{"map width over limit", []DynamicNode{{Step: "ocr", Map: &MapSpec{MaxWidth: MaxMapWidth + 1}}}, "exceeds the limit"},
+		{"conditional with no successor", []DynamicNode{{Step: "publish", Choice: &ChoiceSpec{}}}, "at least two"},
+		{"conditional with one successor", []DynamicNode{{Step: "ingest", Choice: &ChoiceSpec{}}}, "at least two"},
+		{"weight count mismatch", []DynamicNode{{Step: "triage", Choice: &ChoiceSpec{Weights: []float64{1}}}}, "weights for"},
+		{"non-positive weight", []DynamicNode{{Step: "triage", Choice: &ChoiceSpec{Weights: []float64{1, 0}}}}, "must be positive"},
+		{"unknown step", []DynamicNode{{Step: "nope", Await: true}}, "unknown step"},
+		{"duplicate spec", []DynamicNode{{Step: "gate", Await: true}, {Step: "gate", Await: true}}, "duplicate dynamic spec"},
+		{"empty spec", []DynamicNode{{Step: "gate"}}, "declares no behavior"},
+		{"choice combined with map", []DynamicNode{{Step: "triage", Choice: &ChoiceSpec{}, Map: &MapSpec{MaxWidth: 2}}}, "cannot combine"},
+		{"await combined with map", []DynamicNode{{Step: "gate", Await: true, Map: &MapSpec{MaxWidth: 2}}}, "cannot also be a map"},
+		{"await sharing a group", []DynamicNode{{Step: "caption", Await: true}}, "singleton group"},
+		{"retry probability out of range", []DynamicNode{{Step: "ocr", Retry: &RetrySpec{MaxRetries: 1, FailureProb: 1}}}, "outside [0, 1)"},
+		{"map decay out of range", []DynamicNode{{Step: "ocr", Map: &MapSpec{MaxWidth: 2, Decay: 1.5}}}, "outside (0, 1]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewDynamic("trig", time.Second, nodes, edges, tc.dyn)
+			if err == nil {
+				t.Fatalf("accepted invalid spec %+v", tc.dyn)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDynamicBackEdgeRejected pins that loops cannot be smuggled in as
+// literal back-edges: a cycle would break the ascending-index pass
+// GroupConeLayers uses for longest-path layering, so the skeleton
+// validator rejects it and bounded loops must use RetrySpec instead.
+func TestDynamicBackEdgeRejected(t *testing.T) {
+	nodes, edges := dynNodes()
+	backEdges := append(append([][2]string(nil), edges...), [2]string{"ocr", "detect"})
+	if _, err := NewDynamic("trig", time.Second, nodes, backEdges, []DynamicNode{
+		{Step: "ocr", Retry: &RetrySpec{MaxRetries: 2}},
+	}); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("back-edge not rejected as a cycle: %v", err)
+	}
+}
+
+// TestNewDynamicNoAnnotations pins that NewDynamic with an empty
+// annotation list is exactly New: the workflow stays static.
+func TestNewDynamicNoAnnotations(t *testing.T) {
+	nodes, edges := dynNodes()
+	w, err := NewDynamic("trig", time.Second, nodes, edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.IsDynamic() {
+		t.Fatal("annotation-free NewDynamic produced a dynamic workflow")
+	}
+	if w.DynamicSteps() != nil {
+		t.Fatal("DynamicSteps non-nil for static workflow")
+	}
+	if _, ok := w.Dynamic("ingest"); ok {
+		t.Fatal("Dynamic() reported an annotation on a static workflow")
+	}
+}

@@ -32,6 +32,11 @@ type Workflow struct {
 	succ  map[string][]string
 	pred  map[string][]string
 	order []int // topological order over node indices
+	// dyn holds dynamic node annotations keyed by step name; nil for
+	// static workflows (see dynamic.go). The skeleton above is always a
+	// validated static DAG — dynamic behavior only projects it down per
+	// request at serving time.
+	dyn map[string]DynamicNode
 }
 
 // New builds and validates a workflow. Edges are (from, to) pairs over step

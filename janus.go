@@ -663,3 +663,86 @@ const (
 // FleetExperimentPoints enumerates the fleet scenario grid — the replay
 // provider configurations at fleet scale.
 func FleetExperimentPoints() []ReplayExperimentPoint { return experiment.FleetPoints() }
+
+// Dynamic trigger-based orchestration: workflows whose shape resolves at
+// run time. The static DAG stays the skeleton; dynamic annotations mark
+// a node as a conditional fork (exactly one successor branch survives),
+// a bounded data-dependent map (replica width drawn at the fork's
+// readiness instant), a bounded retry, or an awaited join resumed by an
+// external trigger on the replay engine's virtual clock. Profiling
+// measures every resolvable shape, synthesis emits per-(group, shape)
+// hint-table variants alongside the conservative base, and the serving
+// plane passes each decision group's already-resolved shape key to
+// shape-aware allocators. Static workflows are the special case with no
+// annotations: their groups, profiles, hints, and traces are unchanged
+// byte for byte.
+
+// DynamicNode annotates one workflow step with dynamic behavior.
+type DynamicNode = workflow.DynamicNode
+
+// ChoiceSpec marks a node as a conditional fork: exactly one successor
+// branch survives, drawn from the weights at workload generation.
+type ChoiceSpec = workflow.ChoiceSpec
+
+// MapSpec marks a node as a bounded data-dependent map: the replica
+// width is drawn in [1, MaxWidth] per request.
+type MapSpec = workflow.MapSpec
+
+// RetrySpec marks a node as retried: each replica re-executes (with a
+// fresh allocation decision) up to MaxRetries times.
+type RetrySpec = workflow.RetrySpec
+
+// Dynamic-annotation bounds (see workflow.NewDynamic validation).
+const (
+	MaxMapWidth   = workflow.MaxMapWidth
+	MaxRetryBound = workflow.MaxRetryBound
+)
+
+// NewDynamicWorkflow builds and validates a dynamic workflow: the static
+// DAG skeleton plus dynamic annotations. With no annotations it is
+// exactly NewDAGWorkflow.
+func NewDynamicWorkflow(name string, slo time.Duration, nodes []WorkflowNode, edges [][2]string, dynamic []DynamicNode) (*Workflow, error) {
+	return workflow.NewDynamic(name, slo, nodes, edges, dynamic)
+}
+
+// ExternalTrigger is one external event on a replay run's virtual clock —
+// a timer or stream event that starts a request (admission at the fire
+// instant) or resumes it at an await step. Arm them through
+// ReplayRunConfig.Triggers.
+type ExternalTrigger = platform.Trigger
+
+// ShapeAwareAllocator is an Allocator that exploits the parts of a
+// dynamic workflow's shape already resolved at a decision instant;
+// adapter.Allocator implements it over shape-variant hint tables.
+type ShapeAwareAllocator = platform.ShapeAwareAllocator
+
+// Trigger experiment surface (ExperimentSuite.TriggerScenario;
+// janusbench -experiment trigger): the dynamic ML-inference DAG —
+// conditional fork, data-dependent OCR map with retries, timer-resumed
+// gate — served under static worst-case vs online shape-aware planning
+// with the identical shape-variant bundle, request stream, and trigger
+// queue.
+
+// TriggerExperimentWorkflow returns the trigger scenario's dynamic
+// workflow.
+func TriggerExperimentWorkflow() *Workflow {
+	w, err := experiment.TriggerWorkflow()
+	if err != nil {
+		panic(err) // static construction; cannot fail
+	}
+	return w
+}
+
+// TriggerRun is one trigger serving run: the dynamic stream under one
+// provider configuration, with per-shape-segment rows.
+type TriggerRun = experiment.TriggerRun
+
+// TriggerExperimentPoint describes one trigger scenario configuration.
+type TriggerExperimentPoint = experiment.TriggerPoint
+
+// TriggerExperimentPoints enumerates the trigger scenario grid: static
+// worst-case planning and online shape-aware planning.
+func TriggerExperimentPoints() []TriggerExperimentPoint { return experiment.TriggerPoints() }
+
+// FormatTriggerRuns renders the trigger scenario's comparison table.
+func FormatTriggerRuns(runs []*TriggerRun) string { return experiment.FormatTrigger(runs) }
