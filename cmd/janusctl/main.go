@@ -1,7 +1,8 @@
-// Command janusctl drives Janus's developer-side offline pipeline from the
-// command line: profile a workflow's functions, synthesize and condense
-// hints tables, inspect bundles, and query decisions — the workflow a
-// developer follows before submitting hints to the provider's janusd.
+// Command janusctl drives Janus's developer- and operator-side pipeline
+// from the command line: profile a workflow's functions, synthesize and
+// condense hints tables, inspect bundles, query decisions, submit
+// bundles to a running janusd, and manage the declarative tenant catalog
+// the control plane serves.
 //
 // Usage:
 //
@@ -10,15 +11,23 @@
 //	janusctl inspect   -bundle bundle.json
 //	janusctl decide    -bundle bundle.json -suffix 0 -remaining 2500ms
 //	janusctl submit    -bundle bundle.json -server http://127.0.0.1:8080
+//	janusctl catalog validate -f catalog.json
+//	janusctl catalog diff     -a running.json -b next.json
+//	janusctl catalog push     -f catalog.json -server http://127.0.0.1:8080 [-key ADMINKEY]
+//
+// Every failure exits non-zero with a one-line "janusctl: ..." diagnostic
+// naming the offending file or flag — never a raw stack dump.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"janus/internal/catalog"
 	"janus/internal/hints"
 	"janus/internal/httpapi"
 	"janus/internal/interfere"
@@ -29,34 +38,45 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
-	}
-	var err error
-	switch os.Args[1] {
-	case "profile":
-		err = cmdProfile(os.Args[2:])
-	case "synthesize":
-		err = cmdSynthesize(os.Args[2:])
-	case "inspect":
-		err = cmdInspect(os.Args[2:])
-	case "decide":
-		err = cmdDecide(os.Args[2:])
-	case "submit":
-		err = cmdSubmit(os.Args[2:])
-	default:
-		usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "janusctl:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: janusctl <profile|synthesize|inspect|decide|submit> [flags]`)
+// run dispatches one invocation and returns the process exit code: 0 on
+// success, 1 on a command error (one-line diagnostic on stderr), 2 on a
+// usage error. Split from main so tests can pin exit codes and
+// diagnostics without spawning a process.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "profile":
+		err = cmdProfile(args[1:])
+	case "synthesize":
+		err = cmdSynthesize(args[1:])
+	case "inspect":
+		err = cmdInspect(args[1:])
+	case "decide":
+		err = cmdDecide(args[1:])
+	case "submit":
+		err = cmdSubmit(args[1:])
+	case "catalog":
+		err = cmdCatalog(args[1:], stdout, stderr)
+	default:
+		usage(stderr)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "janusctl:", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: janusctl <profile|synthesize|inspect|decide|submit|catalog> [flags]`)
 }
 
 func builtinWorkflow(name string) (*workflow.Workflow, error) {
@@ -68,6 +88,21 @@ func builtinWorkflow(name string) (*workflow.Workflow, error) {
 	default:
 		return nil, fmt.Errorf("unknown workflow %q (have: ia, va)", name)
 	}
+}
+
+// loadWorkflowFile reads and validates a JSON workflow spec, naming the
+// file in every diagnostic so a missing or corrupt spec reads as one
+// actionable line.
+func loadWorkflowFile(path string) (*workflow.Workflow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("workflow file: %w", err)
+	}
+	w, err := workflow.ParseSpec(data)
+	if err != nil {
+		return nil, fmt.Errorf("workflow file %s: %w", path, err)
+	}
+	return w, nil
 }
 
 func cmdProfile(args []string) error {
@@ -84,11 +119,7 @@ func cmdProfile(args []string) error {
 	var w *workflow.Workflow
 	var err error
 	if *wfFile != "" {
-		data, rerr := os.ReadFile(*wfFile)
-		if rerr != nil {
-			return rerr
-		}
-		w, err = workflow.ParseSpec(data)
+		w, err = loadWorkflowFile(*wfFile)
 	} else {
 		w, err = builtinWorkflow(*wfName)
 	}
@@ -144,11 +175,11 @@ func cmdSynthesize(args []string) error {
 	}
 	data, err := os.ReadFile(*profiles)
 	if err != nil {
-		return err
+		return fmt.Errorf("profiles file: %w", err)
 	}
 	set, err := profile.ParseSet(data)
 	if err != nil {
-		return err
+		return fmt.Errorf("profiles file %s: %w", *profiles, err)
 	}
 	mode, err := parseMode(*modeStr)
 	if err != nil {
@@ -185,12 +216,18 @@ func cmdSynthesize(args []string) error {
 	return nil
 }
 
+// loadBundle reads and validates a hints bundle, naming the file in
+// every diagnostic.
 func loadBundle(path string) (*hints.Bundle, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("bundle file: %w", err)
 	}
-	return hints.ParseBundle(data)
+	b, err := hints.ParseBundle(data)
+	if err != nil {
+		return nil, fmt.Errorf("bundle file %s: %w", path, err)
+	}
+	return b, nil
 }
 
 func cmdInspect(args []string) error {
@@ -245,6 +282,7 @@ func cmdSubmit(args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	path := fs.String("bundle", "bundle.json", "bundle file")
 	server := fs.String("server", "http://127.0.0.1:8080", "janusd address")
+	key := fs.String("key", "", "API key (admin key when the catalog sets one)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -252,10 +290,116 @@ func cmdSubmit(args []string) error {
 	if err != nil {
 		return err
 	}
-	client := httpapi.NewClient(*server)
+	client := httpapi.NewClient(*server).WithAPIKey(*key)
 	if err := client.SubmitBundle(b); err != nil {
 		return err
 	}
 	fmt.Printf("submitted %s (%d tables, %d ranges) to %s\n", b.Workflow, b.Stages(), b.TotalRanges(), *server)
+	return nil
+}
+
+// loadCatalog reads and fully validates a catalog file, naming the file
+// in every diagnostic.
+func loadCatalog(path string) (*catalog.File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("catalog file: %w", err)
+	}
+	f, err := catalog.Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("catalog file %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// cmdCatalog dispatches the catalog subcommands: validate a file
+// locally, diff two files, or push one to a running janusd (validated
+// locally first, then server-side, swapped in atomically).
+func cmdCatalog(args []string, stdout, stderr io.Writer) error {
+	if len(args) < 1 {
+		fmt.Fprintln(stderr, `usage: janusctl catalog <validate|diff|push> [flags]`)
+		return fmt.Errorf("catalog needs a subcommand")
+	}
+	switch args[0] {
+	case "validate":
+		return cmdCatalogValidate(args[1:], stdout)
+	case "diff":
+		return cmdCatalogDiff(args[1:], stdout)
+	case "push":
+		return cmdCatalogPush(args[1:], stdout)
+	default:
+		return fmt.Errorf("unknown catalog subcommand %q (have: validate, diff, push)", args[0])
+	}
+}
+
+func cmdCatalogValidate(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("catalog validate", flag.ExitOnError)
+	path := fs.String("f", "catalog.json", "catalog file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := loadCatalog(*path)
+	if err != nil {
+		return err
+	}
+	workflows := 0
+	for _, t := range f.Tenants {
+		workflows += len(t.Workflows)
+	}
+	fmt.Fprintf(stdout, "catalog %s valid: %d tenants, %d workflows\n", *path, len(f.Tenants), workflows)
+	return nil
+}
+
+func cmdCatalogDiff(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("catalog diff", flag.ExitOnError)
+	a := fs.String("a", "", "old catalog file")
+	b := fs.String("b", "", "new catalog file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *a == "" || *b == "" {
+		return fmt.Errorf("catalog diff needs -a OLD and -b NEW")
+	}
+	fa, err := loadCatalog(*a)
+	if err != nil {
+		return err
+	}
+	fb, err := loadCatalog(*b)
+	if err != nil {
+		return err
+	}
+	changes := catalog.Diff(fa, fb)
+	if len(changes) == 0 {
+		fmt.Fprintln(stdout, "catalogs are equivalent")
+		return nil
+	}
+	for _, c := range changes {
+		fmt.Fprintln(stdout, c.String())
+	}
+	return nil
+}
+
+func cmdCatalogPush(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("catalog push", flag.ExitOnError)
+	path := fs.String("f", "catalog.json", "catalog file")
+	server := fs.String("server", "http://127.0.0.1:8080", "janusd address")
+	key := fs.String("key", "", "admin API key (when the running catalog sets one)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := loadCatalog(*path)
+	if err != nil {
+		return err
+	}
+	client := httpapi.NewClient(*server).WithAPIKey(*key)
+	resp, err := client.PushCatalog(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "catalog %s pushed to %s: generation %d, %d tenants, %d workflows, %d changes\n",
+		*path, *server, resp.Generation, resp.Tenants, resp.Workflows, len(resp.Changes))
+	for _, c := range resp.Changes {
+		fmt.Fprintf(stdout, "  %s\n", c)
+	}
 	return nil
 }

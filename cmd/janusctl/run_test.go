@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"janus/internal/catalog"
+	"janus/internal/hints"
+	"janus/internal/httpapi"
+)
+
+// writeCatalogFile marshals a two-tenant catalog to dir/name and
+// returns the path. mc differentiates versions for diff/push tests.
+func writeCatalogFile(t *testing.T, dir, name string, mc int) string {
+	t.Helper()
+	tab, err := hints.Condense(&hints.RawTable{Suffix: 0, Weight: 1, Hints: []hints.Hint{
+		{BudgetMs: 2000, HeadMillicores: mc, HeadPercentile: 99},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &catalog.File{
+		Version: 1,
+		Tenants: map[string]*catalog.Tenant{
+			"acme": {
+				APIKey: "key-acme",
+				Quota:  &catalog.Quota{RatePerSec: 100, Burst: 10},
+				Workflows: map[string]*catalog.Entry{
+					"ia": {Bundle: &hints.Bundle{
+						Workflow: "ia", Batch: 1, Weight: 1, SLOMs: 3000, MaxMillicores: 3000,
+						Tables: []*hints.Table{tab},
+					}},
+				},
+			},
+		},
+	}
+	data, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// runCtl invokes run() capturing both streams.
+func runCtl(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	code, _, stderr := runCtl()
+	if code != 2 || !strings.Contains(stderr, "usage:") {
+		t.Fatalf("no args: code=%d stderr=%q", code, stderr)
+	}
+	code, _, stderr = runCtl("frobnicate")
+	if code != 2 || !strings.Contains(stderr, "usage:") {
+		t.Fatalf("unknown command: code=%d stderr=%q", code, stderr)
+	}
+	code, _, _ = runCtl("catalog")
+	if code != 1 {
+		t.Fatalf("bare catalog: code=%d", code)
+	}
+	code, _, stderr = runCtl("catalog", "frobnicate")
+	if code != 1 || !strings.Contains(stderr, "unknown catalog subcommand") {
+		t.Fatalf("unknown catalog subcommand: code=%d stderr=%q", code, stderr)
+	}
+}
+
+// TestRunFileDiagnostics pins the failure contract for every file-taking
+// command: a missing or corrupt input exits 1 with exactly one stderr
+// line, prefixed "janusctl:", naming the offending file — never a stack
+// dump, never silence.
+func TestRunFileDiagnostics(t *testing.T) {
+	dir := t.TempDir()
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte("{definitely not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	missing := filepath.Join(dir, "missing.json")
+	cases := []struct {
+		name string
+		args []string
+		path string
+	}{
+		{"inspect missing bundle", []string{"inspect", "-bundle", missing}, missing},
+		{"inspect corrupt bundle", []string{"inspect", "-bundle", corrupt}, corrupt},
+		{"decide missing bundle", []string{"decide", "-bundle", missing}, missing},
+		{"submit corrupt bundle", []string{"submit", "-bundle", corrupt}, corrupt},
+		{"profile missing workflow file", []string{"profile", "-workflow-file", missing}, missing},
+		{"profile corrupt workflow file", []string{"profile", "-workflow-file", corrupt}, corrupt},
+		{"synthesize missing profiles", []string{"synthesize", "-profiles", missing}, missing},
+		{"synthesize corrupt profiles", []string{"synthesize", "-profiles", corrupt}, corrupt},
+		{"catalog validate missing", []string{"catalog", "validate", "-f", missing}, missing},
+		{"catalog validate corrupt", []string{"catalog", "validate", "-f", corrupt}, corrupt},
+		{"catalog push corrupt", []string{"catalog", "push", "-f", corrupt}, corrupt},
+		{"catalog diff missing side", []string{"catalog", "diff", "-a", missing, "-b", missing}, missing},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCtl(tc.args...)
+			if code != 1 {
+				t.Fatalf("code = %d, want 1 (stderr %q)", code, stderr)
+			}
+			lines := strings.Split(strings.TrimRight(stderr, "\n"), "\n")
+			if len(lines) != 1 {
+				t.Fatalf("diagnostic is %d lines, want 1: %q", len(lines), stderr)
+			}
+			if !strings.HasPrefix(lines[0], "janusctl: ") {
+				t.Fatalf("diagnostic %q lacks the janusctl: prefix", lines[0])
+			}
+			if !strings.Contains(lines[0], tc.path) {
+				t.Fatalf("diagnostic %q does not name %s", lines[0], tc.path)
+			}
+		})
+	}
+}
+
+func TestCatalogValidateCommand(t *testing.T) {
+	dir := t.TempDir()
+	path := writeCatalogFile(t, dir, "catalog.json", 1100)
+	code, stdout, _ := runCtl("catalog", "validate", "-f", path)
+	if code != 0 || !strings.Contains(stdout, "valid: 1 tenants, 1 workflows") {
+		t.Fatalf("validate: code=%d stdout=%q", code, stdout)
+	}
+	// A structurally-valid but semantically-broken catalog is refused.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version":1,"tenants":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runCtl("catalog", "validate", "-f", bad)
+	if code != 1 || !strings.Contains(stderr, "no tenants") {
+		t.Fatalf("invalid catalog: code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestCatalogDiffCommand(t *testing.T) {
+	dir := t.TempDir()
+	a := writeCatalogFile(t, dir, "a.json", 1100)
+	b := writeCatalogFile(t, dir, "b.json", 1101)
+	code, stdout, _ := runCtl("catalog", "diff", "-a", a, "-b", b)
+	if code != 0 || !strings.Contains(stdout, "acme/ia: bundle changed") {
+		t.Fatalf("diff: code=%d stdout=%q", code, stdout)
+	}
+	code, stdout, _ = runCtl("catalog", "diff", "-a", a, "-b", a)
+	if code != 0 || !strings.Contains(stdout, "catalogs are equivalent") {
+		t.Fatalf("self diff: code=%d stdout=%q", code, stdout)
+	}
+	code, _, stderr := runCtl("catalog", "diff", "-a", a)
+	if code != 1 || !strings.Contains(stderr, "-b NEW") {
+		t.Fatalf("half diff: code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestCatalogPushCommand(t *testing.T) {
+	dir := t.TempDir()
+	path := writeCatalogFile(t, dir, "catalog.json", 1100)
+	srv := httpapi.NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	code, stdout, _ := runCtl("catalog", "push", "-f", path, "-server", ts.URL)
+	if code != 0 || !strings.Contains(stdout, "generation 1, 1 tenants, 1 workflows") {
+		t.Fatalf("push: code=%d stdout=%q", code, stdout)
+	}
+	if srv.Registry().Generation() != 1 {
+		t.Fatal("push did not reach the registry")
+	}
+	// Pushing an update reports the diff lines.
+	next := writeCatalogFile(t, dir, "next.json", 1101)
+	code, stdout, _ = runCtl("catalog", "push", "-f", next, "-server", ts.URL)
+	if code != 0 || !strings.Contains(stdout, "acme/ia: bundle changed") {
+		t.Fatalf("push update: code=%d stdout=%q", code, stdout)
+	}
+	// A dead server is one diagnostic line, not a hang or a panic.
+	code, _, stderr := runCtl("catalog", "push", "-f", path, "-server", "http://127.0.0.1:1")
+	if code != 1 || !strings.HasPrefix(stderr, "janusctl: ") {
+		t.Fatalf("dead server push: code=%d stderr=%q", code, stderr)
+	}
+}

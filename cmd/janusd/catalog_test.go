@@ -1,0 +1,189 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"janus/internal/catalog"
+	"janus/internal/hints"
+)
+
+// writeCatalog writes a one-tenant catalog answering mc millicores and
+// returns the path.
+func writeCatalog(t *testing.T, path string, mc int) {
+	t.Helper()
+	tab, err := hints.Condense(&hints.RawTable{Suffix: 0, Weight: 1, Hints: []hints.Hint{
+		{BudgetMs: 2000, HeadMillicores: mc, HeadPercentile: 99},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &catalog.File{
+		Version: 1,
+		Tenants: map[string]*catalog.Tenant{
+			"acme": {
+				APIKey: "key-acme",
+				Workflows: map[string]*catalog.Entry{
+					"ia": {Bundle: &hints.Bundle{
+						Workflow: "ia", Batch: 1, Weight: 1, SLOMs: 3000, MaxMillicores: 3000,
+						Tables: []*hints.Table{tab},
+					}},
+				},
+			},
+		},
+	}
+	data, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadCatalogFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "catalog.json")
+	writeCatalog(t, path, 1100)
+	reg := catalog.NewRegistry()
+	gen, changes, err := loadCatalogFile(reg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 || len(changes) != 1 {
+		t.Fatalf("boot load: gen=%d changes=%v", gen, changes)
+	}
+	ten, ok := reg.Authenticate("key-acme")
+	if !ok {
+		t.Fatal("loaded tenant missing")
+	}
+	a, _ := ten.Adapter("ia")
+	if d, _ := a.Decide(0, 2500*time.Millisecond); d.Millicores != 1100 {
+		t.Fatalf("decision = %+v", d)
+	}
+
+	// A missing file names the path and leaves the registry untouched.
+	if _, _, err := loadCatalogFile(reg, filepath.Join(dir, "missing.json")); err == nil ||
+		!strings.Contains(err.Error(), "missing.json") {
+		t.Fatalf("missing file error = %v", err)
+	}
+	// So does a corrupt file.
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte("{oops"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadCatalogFile(reg, corrupt); err == nil || !strings.Contains(err.Error(), "corrupt.json") {
+		t.Fatalf("corrupt file error = %v", err)
+	}
+	// And a structurally-valid but invalid catalog.
+	if err := os.WriteFile(corrupt, []byte(`{"version":1,"tenants":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadCatalogFile(reg, corrupt); err == nil {
+		t.Fatal("invalid catalog loaded")
+	}
+	if reg.Generation() != 1 {
+		t.Fatalf("failed loads moved the generation to %d", reg.Generation())
+	}
+}
+
+// TestReloadOnSIGHUP drives the reload goroutine with a real SIGHUP: the
+// rewritten file swaps in, a broken file is rejected with the running
+// catalog left serving, and the goroutine exits on context cancel.
+func TestReloadOnSIGHUP(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "catalog.json")
+	writeCatalog(t, path, 1100)
+	reg := catalog.NewRegistry()
+	if _, _, err := loadCatalogFile(reg, path); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var logs []string
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		logs = append(logs, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		reloadOnSIGHUP(ctx, reg, path, logf)
+	}()
+	// Give signal.Notify a beat to register before raising.
+	time.Sleep(20 * time.Millisecond)
+
+	raise := func() {
+		t.Helper()
+		if err := syscall.Kill(syscall.Getpid(), syscall.SIGHUP); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitGen := func(want int64) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for reg.Generation() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("generation stuck at %d, want %d", reg.Generation(), want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	writeCatalog(t, path, 1101)
+	raise()
+	waitGen(2)
+	ten, _ := reg.Authenticate("key-acme")
+	a, _ := ten.Adapter("ia")
+	if d, _ := a.Decide(0, 2500*time.Millisecond); d.Millicores != 1101 {
+		t.Fatalf("post-SIGHUP decision = %+v", d)
+	}
+
+	// Break the file: the reload is rejected, generation and serving
+	// unchanged, and the rejection is logged.
+	if err := os.WriteFile(path, []byte("{oops"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	raise()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		rejected := false
+		for _, l := range logs {
+			if strings.Contains(l, "rejected") {
+				rejected = true
+			}
+		}
+		mu.Unlock()
+		if rejected {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("rejected reload never logged")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if reg.Generation() != 2 {
+		t.Fatalf("broken reload moved the generation to %d", reg.Generation())
+	}
+	if d, _ := a.Decide(0, 2500*time.Millisecond); d.Millicores != 1101 {
+		t.Fatalf("broken reload disturbed serving: %+v", d)
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reload goroutine did not exit on cancel")
+	}
+}

@@ -1,20 +1,29 @@
-// Command janusd runs the provider-side adapter service: the online half
-// of Janus's bilateral engagement. Developers submit condensed hints
-// bundles over HTTP; the serving platform reports remaining time budgets
-// as functions finish and receives resize decisions for the next function.
+// Command janusd runs the provider-side control plane: the online half
+// of Janus's bilateral engagement. The operator declares tenants,
+// workflows, hint bundles, API keys, and quotas in a catalog file that
+// loads at boot and hot-reloads — atomically, without dropping in-flight
+// decide traffic — on SIGHUP or PUT /v1/catalog. Developers may still
+// submit individual bundles over HTTP (the open-tenant path); the
+// serving platform reports remaining time budgets as functions finish
+// and receives resize decisions for the next function.
 //
 // Usage:
 //
-//	janusd -addr :8080 [-miss-threshold 0.01] [-drain-timeout 10s]
+//	janusd -addr :8080 [-catalog catalog.json] [-miss-threshold 0.01] [-drain-timeout 10s]
 //
 // API:
 //
-//	POST /v1/bundles          submit a hints bundle (JSON)
-//	POST /v1/decide           {"workflow","suffix","remaining_ms"} -> decision
-//	GET  /v1/stats?workflow=  supervisor hit/miss counters
-//	GET  /v1/healthz          liveness
+//	POST /v1/bundles          submit a hints bundle (open tenant)
+//	POST /v1/decide           {"workflow","suffix","remaining_ms"} -> decision (auth, quota)
+//	GET  /v1/stats?workflow=  supervisor hit/miss counters for the calling tenant
+//	GET  /v1/catalog          the running catalog
+//	PUT  /v1/catalog          validate + atomically swap in a new catalog
+//	GET  /v1/metrics          NDJSON stream of per-tenant supervisor snapshots
+//	GET  /v1/healthz          liveness + catalog generation
 //
-// On SIGINT/SIGTERM the server stops accepting connections and drains
+// On SIGHUP the catalog file is re-read, validated, and swapped in
+// all-or-nothing; a bad file leaves the running catalog serving. On
+// SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight requests for up to -drain-timeout before exiting, so a
 // platform rollout never kills a decision mid-request.
 package main
@@ -23,6 +32,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
@@ -32,6 +42,7 @@ import (
 	"time"
 
 	"janus/internal/adapter"
+	"janus/internal/catalog"
 	"janus/internal/httpapi"
 )
 
@@ -65,8 +76,50 @@ func serve(ctx context.Context, server *http.Server, ln net.Listener, drain time
 	return nil
 }
 
+// loadCatalogFile reads, parses, validates, and atomically installs the
+// catalog at path. The registry is untouched on any error — the reload
+// contract SIGHUP relies on.
+func loadCatalogFile(reg *catalog.Registry, path string) (int64, []catalog.Change, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, fmt.Errorf("catalog %s: %w", path, err)
+	}
+	f, err := catalog.Parse(data)
+	if err != nil {
+		return 0, nil, fmt.Errorf("catalog %s: %w", path, err)
+	}
+	return reg.Load(f)
+}
+
+// reloadOnSIGHUP re-reads the catalog file on every SIGHUP until ctx
+// ends, logging the swap (or the rejection, with the running catalog
+// left serving).
+func reloadOnSIGHUP(ctx context.Context, reg *catalog.Registry, path string, logf func(string, ...any)) {
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-hup:
+			gen, changes, err := loadCatalogFile(reg, path)
+			if err != nil {
+				logf("janusd: SIGHUP reload rejected, catalog unchanged: %v", err)
+				continue
+			}
+			logf("janusd: SIGHUP reload swapped in generation %d (%d changes)", gen, len(changes))
+			for _, c := range changes {
+				logf("janusd:   %s", c)
+			}
+		}
+	}
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	catalogPath := flag.String("catalog", "",
+		"declarative tenant catalog (JSON); loaded at boot and re-loaded on SIGHUP")
 	missThreshold := flag.Float64("miss-threshold", adapter.DefaultMissThreshold,
 		"miss rate above which the supervisor flags hint regeneration")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
@@ -79,6 +132,14 @@ func main() {
 			log.Printf("supervisor: miss rate %.3f exceeded threshold; notify the developer to regenerate hints", rate)
 		}),
 	)
+	if *catalogPath != "" {
+		gen, _, err := loadCatalogFile(srv.Registry(), *catalogPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		snap := srv.Registry().Snapshot()
+		log.Printf("janusd: catalog generation %d loaded from %s (%d tenants)", gen, *catalogPath, len(snap.Tenants))
+	}
 	server := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
@@ -89,7 +150,10 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("janusd: adapter service listening on %s", ln.Addr())
+	if *catalogPath != "" {
+		go reloadOnSIGHUP(ctx, srv.Registry(), *catalogPath, log.Printf)
+	}
+	log.Printf("janusd: control plane listening on %s", ln.Addr())
 	if err := serve(ctx, server, ln, *drainTimeout); err != nil {
 		log.Fatal(err)
 	}

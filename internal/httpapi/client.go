@@ -4,19 +4,23 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
 
 	"janus/internal/adapter"
+	"janus/internal/catalog"
 	"janus/internal/hints"
 	"janus/internal/platform"
 )
 
-// Client talks to a remote adapter service.
+// Client talks to a remote control-plane service.
 type Client struct {
-	base string
-	hc   *http.Client
+	base   string
+	apiKey string
+	hc     *http.Client
 }
 
 // NewClient builds a client for the service at baseURL (e.g.
@@ -25,18 +29,70 @@ func NewClient(baseURL string) *Client {
 	return &Client{base: baseURL, hc: &http.Client{Timeout: 10 * time.Second}}
 }
 
-// SubmitBundle deploys a hints bundle.
+// WithAPIKey returns the client configured to authenticate every request
+// with the given tenant (or admin) API key. The empty key sends no
+// credentials — the open-tenant mode.
+func (c *Client) WithAPIKey(key string) *Client {
+	c.apiKey = key
+	return c
+}
+
+// APIError is a non-2xx response decoded from the server's uniform
+// error envelope. RetryAfter is set on 429 quota rejections.
+type APIError struct {
+	Status     int
+	Code       string
+	Message    string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("httpapi: %d %s: %s", e.Status, e.Code, e.Message)
+	}
+	return fmt.Sprintf("httpapi: unexpected status %d", e.Status)
+}
+
+// do issues one authenticated request and decodes error envelopes.
+func (c *Client) do(method, path string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.apiKey)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkStatus(resp); err != nil {
+		resp.Body.Close()
+		return nil, err
+	}
+	return resp, nil
+}
+
+// SubmitBundle deploys a hints bundle under the open tenant.
 func (c *Client) SubmitBundle(b *hints.Bundle) error {
 	data, err := b.Marshal()
 	if err != nil {
 		return err
 	}
-	resp, err := c.hc.Post(c.base+"/v1/bundles", "application/json", bytes.NewReader(data))
+	resp, err := c.do(http.MethodPost, "/v1/bundles", data)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	return checkStatus(resp)
+	resp.Body.Close()
+	return nil
 }
 
 // Decide fetches the adaptation decision for a sub-workflow budget. The
@@ -65,14 +121,11 @@ func (c *Client) DecideShaped(workflow string, suffix int, shape string, remaini
 	if err != nil {
 		return adapter.Decision{}, err
 	}
-	resp, err := c.hc.Post(c.base+"/v1/decide", "application/json", bytes.NewReader(data))
+	resp, err := c.do(http.MethodPost, "/v1/decide", data)
 	if err != nil {
 		return adapter.Decision{}, err
 	}
 	defer resp.Body.Close()
-	if err := checkStatus(resp); err != nil {
-		return adapter.Decision{}, err
-	}
 	var out DecideResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return adapter.Decision{}, err
@@ -80,17 +133,58 @@ func (c *Client) DecideShaped(workflow string, suffix int, shape string, remaini
 	return adapter.Decision{Millicores: out.Millicores, Hit: out.Hit, Percentile: out.Percentile}, nil
 }
 
-// Stats fetches the supervisor counters.
+// Stats fetches the supervisor counters for one of the tenant's
+// workflows.
 func (c *Client) Stats(workflow string) (StatsResponse, error) {
-	resp, err := c.hc.Get(c.base + "/v1/stats?workflow=" + url.QueryEscape(workflow))
+	resp, err := c.do(http.MethodGet, "/v1/stats?workflow="+url.QueryEscape(workflow), nil)
 	if err != nil {
 		return StatsResponse{}, err
 	}
 	defer resp.Body.Close()
-	if err := checkStatus(resp); err != nil {
-		return StatsResponse{}, err
-	}
 	var out StatsResponse
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
+// FetchCatalog retrieves the catalog the server is currently serving.
+func (c *Client) FetchCatalog() (*catalog.File, error) {
+	resp, err := c.do(http.MethodGet, "/v1/catalog", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var f catalog.File
+	if err := json.NewDecoder(resp.Body).Decode(&f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// PushCatalog validates and atomically installs a replacement catalog,
+// returning the reload summary (new generation, diff lines).
+func (c *Client) PushCatalog(f *catalog.File) (ReloadResponse, error) {
+	data, err := f.Marshal()
+	if err != nil {
+		return ReloadResponse{}, err
+	}
+	resp, err := c.do(http.MethodPut, "/v1/catalog", data)
+	if err != nil {
+		return ReloadResponse{}, err
+	}
+	defer resp.Body.Close()
+	var out ReloadResponse
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
+// MetricsOnce fetches a single frame of the metrics stream.
+func (c *Client) MetricsOnce() (MetricsSnapshot, error) {
+	resp, err := c.do(http.MethodGet, "/v1/metrics?n=1", nil)
+	if err != nil {
+		return MetricsSnapshot{}, err
+	}
+	defer resp.Body.Close()
+	var out MetricsSnapshot
 	err = json.NewDecoder(resp.Body).Decode(&out)
 	return out, err
 }
@@ -105,15 +199,23 @@ func (c *Client) Healthy() bool {
 	return resp.StatusCode == http.StatusOK
 }
 
+// checkStatus decodes the uniform error envelope into an *APIError.
 func checkStatus(resp *http.Response) error {
 	if resp.StatusCode == http.StatusOK {
 		return nil
 	}
+	apiErr := &APIError{Status: resp.StatusCode}
 	var eb errorBody
 	if err := json.NewDecoder(resp.Body).Decode(&eb); err == nil && eb.Error != "" {
-		return fmt.Errorf("httpapi: %s: %s", resp.Status, eb.Error)
+		apiErr.Code = eb.Code
+		apiErr.Message = eb.Error
 	}
-	return fmt.Errorf("httpapi: unexpected status %s", resp.Status)
+	if resp.StatusCode == http.StatusTooManyRequests {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return apiErr
 }
 
 // Allocator serves platform allocations over the remote adapter: the full

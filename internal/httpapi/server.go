@@ -1,29 +1,48 @@
-// Package httpapi exposes the provider-side adapter as a web service and
-// provides the matching Go client — the reproduction of the paper's
-// lightweight backend (Flask + Redis + Fission HTTP triggers in §V-A),
-// built on net/http only.
+// Package httpapi exposes the provider-side control plane as a web
+// service and provides the matching Go client — the reproduction of the
+// paper's lightweight backend (Flask + Redis + Fission HTTP triggers in
+// §V-A), grown into a declarative multi-tenant surface and built on
+// net/http only.
 //
-// The developer submits condensed hints bundles; the platform reports each
-// function completion's remaining budget and receives the resize decision
-// for the next function; the supervisor statistics are queryable.
+// The operator pushes a catalog ({tenant -> workflows, bundles, quotas,
+// API keys}) that swaps in atomically; tenants authenticate with static
+// API keys, are admission-controlled by per-tenant token buckets, and
+// report each function completion's remaining budget to receive the
+// resize decision for the next function. Supervisor statistics stream
+// per tenant. The pre-catalog single-tenant surface (/v1/bundles,
+// /v1/stats) is preserved as the open tenant's view.
 package httpapi
 
 import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"mime"
 	"net/http"
-	"sync"
+	"strconv"
 	"time"
 
 	"janus/internal/adapter"
+	"janus/internal/catalog"
 	"janus/internal/hints"
+)
+
+// Error codes carried in the uniform error envelope. Clients branch on
+// Code; Error is the human-readable diagnostic.
+const (
+	CodeInvalidRequest   = "invalid_request"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeUnsupportedMedia = "unsupported_media_type"
+	CodeUnauthorized     = "unauthorized"
+	CodeNotFound         = "not_found"
+	CodeQuotaExceeded    = "quota_exceeded"
+	CodeInvalidCatalog   = "invalid_catalog"
 )
 
 // DecideRequest is the body of POST /v1/decide.
 type DecideRequest struct {
-	// Workflow names the deployed bundle.
+	// Workflow names the deployed bundle under the calling tenant.
 	Workflow string `json:"workflow"`
 	// Suffix is the stage index of the remaining sub-workflow's head.
 	Suffix int `json:"suffix"`
@@ -50,90 +69,154 @@ type DecideResponse struct {
 
 // StatsResponse reports the supervisor counters for one workflow.
 type StatsResponse struct {
+	Tenant   string  `json:"tenant"`
 	Workflow string  `json:"workflow"`
 	Hits     int64   `json:"hits"`
 	Misses   int64   `json:"misses"`
 	MissRate float64 `json:"miss_rate"`
 }
 
-// errorBody is the uniform error payload.
+// ReloadResponse summarizes a successful PUT /v1/catalog.
+type ReloadResponse struct {
+	Generation int64    `json:"generation"`
+	Tenants    int      `json:"tenants"`
+	Workflows  int      `json:"workflows"`
+	Changes    []string `json:"changes"`
+}
+
+// MetricsSnapshot is one frame of the GET /v1/metrics stream.
+type MetricsSnapshot struct {
+	Generation int64             `json:"generation"`
+	Tenants    []catalog.Metrics `json:"tenants"`
+}
+
+// errorBody is the uniform error envelope every non-2xx response
+// carries: a human-readable diagnostic plus a stable machine code.
 type errorBody struct {
 	Error string `json:"error"`
+	Code  string `json:"code"`
 }
 
-// Server hosts adapters for deployed workflows. It is safe for concurrent
-// use.
+// Server hosts the control plane. It is safe for concurrent use; all
+// serving state lives in the catalog registry behind one atomic pointer.
 type Server struct {
-	mu       sync.Mutex
-	adapters map[string]*adapter.Adapter
-	opts     []adapter.Option
+	reg *catalog.Registry
+	// now stamps admission decisions; tests override it to drive the
+	// token buckets deterministically.
+	now func() time.Time
+	// metricsInterval floors the /v1/metrics stream cadence.
+	metricsMinInterval time.Duration
 }
 
-// NewServer builds a server; opts apply to every adapter it creates.
+// NewServer builds a server with an empty catalog; opts apply to every
+// adapter it creates. Until a catalog with API keys is loaded the server
+// runs open: anonymous requests resolve to the open ("default") tenant.
 func NewServer(opts ...adapter.Option) *Server {
-	return &Server{adapters: make(map[string]*adapter.Adapter), opts: opts}
+	return &Server{
+		reg:                catalog.NewRegistry(opts...),
+		now:                time.Now,
+		metricsMinInterval: 10 * time.Millisecond,
+	}
 }
 
-// Deploy installs (or replaces) the bundle for its workflow directly,
-// bypassing HTTP — used by in-process embeddings.
-func (s *Server) Deploy(b *hints.Bundle) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if existing, ok := s.adapters[b.Workflow]; ok {
-		return existing.Replace(b)
-	}
-	a, err := adapter.New(b, s.opts...)
-	if err != nil {
-		return err
-	}
-	s.adapters[b.Workflow] = a
-	return nil
-}
+// Registry exposes the catalog registry (boot loading, SIGHUP reloads,
+// in-process embeddings).
+func (s *Server) Registry() *catalog.Registry { return s.reg }
 
-// Adapter returns the live adapter for a workflow, if deployed.
+// Deploy installs (or replaces) the bundle under the open tenant,
+// bypassing HTTP — the legacy single-tenant path, kept for in-process
+// embeddings and janusctl submit.
+func (s *Server) Deploy(b *hints.Bundle) error { return s.reg.Deploy(b) }
+
+// Adapter returns the open tenant's live adapter for a workflow, if
+// deployed — the legacy single-tenant view.
 func (s *Server) Adapter(workflow string) (*adapter.Adapter, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.adapters[workflow]
-	return a, ok
+	t, ok := s.reg.Authenticate("")
+	if !ok {
+		return nil, false
+	}
+	return t.Adapter(workflow)
 }
 
 // Handler returns the HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET required"})
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/bundles", s.handleBundles)
 	mux.HandleFunc("/v1/decide", s.handleDecide)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/catalog", s.handleCatalog)
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	return mux
+}
+
+// apiKey extracts the caller's credential: "Authorization: Bearer <key>"
+// or the X-API-Key header. Empty means anonymous.
+func apiKey(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); len(auth) > 7 && auth[:7] == "Bearer " {
+		return auth[7:]
+	}
+	return r.Header.Get("X-API-Key")
+}
+
+// tenant authenticates the request, writing the 401 envelope on failure.
+func (s *Server) tenant(w http.ResponseWriter, r *http.Request) (*catalog.RuntimeTenant, bool) {
+	key := apiKey(r)
+	t, ok := s.reg.Authenticate(key)
+	if !ok {
+		if key == "" {
+			writeError(w, http.StatusUnauthorized, CodeUnauthorized, "api key required")
+		} else {
+			writeError(w, http.StatusUnauthorized, CodeUnauthorized, "unknown api key")
+		}
+		return nil, false
+	}
+	return t, true
+}
+
+// requireAdmin gates the operator surface (catalog, bundle submission,
+// metrics): when the running catalog sets an admin key the caller must
+// present it; an open catalog leaves the surface open.
+func (s *Server) requireAdmin(w http.ResponseWriter, r *http.Request) bool {
+	admin := s.reg.AdminKey()
+	if admin == "" || apiKey(r) == admin {
+		return true
+	}
+	writeError(w, http.StatusUnauthorized, CodeUnauthorized, "admin key required")
+	return false
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "generation": s.reg.Generation()})
 }
 
 func (s *Server) handleBundles(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST required")
 		return
 	}
 	if !requireJSON(w, r) {
 		return
 	}
+	if !s.requireAdmin(w, r) {
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 32<<20))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "%s", err)
 		return
 	}
 	b, err := hints.ParseBundle(body)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "%s", err)
 		return
 	}
 	if err := s.Deploy(b); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "%s", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -145,7 +228,7 @@ func (s *Server) handleBundles(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST required")
 		return
 	}
 	if !requireJSON(w, r) {
@@ -153,24 +236,42 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	}
 	var req DecideRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "%s", err)
 		return
 	}
 	if req.RemainingMs <= 0 {
 		// Reject before touching the adapter: a malformed budget must not
 		// move the supervisor's hit/miss counters.
-		writeJSON(w, http.StatusBadRequest, errorBody{
-			Error: fmt.Sprintf("remaining_ms must be positive, got %d", req.RemainingMs)})
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest,
+			"remaining_ms must be positive, got %d", req.RemainingMs)
 		return
 	}
-	a, ok := s.Adapter(req.Workflow)
+	t, ok := s.tenant(w, r)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("workflow %q not deployed", req.Workflow)})
+		return
+	}
+	// Admission control: the tenant's token bucket, after authentication
+	// (anonymous traffic cannot drain a keyed tenant's quota) and after
+	// request validation (malformed requests don't spend tokens).
+	if admitted, retryAfter := t.Admit(s.now()); !admitted {
+		secs := int(math.Ceil(retryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, CodeQuotaExceeded,
+			"tenant %q decide quota exhausted; retry in %ds", t.Name(), secs)
+		return
+	}
+	a, ok := t.Adapter(req.Workflow)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			"workflow %q not deployed for tenant %q", req.Workflow, t.Name())
 		return
 	}
 	d, err := a.DecideShaped(req.Suffix, req.Shape, time.Duration(req.RemainingMs)*time.Millisecond)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "%s", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, DecideResponse{Millicores: d.Millicores, Hit: d.Hit, Percentile: d.Percentile})
@@ -178,17 +279,130 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET required"})
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET required")
+		return
+	}
+	t, ok := s.tenant(w, r)
+	if !ok {
 		return
 	}
 	wf := r.URL.Query().Get("workflow")
-	a, ok := s.Adapter(wf)
+	a, ok := t.Adapter(wf)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("workflow %q not deployed", wf)})
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			"workflow %q not deployed for tenant %q", wf, t.Name())
 		return
 	}
 	hits, misses, rate := a.Stats()
-	writeJSON(w, http.StatusOK, StatsResponse{Workflow: wf, Hits: hits, Misses: misses, MissRate: rate})
+	writeJSON(w, http.StatusOK, StatsResponse{Tenant: t.Name(), Workflow: wf, Hits: hits, Misses: misses, MissRate: rate})
+}
+
+// handleCatalog is the declarative control surface: GET returns the
+// running catalog, PUT validates and atomically swaps in a replacement.
+// An invalid catalog is rejected whole with the running one untouched.
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		if !s.requireAdmin(w, r) {
+			return
+		}
+		writeJSON(w, http.StatusOK, s.reg.Snapshot())
+	case http.MethodPut:
+		if !requireJSON(w, r) {
+			return
+		}
+		if !s.requireAdmin(w, r) {
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, "%s", err)
+			return
+		}
+		f, err := catalog.Parse(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidCatalog, "%s", err)
+			return
+		}
+		gen, changes, err := s.reg.Load(f)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidCatalog, "%s", err)
+			return
+		}
+		resp := ReloadResponse{Generation: gen, Tenants: len(f.Tenants), Changes: make([]string, len(changes))}
+		for _, t := range f.Tenants {
+			resp.Workflows += len(t.Workflows)
+		}
+		for i, c := range changes {
+			resp.Changes[i] = c.String()
+		}
+		writeJSON(w, http.StatusOK, resp)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET or PUT required")
+	}
+}
+
+// handleMetrics streams supervisor snapshots as NDJSON: one
+// MetricsSnapshot per line every interval_ms (default 1000, floored at
+// the server minimum) until the client disconnects or n frames have
+// been written (n=0, the default, streams until disconnect). Each frame
+// is flushed as it is written, so a live dashboard sees counters move
+// while decide traffic is in flight.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET required")
+		return
+	}
+	if !s.requireAdmin(w, r) {
+		return
+	}
+	interval := time.Second
+	if v := r.URL.Query().Get("interval_ms"); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms < 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, "interval_ms must be a non-negative integer, got %q", v)
+			return
+		}
+		interval = time.Duration(ms) * time.Millisecond
+	}
+	if interval < s.metricsMinInterval {
+		interval = s.metricsMinInterval
+	}
+	frames := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, "n must be a non-negative integer, got %q", v)
+			return
+		}
+		frames = n
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for sent := 0; ; sent++ {
+		if frames > 0 && sent >= frames {
+			return
+		}
+		snap := MetricsSnapshot{Generation: s.reg.Generation(), Tenants: s.reg.MetricsSnapshot()}
+		if err := enc.Encode(snap); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if frames > 0 && sent+1 >= frames {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
 }
 
 // requireJSON enforces the JSON media type on the mutating endpoints: a
@@ -199,11 +413,16 @@ func requireJSON(w http.ResponseWriter, r *http.Request) bool {
 	ct := r.Header.Get("Content-Type")
 	mt, _, err := mime.ParseMediaType(ct)
 	if err != nil || mt != "application/json" {
-		writeJSON(w, http.StatusUnsupportedMediaType,
-			errorBody{Error: fmt.Sprintf("Content-Type must be application/json, got %q", ct)})
+		writeError(w, http.StatusUnsupportedMediaType, CodeUnsupportedMedia,
+			"Content-Type must be application/json, got %q", ct)
 		return false
 	}
 	return true
+}
+
+// writeError emits the uniform error envelope.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...), Code: code})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -50,7 +50,7 @@ type ChoiceSpec struct {
 	// edges in edge-declaration order. Nil means uniform. When set, the
 	// length must equal the successor count and every weight must be
 	// positive.
-	Weights []float64
+	Weights []float64 `json:"weights,omitempty"`
 }
 
 // MapSpec marks a step as a bounded data-dependent map: at the group's
@@ -61,11 +61,11 @@ type ChoiceSpec struct {
 type MapSpec struct {
 	// MaxWidth is the inclusive upper bound on the drawn width. It must
 	// be at least 1; a zero-width map is a spec error.
-	MaxWidth int
+	MaxWidth int `json:"max_width"`
 	// Decay is the truncated-geometric decay of the width draw
 	// (probability ∝ Decay^(w-1)). Zero means DefaultMapDecay; it must
 	// otherwise lie in (0, 1].
-	Decay float64
+	Decay float64 `json:"decay,omitempty"`
 }
 
 // RetrySpec marks a step as a bounded loop: an attempt may fail (with
@@ -79,9 +79,9 @@ type RetrySpec struct {
 	// MaxRetries is the number of extra attempts after the first. It
 	// must be in [1, MaxRetryBound]; a non-positive bound would be an
 	// unbounded loop and is rejected.
-	MaxRetries int
+	MaxRetries int `json:"max_retries"`
 	// FailureProb is the per-attempt failure probability in [0, 1).
-	FailureProb float64
+	FailureProb float64 `json:"failure_prob,omitempty"`
 }
 
 // DynamicNode attaches dynamic behavior to one step of the skeleton.

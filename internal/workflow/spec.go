@@ -9,7 +9,11 @@ import (
 // Spec is the JSON wire form of a workflow, in the spirit of the
 // JSON-based structured languages (e.g. Amazon States Language) the paper
 // mentions for defining applications with chaining, branching, and
-// parallel execution.
+// parallel execution. Dynamic node kinds (conditional branches, bounded
+// maps, bounded retries, awaited steps) serialize through the Dynamic
+// list, so a declarative catalog entry round-trips every workflow the
+// engine can serve — static specs omit the field and stay byte-identical
+// to the pre-dynamic wire form.
 type Spec struct {
 	// Name identifies the workflow.
 	Name string `json:"name"`
@@ -19,6 +23,22 @@ type Spec struct {
 	Nodes []Node `json:"functions"`
 	// Edges lists (from, to) step-name pairs.
 	Edges [][2]string `json:"edges,omitempty"`
+	// Dynamic lists per-step dynamic annotations (see DynamicNode).
+	Dynamic []DynamicSpec `json:"dynamic,omitempty"`
+}
+
+// DynamicSpec is the wire form of one step's DynamicNode annotation.
+type DynamicSpec struct {
+	// Step names the skeleton node the annotation applies to.
+	Step string `json:"step"`
+	// Choice marks the step as a conditional branch.
+	Choice *ChoiceSpec `json:"choice,omitempty"`
+	// Map marks the step as a bounded data-dependent map.
+	Map *MapSpec `json:"map,omitempty"`
+	// Retry marks the step as a bounded retry loop.
+	Retry *RetrySpec `json:"retry,omitempty"`
+	// Await parks the step until an external trigger fires.
+	Await bool `json:"await,omitempty"`
 }
 
 // ParseSpec decodes and validates a JSON workflow definition.
@@ -32,10 +52,20 @@ func ParseSpec(data []byte) (*Workflow, error) {
 
 // Build validates the spec and constructs the workflow.
 func (s *Spec) Build() (*Workflow, error) {
-	return New(s.Name, time.Duration(s.SLOMillis)*time.Millisecond, s.Nodes, s.Edges)
+	slo := time.Duration(s.SLOMillis) * time.Millisecond
+	if len(s.Dynamic) == 0 {
+		return New(s.Name, slo, s.Nodes, s.Edges)
+	}
+	dyn := make([]DynamicNode, len(s.Dynamic))
+	for i, d := range s.Dynamic {
+		dyn[i] = DynamicNode{Step: d.Step, Choice: d.Choice, Map: d.Map, Retry: d.Retry, Await: d.Await}
+	}
+	return NewDynamic(s.Name, slo, s.Nodes, s.Edges, dyn)
 }
 
-// ToSpec converts a workflow back to its wire form.
+// ToSpec converts a workflow back to its wire form, dynamic annotations
+// included, such that ToSpec().Build() reconstructs an equivalent
+// workflow.
 func (w *Workflow) ToSpec() Spec {
 	edges := make([][2]string, 0)
 	for _, n := range w.TopoOrder() {
@@ -43,11 +73,17 @@ func (w *Workflow) ToSpec() Spec {
 			edges = append(edges, [2]string{n.Name, next})
 		}
 	}
+	var dyn []DynamicSpec
+	for _, step := range w.DynamicSteps() {
+		d, _ := w.Dynamic(step)
+		dyn = append(dyn, DynamicSpec{Step: step, Choice: d.Choice, Map: d.Map, Retry: d.Retry, Await: d.Await})
+	}
 	return Spec{
 		Name:      w.name,
 		SLOMillis: w.slo.Milliseconds(),
 		Nodes:     w.Nodes(),
 		Edges:     edges,
+		Dynamic:   dyn,
 	}
 }
 

@@ -38,6 +38,7 @@ import (
 	"janus/internal/adapter"
 	"janus/internal/autoscale"
 	"janus/internal/baseline"
+	"janus/internal/catalog"
 	"janus/internal/cluster"
 	"janus/internal/core"
 	"janus/internal/experiment"
@@ -354,6 +355,45 @@ func NewAdapterClient(baseURL string) *AdapterClient { return httpapi.NewClient(
 
 // RemoteAllocator serves platform allocations through a remote adapter.
 type RemoteAllocator = httpapi.Allocator
+
+// AdapterAPIError is a non-2xx control-plane response: the HTTP status,
+// the stable machine code from the error envelope, and — on quota
+// rejections — the server's Retry-After.
+type AdapterAPIError = httpapi.APIError
+
+// Control plane (janusd's declarative multi-tenant catalog).
+
+// TenantCatalog is the declarative registry janusd serves: tenants,
+// their workflows and hint bundles, API keys, and admission quotas, all
+// validated as a whole and hot-swapped atomically.
+type TenantCatalog = catalog.File
+
+// CatalogTenant declares one tenant of a TenantCatalog.
+type CatalogTenant = catalog.Tenant
+
+// CatalogEntry is one deployable workflow under a tenant.
+type CatalogEntry = catalog.Entry
+
+// CatalogQuota is a tenant's token-bucket admission limit.
+type CatalogQuota = catalog.Quota
+
+// CatalogChange is one difference between two catalogs.
+type CatalogChange = catalog.Change
+
+// ParseCatalog decodes and fully validates a catalog file.
+func ParseCatalog(data []byte) (*TenantCatalog, error) { return catalog.Parse(data) }
+
+// DiffCatalogs reports the changes turning old into new would apply.
+func DiffCatalogs(old, new *TenantCatalog) []CatalogChange { return catalog.Diff(old, new) }
+
+// CatalogRegistry is the runtime registry serving a catalog: lock-free
+// tenant authentication, adapter lookup, and quota admission off one
+// atomic pointer, with all-or-nothing reloads.
+type CatalogRegistry = catalog.Registry
+
+// NewCatalogRegistry builds an empty registry; opts apply to every
+// adapter it creates.
+func NewCatalogRegistry(opts ...AdapterOption) *CatalogRegistry { return catalog.NewRegistry(opts...) }
 
 // Series-parallel workflows (the paper's future-work extension): hints
 // come from reducing the fan-out/join application to an effective chain

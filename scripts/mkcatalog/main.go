@@ -1,0 +1,66 @@
+// Command mkcatalog assembles a two-tenant catalog file from synthesized
+// bundle artifacts — the glue between `janusctl synthesize` output and
+// `janusd -catalog` input in the e2e smoke test (scripts/e2e_smoke.sh).
+//
+//	go run ./scripts/mkcatalog -ia ia-bundle.json -va va-bundle.json \
+//	    -rate 0.001 -burst 3 -admin-key admin-secret -o catalog.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"janus"
+)
+
+func loadBundle(path string) *janus.Bundle {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := janus.ParseBundle(data)
+	if err != nil {
+		log.Fatalf("bundle %s: %v", path, err)
+	}
+	return b
+}
+
+func main() {
+	iaPath := flag.String("ia", "ia-bundle.json", "acme's IA bundle artifact")
+	vaPath := flag.String("va", "va-bundle.json", "globex's VA bundle artifact")
+	rate := flag.Float64("rate", 0.001, "acme's quota refill rate (tokens/sec)")
+	burst := flag.Int("burst", 3, "acme's quota burst")
+	adminKey := flag.String("admin-key", "admin-secret", "admin key gating the operator surface")
+	out := flag.String("o", "catalog.json", "output catalog file")
+	flag.Parse()
+
+	cat := &janus.TenantCatalog{
+		Version:  1,
+		AdminKey: *adminKey,
+		Tenants: map[string]*janus.CatalogTenant{
+			"acme": {
+				APIKey: "acme-key",
+				Quota:  &janus.CatalogQuota{RatePerSec: *rate, Burst: *burst},
+				Workflows: map[string]*janus.CatalogEntry{
+					"ia": {Bundle: loadBundle(*iaPath)},
+				},
+			},
+			"globex": {
+				APIKey: "globex-key",
+				Workflows: map[string]*janus.CatalogEntry{
+					"va": {Bundle: loadBundle(*vaPath)},
+				},
+			},
+		},
+	}
+	data, err := cat.Marshal()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: 2 tenants, quota acme rate=%g burst=%d\n", *out, *rate, *burst)
+}
