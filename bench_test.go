@@ -454,7 +454,7 @@ func BenchmarkReplayScenario(b *testing.B) {
 // BenchmarkFleetScenario times the fleet-scale replay grid: the same
 // non-stationary schedule at ~230k requests on a 200-node cluster, under
 // every provider configuration. This is the workload the indexed cluster
-// state is sized against; BENCH_PR6.json records its trajectory.
+// state is sized against; the BENCH_*.json files record its trajectory.
 func BenchmarkFleetScenario(b *testing.B) {
 	s := suite()
 	var closedAttainment float64

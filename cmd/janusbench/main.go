@@ -8,6 +8,7 @@
 //	janusbench -experiment fig4 -quick         # one figure, reduced scale
 //	janusbench -experiment fig9 -parallelism 4 # bound the worker pool
 //	janusbench -experiment dag                 # arbitrary-DAG scenario
+//	janusbench -experiment fleet -cpuprofile fleet.pprof  # profile a grid
 //	janusbench -list                           # names + descriptions
 //
 // Run -list for the experiment catalog. The sp experiment serves the
@@ -44,6 +45,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -180,6 +182,25 @@ var experiments = map[string]exp{
 			}
 			return rows, nil
 		}},
+	"fleetshard": {run: func(s *experiment.Suite) (fmt.Stringer, error) {
+		runs, err := s.FleetShardScenario()
+		if err != nil {
+			return nil, err
+		}
+		return wrap(experiment.FormatFleetShard(runs)), nil
+	}, desc: "sharded fleet sweep: the fleet stream split over independent cells, deterministically merged",
+		rows: func(s *experiment.Suite) (any, error) {
+			runs, err := s.FleetShardScenario()
+			if err != nil {
+				return nil, err
+			}
+			var rows []experiment.ReplayRow
+			for _, run := range runs {
+				rows = append(rows, run.Rows...)
+				rows = append(rows, run.Aggregate)
+			}
+			return rows, nil
+		}},
 	"trigger": {run: func(s *experiment.Suite) (fmt.Stringer, error) {
 		runs, err := s.TriggerScenario()
 		if err != nil {
@@ -227,7 +248,7 @@ var experiments = map[string]exp{
 // order fixes the -experiment all sequence.
 var order = []string{
 	"fig1a", "fig1b", "fig1c", "fig2", "fig4", "fig5",
-	"fig6", "fig7", "fig8", "fig9", "sp", "dag", "mix", "replay", "fleet", "trigger", "table1", "table2", "overhead",
+	"fig6", "fig7", "fig8", "fig9", "sp", "dag", "mix", "replay", "fleet", "fleetshard", "trigger", "table1", "table2", "overhead",
 }
 
 // listString renders the -list output: one "name  description" line per
@@ -329,6 +350,8 @@ func main() {
 		"concurrent suite points (0 means GOMAXPROCS); any value yields identical results")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonOut := flag.Bool("json", false, "emit machine-readable per-row results as a JSON array")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation (heap) profile taken after the run to this file")
 	flag.Parse()
 
 	if *list {
@@ -350,6 +373,39 @@ func main() {
 		suite = experiment.QuickSuite()
 	}
 	suite.SetParallelism(par)
+	// Profiling covers the experiment runs only (setup excluded), so a
+	// perf PR can profile the exact grid it optimizes:
+	//
+	//	janusbench -experiment fleet -cpuprofile fleet.pprof
+	//	go tool pprof -top fleet.pprof
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "janusbench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "janusbench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "janusbench: -memprofile: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "janusbench: -memprofile: %v\n", err)
+				os.Exit(2)
+			}
+		}()
+	}
 	var results []benchResult
 	for _, n := range targets {
 		res, err := runOne(n, suite)

@@ -166,6 +166,13 @@ type Cluster struct {
 	// pods, and executing pods per dense function index.
 	totalPods int
 	busyByFn  []int
+	// gen counts the mutations that can move any function's
+	// AcquireThreshold — allocation changes and pool-membership changes.
+	// Callers caching thresholds (the serving plane's park-queue wake)
+	// revalidate against it instead of recomputing per probe: an
+	// unchanged generation proves every cached threshold still exact,
+	// because a failed Acquire mutates nothing.
+	gen uint64
 }
 
 // New builds a cluster.
@@ -192,6 +199,7 @@ func New(cfg Config) (*Cluster, error) {
 func (c *Cluster) setAllocated(n *node, delta int) {
 	n.allocated += delta
 	c.free.set(n.id, n.capacity-n.allocated)
+	c.gen++
 }
 
 // setBusy is the single mutation point for a pod's busy bit; it keeps the
@@ -222,6 +230,7 @@ func (c *Cluster) Deploy(function string) error {
 	}
 	c.pools[function] = nil
 	c.targets[function] = c.cfg.PoolSize
+	c.gen++ // the function's threshold moves from 0 to the free max
 	c.fnIdx[function] = len(c.fnIdx)
 	c.busyByFn = append(c.busyByFn, 0)
 	for _, n := range c.nodes {
@@ -334,6 +343,12 @@ func (c *Cluster) AcquireThreshold(function string) int {
 	}
 	return c.free.max()
 }
+
+// Gen reports the cluster's mutation generation: it moves whenever any
+// function's AcquireThreshold may have moved, and holds still otherwise
+// (in particular across failed Acquires, which mutate nothing). Callers
+// may cache AcquireThreshold results keyed by this value.
+func (c *Cluster) Gen() uint64 { return c.gen }
 
 // Resize changes a pod's allocation in place (the late-binding primitive:
 // Janus resizes the next function's pod right before it runs).

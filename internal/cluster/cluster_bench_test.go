@@ -8,7 +8,7 @@ import (
 // The cluster microbenchmarks pin the serving plane's per-operation
 // substrate costs at fleet scale: a 200-node cluster with a populated
 // co-location census, the dimensions the fleet replay scenario drives.
-// BENCH_PR6.json records their trajectory, and the bench-guard test
+// The BENCH_*.json files record their trajectory, and the bench-guard test
 // (../../benchguard_test.go) fails CI when pickNode or Colocated regress
 // to per-call allocation.
 

@@ -478,3 +478,39 @@ func TestTotalPodsCountsIdleAndBusy(t *testing.T) {
 	}
 	_ = pod
 }
+
+// TestGenTracksThresholdMutations pins the contract the serving plane's
+// park index caches against: Gen moves whenever an allocation mutation
+// may have moved some function's AcquireThreshold, and holds still
+// across failed Acquires, which mutate nothing.
+func TestGenTracksThresholdMutations(t *testing.T) {
+	c := mustCluster(t, Config{Nodes: 1, NodeMillicores: 2500, PoolSize: 1, IdleMillicores: 100})
+	g0 := c.Gen()
+	if err := c.Deploy("f"); err != nil {
+		t.Fatal(err)
+	}
+	g1 := c.Gen()
+	if g1 <= g0 {
+		t.Fatalf("Deploy left Gen at %d; pre-warming moves the threshold from 0", g1)
+	}
+	p, _, err := c.Acquire("f", 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := c.Gen()
+	if g2 <= g1 {
+		t.Fatalf("successful Acquire left Gen at %d (was %d)", g2, g1)
+	}
+	if _, _, err := c.Acquire("f", 2000); err == nil {
+		t.Fatal("over-capacity acquire accepted")
+	}
+	if got := c.Gen(); got != g2 {
+		t.Fatalf("failed Acquire moved Gen %d -> %d; cached thresholds would be invalidated for nothing", g2, got)
+	}
+	if err := c.Release(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Gen(); got <= g2 {
+		t.Fatalf("Release left Gen at %d (was %d)", got, g2)
+	}
+}

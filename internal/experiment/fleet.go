@@ -8,9 +8,9 @@ import (
 
 // The fleet-scale replay scenario: the same non-stationary serving
 // machinery as the replay scenario (schedule-driven admission, elastic
-// warm pools, the online bilateral loop), pushed to the scale the Wukong
-// burst-parallel target implies — hundreds of nodes and hundreds of
-// thousands of requests in one discrete-event run. The grid exists to
+// warm pools, the online bilateral loop), pushed to the scale the
+// AARC-style fleet sweeps in PAPERS.md imply — hundreds of nodes and
+// hundreds of thousands of requests in one discrete-event run. The grid exists to
 // prove the serving plane's hot path at fleet dimensions: placement
 // decisions over FleetNodes nodes, a co-location census over thousands of
 // pods, and capacity parking queues thousands deep during the burst. It

@@ -419,7 +419,7 @@ func (s *Suite) runReplayOne(spec scheduleSpec, config string) (*ReplayRun, erro
 }
 
 // serveSchedule executes one provider configuration of one schedule grid
-// end to end.
+// end to end: the full merged arrival stream on the grid's full cluster.
 func (s *Suite) serveSchedule(spec scheduleSpec, config string) (*ReplayRun, error) {
 	tenants, err := ReplayTenants()
 	if err != nil {
@@ -430,12 +430,28 @@ func (s *Suite) serveSchedule(spec scheduleSpec, config string) (*ReplayRun, err
 		return nil, err
 	}
 	byTenant := replay.TenantArrivalTimes(sched.Arrivals())
-	workloads := make([]platform.TenantWorkload, len(tenants))
+	for _, mt := range tenants {
+		if len(byTenant[mt.Tenant]) == 0 {
+			return nil, fmt.Errorf("experiment: replay schedule admitted no %s requests", mt.Tenant)
+		}
+	}
+	return s.serveStream(spec, config, tenants, sched, byTenant)
+}
+
+// serveStream serves an explicit per-tenant arrival stream on the
+// spec's cluster under one provider configuration. serveSchedule feeds
+// it a schedule's whole stream; the sharded fleet sweep (fleetshard.go)
+// feeds each independent cell its round-robin slice of the same
+// stream. Tenants absent from the stream are skipped — a thin shard of
+// a Zipf-tailed mix legitimately carries no requests for the tail
+// tenant.
+func (s *Suite) serveStream(spec scheduleSpec, config string, tenants []MixTenant, sched *replay.Schedule, byTenant map[string][]time.Duration) (*ReplayRun, error) {
+	workloads := make([]platform.TenantWorkload, 0, len(tenants))
 	regens := make(map[string]*autoscale.Regen)
-	for i, mt := range tenants {
+	for _, mt := range tenants {
 		arrivals := byTenant[mt.Tenant]
 		if len(arrivals) == 0 {
-			return nil, fmt.Errorf("experiment: replay schedule admitted no %s requests", mt.Tenant)
+			continue
 		}
 		reqs, err := s.replayWorkload(mt, arrivals)
 		if err != nil {
@@ -452,11 +468,11 @@ func (s *Suite) serveSchedule(spec scheduleSpec, config string) (*ReplayRun, err
 			}
 			regens[mt.Tenant] = r
 		}
-		workloads[i] = platform.TenantWorkload{
+		workloads = append(workloads, platform.TenantWorkload{
 			Tenant:    mt.Tenant,
 			Requests:  reqs,
 			Allocator: &adapter.Allocator{Adapter: a, System: SysJanus},
-		}
+		})
 	}
 	cfg := platform.DefaultExecutorConfig()
 	cfg.Cluster = cluster.Config{
@@ -490,7 +506,9 @@ func (s *Suite) serveSchedule(spec scheduleSpec, config string) (*ReplayRun, err
 		rcfg.OnTick = func(now time.Duration) []platform.ReplayAction {
 			var acts []platform.ReplayAction
 			for _, mt := range tenants {
-				acts = append(acts, regens[mt.Tenant].Tick(now)...)
+				if r, ok := regens[mt.Tenant]; ok {
+					acts = append(acts, r.Tick(now)...)
+				}
 			}
 			return acts
 		}
@@ -511,7 +529,10 @@ func (s *Suite) serveSchedule(spec scheduleSpec, config string) (*ReplayRun, err
 	}
 	var merged []platform.Trace
 	for _, mt := range tenants {
-		ts := traces[mt.Tenant]
+		ts, ok := traces[mt.Tenant]
+		if !ok {
+			continue // tenant absent from this stream (thin shard)
+		}
 		run.Rows = append(run.Rows, summarizeReplayTraces(config, mt.Tenant, mt.Workflow.SLO(), ts))
 		merged = append(merged, ts...)
 		if r, ok := regens[mt.Tenant]; ok {

@@ -273,13 +273,15 @@ func (st *runState) startNodeDyn(rs *reqState, group, member, replica, mc int, h
 	fn := rs.plan.groups[group][member].Function
 	pod, cold, err := st.cluster.Acquire(fn, mc)
 	if err != nil {
-		if !retried {
-			rs.acc.Parked++
-			if st.window != nil {
-				st.window.queued[fn]++
-			}
+		if retried {
+			st.park.restore(st.retrySlot, st.retryPos)
+			return
 		}
-		st.waiting = append(st.waiting, parkedNode{rs: rs, group: int32(group), member: int32(member), replica: int32(replica), mc: int32(mc), hit: hit, fn: fn, slot: int32(st.slotOf(fn))})
+		rs.acc.Parked++
+		if st.window != nil {
+			st.window.queued[fn]++
+		}
+		st.park.park(st.slotOf(fn), parkedNode{rs: rs, group: int32(group), member: int32(member), replica: int32(replica), mc: int32(mc), hit: hit, fn: fn})
 		return
 	}
 	if st.window != nil {

@@ -554,27 +554,30 @@ type runState struct {
 	// surface as an error instead of draining out as zero-value traces.
 	done  int
 	total int
-	// waiting holds node acquisitions blocked on pod capacity, FIFO.
+	// park holds node acquisitions blocked on pod capacity, bucketed
+	// per function under min-millicore segment trees (parkindex.go).
 	// Capacity freed by any release can unblock any tenant's waiter (a
-	// node hosts pods of every function), so the queue is global — which
-	// is exactly the cross-tenant contention a shared substrate implies.
-	// Parked work is plain data, not closures: at fleet scale the queue
-	// runs thousands deep through a burst, and wake() recycles the two
-	// backing arrays instead of allocating per episode.
-	waiting     []parkedNode
-	wakeScratch []parkedNode
-	// fnSlots assigns each parked function a dense slot so wake() caches
-	// acquire thresholds in flat arrays instead of string-keyed maps —
-	// a saturated scan touches every parked entry per release, and at
-	// fleet scale that is millions of certain-failure probes per run.
-	// thrGen[slot] == gen marks thr[slot] as current; bumping gen (each
-	// scan start, and after every state-mutating acquisition) invalidates
-	// the whole cache in O(1).
-	fnSlots map[string]int
-	thr     []int
-	thrGen  []int
-	gen     int
-	failed  error
+	// node hosts pods of every function), so the global arrival
+	// sequence totally orders parks across functions — which is exactly
+	// the cross-tenant contention a shared substrate implies. Parked
+	// work is plain data, not closures, and wake() walks the index
+	// instead of copying the queue: at fleet scale it used to run
+	// thousands deep through a burst, an O(parked) scan per release.
+	park parkIndex
+	// thr caches per-slot acquire thresholds so a wake gates functions
+	// on flat-array integer compares instead of recomputing per probe.
+	// thrGen[slot] == cluster.Gen() marks thr[slot] as current: the
+	// cluster bumps its generation on every mutation that can move any
+	// threshold (and on nothing else — a failed Acquire mutates
+	// nothing), so an unchanged generation proves the cache exact.
+	thr    []int
+	thrGen []uint64
+	// retrySlot/retryPos name the park-index position of the entry a
+	// wake dispatch took; a failed retry restores there, preserving its
+	// original FIFO position.
+	retrySlot int
+	retryPos  int
+	failed    error
 	// reqStates holds every request's in-flight state in one arena,
 	// initialized up front by prepareRun; admission closures index into it
 	// instead of allocating per request.
@@ -587,12 +590,12 @@ type runState struct {
 // parkedNode is one pod acquisition waiting on cluster capacity: the
 // already-decided allocation for one member node of a decision group.
 // replica distinguishes map replicas of a dynamic node; it is always 0
-// on the static path. wake copies these
-// records in an O(parked) scan per release at fleet depth, so the
-// layout is deliberately narrow: int32 covers every field's range
-// (group/member/slot are dense small indexes, replica < MaxMapWidth,
-// millicores < 2^31) and keeps the record at 48 bytes — smaller than
-// the pre-dynamic int-field layout even with the replica field added.
+// on the static path. The park index stores these records in
+// per-function arrays at fleet depth, so the layout is deliberately
+// narrow: int32 covers every field's range (group/member/slot are
+// dense small indexes, replica < MaxMapWidth, millicores < 2^31) and
+// keeps the record at 48 bytes — smaller than the pre-dynamic
+// int-field layout even with the replica field added.
 type parkedNode struct {
 	rs      *reqState
 	fn      string
@@ -764,9 +767,9 @@ func (e *Executor) prepareRun(tenants []TenantWorkload, triggers []Trigger) (*ru
 		cluster: cl,
 		stream:  rng.New(e.cfg.Seed).Split("executor"),
 		plans:   make(map[*workflow.Workflow]*dagPlan),
-		fnSlots: make(map[string]int),
 		total:   total,
 	}
+	st.park.init()
 	// Validate every request against the plan the engine will actually
 	// execute — the workflow-derived decision groups, not the request's
 	// cached copy — and deploy the union of every tenant's functions
@@ -953,7 +956,7 @@ func (st *runState) collect() (map[string][]Trace, error) {
 			}
 		}
 		return nil, fmt.Errorf("platform: %d of %d requests never completed (allocation cannot be placed on any node; %d node continuation(s) still parked; per tenant:%s)",
-			total-st.done, total, len(st.waiting), starved)
+			total-st.done, total, st.park.live, starved)
 	}
 	out := make(map[string][]Trace, len(st.tenants))
 	for _, tn := range st.tenants {
@@ -1052,13 +1055,17 @@ func (st *runState) startNode(rs *reqState, group, member, mc int, hit, retried 
 	if err != nil {
 		// No capacity right now: park the continuation until a release.
 		// Each node parks independently — its group siblings keep running.
-		if !retried {
-			rs.acc.Parked++
-			if st.window != nil {
-				st.window.queued[fn]++
-			}
+		if retried {
+			// A woken entry that still cannot fit re-parks at its
+			// original position, keeping its place in FIFO order.
+			st.park.restore(st.retrySlot, st.retryPos)
+			return
 		}
-		st.waiting = append(st.waiting, parkedNode{rs: rs, group: int32(group), member: int32(member), mc: int32(mc), hit: hit, fn: fn, slot: int32(st.slotOf(fn))})
+		rs.acc.Parked++
+		if st.window != nil {
+			st.window.queued[fn]++
+		}
+		st.park.park(st.slotOf(fn), parkedNode{rs: rs, group: int32(group), member: int32(member), mc: int32(mc), hit: hit, fn: fn})
 		return
 	}
 	if st.window != nil {
@@ -1143,58 +1150,72 @@ func (st *runState) nodeDone(rs *reqState, step string, end time.Duration) {
 	}
 }
 
-// slotOf returns fn's dense slot, assigning one on first park.
+// slotOf returns fn's dense park slot, assigning one on first park and
+// growing the threshold cache in lockstep with the index's queues.
 func (st *runState) slotOf(fn string) int {
-	s, ok := st.fnSlots[fn]
-	if !ok {
-		s = len(st.fnSlots)
-		st.fnSlots[fn] = s
+	s := st.park.slotOf(fn)
+	for len(st.thr) < len(st.park.queues) {
 		st.thr = append(st.thr, 0)
 		st.thrGen = append(st.thrGen, 0)
 	}
 	return s
 }
 
-// wake re-admits all parked acquisitions in FIFO order; those that still
-// cannot acquire a pod re-park themselves. The drained queue and the
-// re-park queue swap backing arrays across calls, so steady-state parking
-// churn allocates nothing. wake never re-enters itself: acquisitions
+// threshold reports slot's current acquire threshold, recomputing only
+// when the cluster's mutation generation has moved since the cached
+// read. Generations start at 1 (Deploy bumps), so the zero cache is
+// always stale.
+func (st *runState) threshold(slot int) int {
+	if g := st.cluster.Gen(); st.thrGen[slot] != g {
+		st.thr[slot] = st.cluster.AcquireThreshold(st.park.fns[slot])
+		st.thrGen[slot] = g
+	}
+	return st.thr[slot]
+}
+
+// wake re-admits parked acquisitions in FIFO order; those that still
+// cannot acquire a pod re-park in place. It emulates the seed forward
+// scan exactly without visiting skipped entries: the scan the index
+// replaces walked a snapshot in arrival order, gating each entry on a
+// per-function threshold cached between wakes — equivalently,
+// repeatedly admit the smallest-sequence entry at or after the cursor
+// that fits its function's current threshold, then advance the cursor
+// past it. The two are identical because between admissions thresholds
+// are constant (a failed probe mutates nothing), neither form revisits
+// entries behind the cursor within one scan, and entries parked after
+// the scan started (sequence >= limit) stay invisible, exactly like
+// the seed's snapshot. wake never re-enters itself: acquisitions
 // either succeed (scheduling a completion event) or re-park — neither
 // releases a pod synchronously.
 //
 // A retry is attempted only when the cluster's AcquireThreshold says it
-// would succeed — the predicate is exact, so an entry failing it re-parks
-// with precisely the state evolution of a failed Acquire (none). Without
-// the gate, a saturated scan pays a pool lookup and a capacity check per
-// parked entry per release; with it, certain failures cost an integer
-// compare against a per-function threshold cached for the scan (and
-// invalidated after every successful acquisition, which can change any
-// function's threshold).
+// would succeed — the predicate is exact, so an entry failing it
+// re-parks with precisely the state evolution of a failed Acquire
+// (none). A saturated release therefore costs one integer compare per
+// parked *function* (queue min vs threshold), not per entry; an
+// admission costs O(functions · log parked) index steps.
 func (st *runState) wake() {
-	if len(st.waiting) == 0 {
+	if st.park.live == 0 {
 		return
 	}
-	queue := st.waiting
-	st.waiting = st.wakeScratch[:0]
-	st.gen++
-	for i := range queue {
-		p := &queue[i]
-		if st.thrGen[p.slot] != st.gen {
-			st.thr[p.slot] = st.cluster.AcquireThreshold(p.fn)
-			st.thrGen[p.slot] = st.gen
+	cursor, limit := uint64(0), st.park.seq
+	for {
+		slot, pos, seq, ok := st.park.next(cursor, limit, st)
+		if !ok {
+			return
 		}
-		if int(p.mc) > st.thr[p.slot] {
-			st.waiting = append(st.waiting, *p)
-			continue
-		}
+		p := st.park.take(slot, pos)
+		cursor = seq + 1
+		st.retrySlot, st.retryPos = slot, pos
 		if p.rs.dyn != nil {
 			st.startNodeDyn(p.rs, int(p.group), int(p.member), int(p.replica), int(p.mc), p.hit, true)
 		} else {
 			st.startNode(p.rs, int(p.group), int(p.member), int(p.mc), p.hit, true)
 		}
-		st.gen++
+		if st.failed != nil {
+			return
+		}
 	}
-	st.wakeScratch = queue[:0]
 }
 
 func (st *runState) fail(err error) {
