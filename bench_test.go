@@ -26,6 +26,7 @@ import (
 
 	"janus"
 	"janus/internal/experiment"
+	"janus/internal/obs"
 )
 
 var (
@@ -319,7 +320,16 @@ func BenchmarkEvaluationGridParallel(b *testing.B) {
 // run on a shared two-node cluster. Workload generation is outside the
 // loop — the benchmark measures RunMixed itself: the merged event stream,
 // shared warm pools, capacity parking, and per-tenant trace splitting.
-func BenchmarkMixedServing(b *testing.B) {
+func BenchmarkMixedServing(b *testing.B) { benchmarkMixedServing(b, nil) }
+
+// BenchmarkMixedServingTraced is BenchmarkMixedServing with a flight
+// recorder attached: the delta against the nil-tracer run is the whole
+// cost of tracer-on observability on the serving hot path.
+func BenchmarkMixedServingTraced(b *testing.B) {
+	benchmarkMixedServing(b, obs.NewFlightRecorder(4096))
+}
+
+func benchmarkMixedServing(b *testing.B, tracer obs.Tracer) {
 	coloc, err := janus.NewColocationSampler([]float64{0.5, 0.35, 0.15})
 	if err != nil {
 		b.Fatal(err)
@@ -337,6 +347,7 @@ func BenchmarkMixedServing(b *testing.B) {
 	}
 	cfg := janus.DefaultExecutorConfig()
 	cfg.Cluster = janus.ClusterConfig{Nodes: 2, NodeMillicores: 26000, PoolSize: 6, IdleMillicores: 100}
+	cfg.Tracer = tracer
 	ex, err := janus.NewExecutor(cfg, janus.Catalog())
 	if err != nil {
 		b.Fatal(err)

@@ -1,6 +1,6 @@
 // TestBenchGuard is the benchmark-regression harness: it replays the
 // alloc-critical benchmarks with -benchtime=1x and diffs allocs/op
-// against the thresholds committed in BENCH_PR9.json (the `guard`
+// against the thresholds committed in BENCH_PR10.json (the `guard`
 // section). The indexed cluster's contract is that pickNode and the
 // Colocated census never allocate on the hot path, and the serving
 // plane's contract is that a park/wake cycle at fleet depth
@@ -12,7 +12,7 @@
 // Knobs:
 //
 //	JANUS_BENCHGUARD=off   skip the guard (triaging an intentional
-//	                       allocation change; update BENCH_PR9.json's
+//	                       allocation change; update BENCH_PR10.json's
 //	                       thresholds in the same commit instead of
 //	                       leaving the knob set)
 //
@@ -34,7 +34,7 @@ import (
 	"testing"
 )
 
-// benchTrajectory mirrors the slice of BENCH_PR9.json the guard consumes;
+// benchTrajectory mirrors the slice of BENCH_PR10.json the guard consumes;
 // the measurement sections are documented in docs/BENCHMARKS.md.
 type benchTrajectory struct {
 	Guard struct {
@@ -51,16 +51,16 @@ func TestBenchGuard(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bench guard runs real benchmarks; skipped in -short mode")
 	}
-	raw, err := os.ReadFile("BENCH_PR9.json")
+	raw, err := os.ReadFile("BENCH_PR10.json")
 	if err != nil {
 		t.Fatalf("reading committed trajectory: %v", err)
 	}
 	var traj benchTrajectory
 	if err := json.Unmarshal(raw, &traj); err != nil {
-		t.Fatalf("parsing BENCH_PR9.json: %v", err)
+		t.Fatalf("parsing BENCH_PR10.json: %v", err)
 	}
 	if len(traj.Guard.AllocsPerOp) == 0 {
-		t.Fatal("BENCH_PR9.json has no guard.allocs_per_op thresholds; the guard is guarding nothing")
+		t.Fatal("BENCH_PR10.json has no guard.allocs_per_op thresholds; the guard is guarding nothing")
 	}
 	pkgs := make([]string, 0, len(traj.Guard.AllocsPerOp))
 	for pkg := range traj.Guard.AllocsPerOp {
@@ -81,11 +81,11 @@ func TestBenchGuard(t *testing.T) {
 		for _, name := range names {
 			allocs, ok := got[name]
 			if !ok {
-				t.Errorf("%s: benchmark %s did not run — renamed or deleted? update BENCH_PR9.json's guard section", pkg, name)
+				t.Errorf("%s: benchmark %s did not run — renamed or deleted? update BENCH_PR10.json's guard section", pkg, name)
 				continue
 			}
 			if max := thresholds[name]; allocs > max {
-				t.Errorf("%s: %s allocates %d/op, threshold %d/op — the hot path regressed to per-call allocation (set JANUS_BENCHGUARD=off only while triaging; fix or re-baseline BENCH_PR9.json)",
+				t.Errorf("%s: %s allocates %d/op, threshold %d/op — the hot path regressed to per-call allocation (set JANUS_BENCHGUARD=off only while triaging; fix or re-baseline BENCH_PR10.json)",
 					pkg, name, allocs, max)
 			}
 		}

@@ -9,6 +9,8 @@
 //	janusbench -experiment fig9 -parallelism 4 # bound the worker pool
 //	janusbench -experiment dag                 # arbitrary-DAG scenario
 //	janusbench -experiment fleet -cpuprofile fleet.pprof  # profile a grid
+//	janusbench -experiment replay -quick -trace out.ndjson -parallelism 1  # event trace
+//	janusbench -experiment replay -quick -timeline -prom metrics.prom      # telemetry
 //	janusbench -list                           # names + descriptions
 //
 // Run -list for the experiment catalog. The sp experiment serves the
@@ -40,6 +42,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -50,6 +53,7 @@ import (
 	"time"
 
 	"janus/internal/experiment"
+	"janus/internal/obs"
 )
 
 type runner func(*experiment.Suite) (fmt.Stringer, error)
@@ -352,6 +356,10 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable per-row results as a JSON array")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation (heap) profile taken after the run to this file")
+	tracePath := flag.String("trace", "",
+		"stream the replay scenarios' event trace to this NDJSON file (use -parallelism 1 for a reproducible file)")
+	timeline := flag.Bool("timeline", false, "print a per-second event timeline of the replay scenarios after the run")
+	promPath := flag.String("prom", "", "write a Prometheus text snapshot of the serving metrics to this file after the run")
 	flag.Parse()
 
 	if *list {
@@ -373,6 +381,35 @@ func main() {
 		suite = experiment.QuickSuite()
 	}
 	suite.SetParallelism(par)
+	// Observability attachments: the NDJSON trace, the printed timeline,
+	// and the Prometheus snapshot all ride the replay serving runs. With
+	// none requested the suite keeps a nil tracer and the engine's
+	// zero-cost-off path.
+	var sinks []obs.Tracer
+	var ndjson *obs.NDJSONWriter
+	var traceBuf *bufio.Writer
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "janusbench: -trace: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		traceBuf = bufio.NewWriterSize(f, 1<<20)
+		ndjson = obs.NewNDJSONWriter(traceBuf)
+		sinks = append(sinks, ndjson)
+	}
+	var tl *obs.Timeline
+	if *timeline {
+		tl = obs.NewTimeline(time.Second)
+		sinks = append(sinks, tl)
+	}
+	suite.SetTracer(obs.Multi(sinks...))
+	var reg *obs.Registry
+	if *promPath != "" {
+		reg = obs.NewRegistry()
+		suite.SetMetrics(reg)
+	}
 	// Profiling covers the experiment runs only (setup excluded), so a
 	// perf PR can profile the exact grid it optimizes:
 	//
@@ -426,5 +463,31 @@ func main() {
 			fmt.Fprintf(os.Stderr, "janusbench: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if ndjson != nil {
+		err := ndjson.Err()
+		if err == nil {
+			err = traceBuf.Flush()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "janusbench: -trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if reg != nil {
+		f, err := os.Create(*promPath)
+		if err == nil {
+			err = obs.WritePrometheus(f, reg)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "janusbench: -prom: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if tl != nil {
+		fmt.Printf("==== timeline ====\n%s", tl.Summary())
 	}
 }

@@ -14,6 +14,7 @@
 //	janusctl catalog validate -f catalog.json
 //	janusctl catalog diff     -a running.json -b next.json
 //	janusctl catalog push     -f catalog.json -server http://127.0.0.1:8080 [-key ADMINKEY]
+//	janusctl metrics   -server http://127.0.0.1:8080 [-key ADMINKEY] [-prom]
 //
 // Every failure exits non-zero with a one-line "janusctl: ..." diagnostic
 // naming the offending file or flag — never a raw stack dump.
@@ -25,6 +26,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"janus/internal/catalog"
@@ -64,6 +67,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdSubmit(args[1:])
 	case "catalog":
 		err = cmdCatalog(args[1:], stdout, stderr)
+	case "metrics":
+		err = cmdMetrics(args[1:], stdout)
 	default:
 		usage(stderr)
 		return 2
@@ -76,7 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: janusctl <profile|synthesize|inspect|decide|submit|catalog> [flags]`)
+	fmt.Fprintln(w, `usage: janusctl <profile|synthesize|inspect|decide|submit|catalog|metrics> [flags]`)
 }
 
 func builtinWorkflow(name string) (*workflow.Workflow, error) {
@@ -377,6 +382,66 @@ func cmdCatalogDiff(args []string, stdout io.Writer) error {
 		fmt.Fprintln(stdout, c.String())
 	}
 	return nil
+}
+
+// cmdMetrics fetches one telemetry snapshot from a running janusd: the
+// per-tenant supervisor counters plus the registry points, or (with
+// -prom) the raw Prometheus text exposition.
+func cmdMetrics(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8080", "janusd address")
+	key := fs.String("key", "", "admin API key (when the running catalog sets one)")
+	prom := fs.Bool("prom", false, "print the raw Prometheus text exposition instead")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client := httpapi.NewClient(*server).WithAPIKey(*key)
+	if *prom {
+		text, err := client.Prometheus()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, text)
+		return nil
+	}
+	snap, err := client.MetricsOnce()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "catalog generation %d\n", snap.Generation)
+	for _, t := range snap.Tenants {
+		for _, w := range t.Workflows {
+			fmt.Fprintf(stdout, "tenant %-12s workflow %-12s hits %8d misses %6d missrate %.4f epoch %.4f\n",
+				t.Tenant, w.Workflow, w.Hits, w.Misses, w.MissRate, w.EpochMissRate)
+		}
+	}
+	for _, p := range snap.Points {
+		switch p.Kind {
+		case "histogram":
+			fmt.Fprintf(stdout, "%s%s count %d sum %d\n", p.Name, formatLabels(p.Labels), p.Count, p.Sum)
+		default:
+			fmt.Fprintf(stdout, "%s%s %d\n", p.Name, formatLabels(p.Labels), p.Value)
+		}
+	}
+	return nil
+}
+
+// formatLabels renders a point's labels in the familiar {k="v"} form,
+// keys sorted.
+func formatLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, labels[k])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
 }
 
 func cmdCatalogPush(args []string, stdout io.Writer) error {

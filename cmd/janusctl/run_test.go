@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"janus/internal/catalog"
 	"janus/internal/hints"
@@ -157,6 +158,46 @@ func TestCatalogDiffCommand(t *testing.T) {
 	code, _, stderr := runCtl("catalog", "diff", "-a", a)
 	if code != 1 || !strings.Contains(stderr, "-b NEW") {
 		t.Fatalf("half diff: code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestMetricsCommand(t *testing.T) {
+	dir := t.TempDir()
+	path := writeCatalogFile(t, dir, "catalog.json", 1100)
+	srv := httpapi.NewServer()
+	srv.SetVersion("test-build")
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if code, _, stderr := runCtl("catalog", "push", "-f", path, "-server", ts.URL); code != 0 {
+		t.Fatalf("push failed: %s", stderr)
+	}
+	// Move the supervisor and registry counters with one decide.
+	if _, err := httpapi.NewClient(ts.URL).WithAPIKey("key-acme").Decide("ia", 0, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runCtl("metrics", "-server", ts.URL)
+	if code != 0 {
+		t.Fatalf("metrics: code=%d stderr=%q", code, stderr)
+	}
+	for _, want := range []string{
+		"catalog generation 1",
+		"tenant acme",
+		"workflow ia",
+		"janusd_decisions_total",
+		`janusd_build_info{version="test-build"} 1`,
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, stdout)
+		}
+	}
+	code, stdout, _ = runCtl("metrics", "-server", ts.URL, "-prom")
+	if code != 0 || !strings.Contains(stdout, "# TYPE janusd_decisions_total counter") {
+		t.Fatalf("metrics -prom: code=%d stdout=%q", code, stdout)
+	}
+	// A dead server is one diagnostic line, not a hang or a panic.
+	code, _, stderr = runCtl("metrics", "-server", "http://127.0.0.1:1")
+	if code != 1 || !strings.HasPrefix(stderr, "janusctl: ") {
+		t.Fatalf("dead server metrics: code=%d stderr=%q", code, stderr)
 	}
 }
 

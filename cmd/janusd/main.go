@@ -18,8 +18,17 @@
 //	GET  /v1/stats?workflow=  supervisor hit/miss counters for the calling tenant
 //	GET  /v1/catalog          the running catalog
 //	PUT  /v1/catalog          validate + atomically swap in a new catalog
-//	GET  /v1/metrics          NDJSON stream of per-tenant supervisor snapshots
-//	GET  /v1/healthz          liveness + catalog generation
+//	GET  /v1/metrics          NDJSON stream of per-tenant supervisor snapshots + registry points
+//	GET  /v1/prometheus       metrics registry in Prometheus text exposition format
+//	GET  /v1/healthz          liveness + catalog generation + build version
+//
+// The binary's version string is stamped at build time with
+//
+//	go build -ldflags "-X main.version=v1.2.3" ./cmd/janusd
+//
+// and surfaces in /v1/healthz and the janusd_build_info metric.
+// -log-requests enables one structured access-log line per request
+// (timestamp, method, path, tenant, status, latency, bytes) on stderr.
 //
 // On SIGHUP the catalog file is re-read, validated, and swapped in
 // all-or-nothing; a bad file leaves the running catalog serving. On
@@ -45,6 +54,10 @@ import (
 	"janus/internal/catalog"
 	"janus/internal/httpapi"
 )
+
+// version is the build stamp: overridden by the release pipeline via
+// -ldflags "-X main.version=...", "dev" on plain go-build binaries.
+var version = "dev"
 
 // serve runs the HTTP server on the listener until ctx is cancelled, then
 // drains in-flight requests via http.Server.Shutdown bounded by drain.
@@ -124,6 +137,8 @@ func main() {
 		"miss rate above which the supervisor flags hint regeneration")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
 		"how long to drain in-flight requests after SIGINT/SIGTERM")
+	logRequests := flag.Bool("log-requests", false,
+		"write one structured access-log line per request to stderr")
 	flag.Parse()
 
 	srv := httpapi.NewServer(
@@ -132,6 +147,10 @@ func main() {
 			log.Printf("supervisor: miss rate %.3f exceeded threshold; notify the developer to regenerate hints", rate)
 		}),
 	)
+	srv.SetVersion(version)
+	if *logRequests {
+		srv.SetAccessLog(os.Stderr)
+	}
 	if *catalogPath != "" {
 		gen, _, err := loadCatalogFile(srv.Registry(), *catalogPath)
 		if err != nil {
@@ -153,7 +172,7 @@ func main() {
 	if *catalogPath != "" {
 		go reloadOnSIGHUP(ctx, srv.Registry(), *catalogPath, log.Printf)
 	}
-	log.Printf("janusd: control plane listening on %s", ln.Addr())
+	log.Printf("janusd %s: control plane listening on %s", version, ln.Addr())
 	if err := serve(ctx, server, ln, *drainTimeout); err != nil {
 		log.Fatal(err)
 	}

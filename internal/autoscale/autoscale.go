@@ -30,6 +30,7 @@ import (
 
 	"janus/internal/adapter"
 	"janus/internal/hints"
+	"janus/internal/obs"
 	"janus/internal/platform"
 )
 
@@ -45,6 +46,12 @@ type Config struct {
 	// tearing a pool down in the trough of one burst only to rebuild it
 	// cold in the next is the thrash the cooldown prevents.
 	Cooldown time.Duration
+	// Tracer, when non-nil, receives a KindScaleAudit event for every
+	// target the controller moves — the observed deficit, queue
+	// pressure, or cooldown state that explains the decision. Nil (the
+	// default) costs nothing; the replay engine separately records the
+	// applied KindPoolScale actions.
+	Tracer obs.Tracer
 }
 
 // DefaultConfig returns a general-purpose controller setting — pools
@@ -105,12 +112,17 @@ func (a *Autoscaler) Targets(now time.Duration, stats []platform.ReplayFunctionS
 	out := make(map[string]int, len(stats))
 	for _, fs := range stats {
 		target := clamp(fs.Target, a.cfg.MinPool, a.cfg.MaxPool)
+		// moved names which branch fired; the human-readable audit reason
+		// is only formatted under the Tracer guard — a nil tracer must not
+		// pay a Sprintf per function per tick.
+		moved := scaleHold
 		switch {
 		case fs.ColdStarts > 0 && fs.Queued == 0:
 			target = clamp(target+fs.ColdStarts, a.cfg.MinPool, a.cfg.MaxPool)
 			if target > fs.Target {
 				a.lastGrow[fs.Function] = now
 			}
+			moved = scaleGrow
 		case fs.Queued > 0:
 			// Capacity contention (possibly alongside cold starts, when
 			// the cluster is genuinely overloaded): free idle
@@ -119,15 +131,42 @@ func (a *Autoscaler) Targets(now time.Duration, stats []platform.ReplayFunctionS
 			// contention's end would greet the still-hot demand with a
 			// shredded pool and a cold-start storm.
 			target = clamp(max(fs.Busy, target-1), a.cfg.MinPool, a.cfg.MaxPool)
+			moved = scaleShed
 		case a.quietPastCooldown(fs.Function, now) && occupancy(fs) < a.cfg.LowUtilization:
 			// Shrink gently: one pod per interval, so a trough between
 			// diurnal peaks drains the pool instead of cliff-dropping it.
 			target = clamp(target-1, a.cfg.MinPool, a.cfg.MaxPool)
+			moved = scaleShrink
 		}
 		out[fs.Function] = target
+		if a.cfg.Tracer != nil && target != fs.Target && moved != scaleHold {
+			var reason string
+			switch moved {
+			case scaleGrow:
+				reason = fmt.Sprintf("grow: cold-start deficit %d", fs.ColdStarts)
+			case scaleShed:
+				reason = fmt.Sprintf("shed: %d parked on node capacity, %d busy", fs.Queued, fs.Busy)
+			case scaleShrink:
+				reason = fmt.Sprintf("shrink: occupancy %.2f below %.2f, quiet %v past cooldown %v",
+					occupancy(fs), a.cfg.LowUtilization, now-a.lastGrow[fs.Function], a.cfg.Cooldown)
+			}
+			a.cfg.Tracer.Emit(obs.Event{At: now, Kind: obs.KindScaleAudit, Request: -1,
+				Function: fs.Function, Value: int64(target), Aux: int64(fs.Target), Reason: reason})
+		}
 	}
 	return out
 }
+
+// scaleMove names the Targets branch that moved a pool target, so the
+// audit reason can be formatted lazily (only when a tracer is attached).
+type scaleMove uint8
+
+const (
+	scaleHold scaleMove = iota
+	scaleGrow
+	scaleShed
+	scaleShrink
+)
 
 func (a *Autoscaler) quietPastCooldown(fn string, now time.Duration) bool {
 	return now-a.lastGrow[fn] >= a.cfg.Cooldown
@@ -186,6 +225,14 @@ type RegenConfig struct {
 	// modeled world (default 2 s). Serving continues on the stale bundle
 	// meanwhile, exactly the paper's regeneration trade-off.
 	Latency time.Duration
+	// Tenant labels this hook's audit events in a multi-tenant replay
+	// (each tenant regenerates independently); used only with Tracer.
+	Tenant string
+	// Tracer, when non-nil, receives a KindScaleAudit event at each
+	// regeneration detection (the observed miss rate and budget floor
+	// that triggered it) and a KindSwap event at the instant the
+	// regenerated bundle is hot-swapped in.
+	Tracer obs.Tracer
 }
 
 // Regen is the online bilateral hook: plug Tick into
@@ -256,13 +303,28 @@ func (r *Regen) Tick(now time.Duration) []platform.ReplayAction {
 		return nil
 	}
 	r.inFlight = true
+	if r.cfg.Tracer != nil {
+		r.cfg.Tracer.Emit(obs.Event{At: now, Kind: obs.KindScaleAudit, Request: -1,
+			Tenant: r.cfg.Tenant, Value: int64(floorMs), Aux: ppm(rate),
+			Reason: fmt.Sprintf("regen: epoch miss rate %.4f over threshold %.4f after %d decisions; resynthesizing at budget floor %dms",
+				rate, r.cfg.Threshold, hits+misses, floorMs)})
+	}
 	return []platform.ReplayAction{{Delay: r.cfg.Latency, Do: func(at time.Duration) {
 		if err := r.cfg.Adapter.Replace(bundle); err == nil {
 			r.swaps = append(r.swaps, Swap{At: at, MissRate: rate, FloorMs: floorMs})
+			if r.cfg.Tracer != nil {
+				r.cfg.Tracer.Emit(obs.Event{At: at, Kind: obs.KindSwap, Request: -1,
+					Tenant: r.cfg.Tenant, Value: int64(floorMs), Aux: ppm(rate),
+					Reason: "hot-swap applied"})
+			}
 		}
 		r.inFlight = false
 	}}}
 }
+
+// ppm converts a rate in [0, 1] to integer parts per million — the
+// fixed-point form audit events carry (Event values are int64).
+func ppm(rate float64) int64 { return int64(rate * 1e6) }
 
 // Swaps returns the run's hot-swap record, in swap order.
 func (r *Regen) Swaps() []Swap { return append([]Swap(nil), r.swaps...) }

@@ -12,6 +12,7 @@ import (
 	"janus/internal/autoscale"
 	"janus/internal/cluster"
 	"janus/internal/hints"
+	"janus/internal/obs"
 	"janus/internal/platform"
 	"janus/internal/replay"
 	"janus/internal/synth"
@@ -335,8 +336,9 @@ func (s *Suite) replayAdapter(mt MixTenant) (*adapter.Adapter, error) {
 // replayRegenFor closes the bilateral loop for one tenant: re-synthesize
 // the hint bundle from the cached profiles with the exploration range
 // extended down to the observed budget floor, then hot-swap it through
-// the run-private adapter.
-func (s *Suite) replayRegenFor(mt MixTenant, a *adapter.Adapter) (*autoscale.Regen, error) {
+// the run-private adapter. tr, when non-nil, receives the loop's
+// decision-audit events (detection and hot-swap).
+func (s *Suite) replayRegenFor(mt MixTenant, a *adapter.Adapter, tr obs.Tracer) (*autoscale.Regen, error) {
 	set, err := s.Profiles(mt.Workflow, 1)
 	if err != nil {
 		return nil, err
@@ -345,6 +347,8 @@ func (s *Suite) replayRegenFor(mt MixTenant, a *adapter.Adapter) (*autoscale.Reg
 		Adapter:      a,
 		Latency:      replayRegenLatency,
 		MinDecisions: replayRegenMinDecisions,
+		Tenant:       mt.Tenant,
+		Tracer:       tr,
 		Synthesize: func(floorMs int) (*hints.Bundle, error) {
 			sy, err := synth.New(synth.Config{
 				Profiles:      set,
@@ -446,6 +450,11 @@ func (s *Suite) serveSchedule(spec scheduleSpec, config string) (*ReplayRun, err
 // a Zipf-tailed mix legitimately carries no requests for the tail
 // tenant.
 func (s *Suite) serveStream(spec scheduleSpec, config string, tenants []MixTenant, sched *replay.Schedule, byTenant map[string][]time.Duration) (*ReplayRun, error) {
+	// The run's event sink, scoped by run identity so concurrent
+	// configurations interleaving on one shared sink stay separable.
+	// WithScope(nil, ...) stays nil, preserving the engine's zero-cost
+	// tracing-off path.
+	tr := obs.WithScope(s.tracer(), spec.scenario+"/"+config)
 	workloads := make([]platform.TenantWorkload, 0, len(tenants))
 	regens := make(map[string]*autoscale.Regen)
 	for _, mt := range tenants {
@@ -462,7 +471,7 @@ func (s *Suite) serveStream(spec scheduleSpec, config string, tenants []MixTenan
 			return nil, err
 		}
 		if config == ReplayAutoscaleRegen {
-			r, err := s.replayRegenFor(mt, a)
+			r, err := s.replayRegenFor(mt, a, tr)
 			if err != nil {
 				return nil, err
 			}
@@ -483,6 +492,8 @@ func (s *Suite) serveStream(spec scheduleSpec, config string, tenants []MixTenan
 		Placement:      cluster.PlacementSpread,
 	}
 	cfg.Seed = s.cfg.Seed
+	cfg.Tracer = tr
+	cfg.Metrics = s.metrics()
 	ex, err := platform.NewExecutor(cfg, s.functions)
 	if err != nil {
 		return nil, err
@@ -496,6 +507,7 @@ func (s *Suite) serveStream(spec scheduleSpec, config string, tenants []MixTenan
 			// The cooldown scales with the schedule so a quick suite's
 			// compressed diurnal troughs still outlast it.
 			Cooldown: s.replayDuration(8),
+			Tracer:   tr,
 		})
 		if err != nil {
 			return nil, err

@@ -21,6 +21,7 @@ import (
 	"janus/internal/core"
 	"janus/internal/flight"
 	"janus/internal/interfere"
+	"janus/internal/obs"
 	"janus/internal/perfmodel"
 	"janus/internal/platform"
 	"janus/internal/profile"
@@ -132,7 +133,9 @@ type Suite struct {
 	flights flight.Group
 
 	mu          sync.Mutex
-	parallel    int // runtime override of cfg.Parallelism (SetParallelism)
+	parallel    int        // runtime override of cfg.Parallelism (SetParallelism)
+	obsTracer   obs.Tracer // event sink attached to replay serving runs (SetTracer)
+	obsMetrics  *obs.Registry
 	exTemplate  *platform.Executor
 	profiles    map[string]*profile.Set
 	deployments map[string]*core.Deployment
@@ -151,6 +154,46 @@ func (s *Suite) SetParallelism(n int) {
 	s.mu.Lock()
 	s.parallel = n
 	s.mu.Unlock()
+}
+
+// SetTracer attaches an observability sink to every replay serving run
+// the suite executes from now on (cmd/janusbench's -trace flag lands
+// here). Each run's events arrive scoped "scenario/config" via
+// obs.WithScope. Concurrent runs (parallelism > 1) interleave their
+// scopes on the shared sink, so the sink must be goroutine-safe;
+// obs.NDJSONWriter, obs.Timeline, and obs.Collector are. Tracers only
+// observe — attaching one leaves every result byte-identical (pinned by
+// TestReplayTracerDoesNotPerturb). nil detaches.
+func (s *Suite) SetTracer(t obs.Tracer) {
+	s.mu.Lock()
+	s.obsTracer = t
+	s.mu.Unlock()
+}
+
+// tracer resolves the suite's attached event sink (nil when tracing is
+// off — the serving engine's zero-cost default).
+func (s *Suite) tracer() obs.Tracer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.obsTracer
+}
+
+// SetMetrics attaches a metrics registry to every replay serving run the
+// suite executes from now on: per-tenant decision/escalation counters and
+// latency histograms, park-depth and pool-occupancy gauges. Handles are
+// lock-free atomics, so concurrent runs may share one registry (their
+// counts merge). nil detaches.
+func (s *Suite) SetMetrics(r *obs.Registry) {
+	s.mu.Lock()
+	s.obsMetrics = r
+	s.mu.Unlock()
+}
+
+// metrics resolves the suite's attached registry (nil when off).
+func (s *Suite) metrics() *obs.Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.obsMetrics
 }
 
 // parallelism resolves the effective worker-pool bound.

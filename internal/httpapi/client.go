@@ -189,6 +189,18 @@ func (c *Client) MetricsOnce() (MetricsSnapshot, error) {
 	return out, err
 }
 
+// Prometheus fetches the server's metrics registry in the Prometheus
+// text exposition format.
+func (c *Client) Prometheus() (string, error) {
+	resp, err := c.do(http.MethodGet, "/v1/prometheus", nil)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}
+
 // Healthy reports whether the service responds to the health check.
 func (c *Client) Healthy() bool {
 	resp, err := c.hc.Get(c.base + "/v1/healthz")

@@ -26,6 +26,7 @@ import (
 	"janus/internal/adapter"
 	"janus/internal/catalog"
 	"janus/internal/hints"
+	"janus/internal/obs"
 )
 
 // Error codes carried in the uniform error envelope. Clients branch on
@@ -84,10 +85,13 @@ type ReloadResponse struct {
 	Changes    []string `json:"changes"`
 }
 
-// MetricsSnapshot is one frame of the GET /v1/metrics stream.
+// MetricsSnapshot is one frame of the GET /v1/metrics stream. Points is
+// the server's metrics registry rendered as typed samples — the same
+// registry /v1/prometheus scrapes, so the two surfaces always agree.
 type MetricsSnapshot struct {
 	Generation int64             `json:"generation"`
 	Tenants    []catalog.Metrics `json:"tenants"`
+	Points     []obs.Point       `json:"points,omitempty"`
 }
 
 // errorBody is the uniform error envelope every non-2xx response
@@ -106,6 +110,15 @@ type Server struct {
 	now func() time.Time
 	// metricsInterval floors the /v1/metrics stream cadence.
 	metricsMinInterval time.Duration
+	// obs is the operator-surface metrics registry: request/decision
+	// counters and decide-latency histograms, scraped at /v1/prometheus
+	// and embedded in /v1/metrics frames.
+	obs *obs.Registry
+	// version is the build stamp reported by /v1/healthz (SetVersion).
+	version string
+	// accessLog, when set, receives one structured line per request
+	// (SetAccessLog).
+	accessLog io.Writer
 }
 
 // NewServer builds a server with an empty catalog; opts apply to every
@@ -116,6 +129,8 @@ func NewServer(opts ...adapter.Option) *Server {
 		reg:                catalog.NewRegistry(opts...),
 		now:                time.Now,
 		metricsMinInterval: 10 * time.Millisecond,
+		obs:                obs.NewRegistry(),
+		version:            "dev",
 	}
 }
 
@@ -138,7 +153,8 @@ func (s *Server) Adapter(workflow string) (*adapter.Adapter, bool) {
 	return t.Adapter(workflow)
 }
 
-// Handler returns the HTTP routes.
+// Handler returns the HTTP routes, wrapped in the instrumentation
+// middleware (request counters, optional access log).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
@@ -147,7 +163,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/catalog", s.handleCatalog)
 	mux.HandleFunc("/v1/metrics", s.handleMetrics)
-	return mux
+	mux.HandleFunc("/v1/prometheus", s.handlePrometheus)
+	return s.instrument(mux)
 }
 
 // apiKey extracts the caller's credential: "Authorization: Bearer <key>"
@@ -191,7 +208,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET required")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "generation": s.reg.Generation()})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"generation": s.reg.Generation(),
+		"version":    s.version,
+	})
 }
 
 func (s *Server) handleBundles(w http.ResponseWriter, r *http.Request) {
@@ -234,6 +255,11 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	if !requireJSON(w, r) {
 		return
 	}
+	// The decision audit: every decide call lands in the registry with
+	// its outcome, resolved tenant/workflow, and wall latency.
+	start := s.now()
+	outcome, tenantName, workflowName := "invalid", "", ""
+	defer func() { s.observeDecide(outcome, tenantName, workflowName, start) }()
 	var req DecideRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "%s", err)
@@ -248,12 +274,15 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	}
 	t, ok := s.tenant(w, r)
 	if !ok {
+		outcome = "unauthorized"
 		return
 	}
+	tenantName = t.Name()
 	// Admission control: the tenant's token bucket, after authentication
 	// (anonymous traffic cannot drain a keyed tenant's quota) and after
 	// request validation (malformed requests don't spend tokens).
 	if admitted, retryAfter := t.Admit(s.now()); !admitted {
+		outcome = "quota"
 		secs := int(math.Ceil(retryAfter.Seconds()))
 		if secs < 1 {
 			secs = 1
@@ -265,14 +294,22 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	}
 	a, ok := t.Adapter(req.Workflow)
 	if !ok {
+		outcome = "not_found"
 		writeError(w, http.StatusNotFound, CodeNotFound,
 			"workflow %q not deployed for tenant %q", req.Workflow, t.Name())
 		return
 	}
+	// Only deployed names become label values; the raw request string is
+	// caller-controlled and would grow the registry without bound.
+	workflowName = req.Workflow
 	d, err := a.DecideShaped(req.Suffix, req.Shape, time.Duration(req.RemainingMs)*time.Millisecond)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "%s", err)
 		return
+	}
+	outcome = "miss"
+	if d.Hit {
+		outcome = "hit"
 	}
 	writeJSON(w, http.StatusOK, DecideResponse{Millicores: d.Millicores, Hit: d.Hit, Percentile: d.Percentile})
 }
@@ -383,11 +420,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
+	ctx := r.Context()
 	for sent := 0; ; sent++ {
 		if frames > 0 && sent >= frames {
 			return
 		}
-		snap := MetricsSnapshot{Generation: s.reg.Generation(), Tenants: s.reg.MetricsSnapshot()}
+		// Terminate promptly on client hang-up: the blocking select below
+		// can lose its race when the ticker and the cancellation are both
+		// ready, so re-check before every frame — a disconnected client
+		// never receives another write.
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		snap := MetricsSnapshot{
+			Generation: s.reg.Generation(),
+			Tenants:    s.reg.MetricsSnapshot(),
+			Points:     s.obs.Snapshot(),
+		}
 		if err := enc.Encode(snap); err != nil {
 			return
 		}
@@ -398,7 +449,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		select {
-		case <-r.Context().Done():
+		case <-ctx.Done():
 			return
 		case <-ticker.C:
 		}

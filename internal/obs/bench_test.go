@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkFlightRecorderEmit pins the tracer-on event path: storing an
+// event into the ring must not allocate (the dump on an SLO miss is the
+// only allocating path, and none fire here). Guarded by TestBenchGuard
+// at 0 allocs/op.
+func BenchmarkFlightRecorderEmit(b *testing.B) {
+	f := NewFlightRecorder(4096)
+	e := Event{At: time.Millisecond, Kind: KindAcquire, Tenant: "ia",
+		Request: 1, Group: 2, Member: 0, Function: "f1", Value: 1200, Aux: 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Request = i
+		f.Emit(e)
+	}
+}
+
+// BenchmarkHistogramObserve pins the registry hot path: a fixed-bucket
+// observation is a short scan plus two atomic adds, allocation-free.
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("janus_node_latency_ms",
+		[]int64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}, "tenant", "ia")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i % 400))
+	}
+}

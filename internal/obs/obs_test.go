@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func ev(at time.Duration, kind Kind, req int) Event {
+	return Event{At: at, Kind: kind, Tenant: "ia", Request: req}
+}
+
+func TestNDJSONWriterEncodesEvents(t *testing.T) {
+	var sb strings.Builder
+	w := NewNDJSONWriter(&sb)
+	w.Emit(Event{At: 5 * time.Millisecond, Kind: KindDecision, Scope: "replay/static",
+		Tenant: "ia", Request: 7, Group: 2, Member: 1, Function: "f1",
+		Value: 1200, Aux: 42, Flag: true, Reason: "w=3"})
+	w.Emit(Event{At: time.Second, Kind: KindPoolScale, Request: -1, Function: "f2", Value: 4, Aux: 3})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), sb.String())
+	}
+	// Every line must be valid JSON with the documented fields.
+	var m map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &m); err != nil {
+		t.Fatalf("line 0 not JSON: %v\n%s", err, lines[0])
+	}
+	if m["kind"] != "decision" || m["tenant"] != "ia" || m["request"] != float64(7) ||
+		m["flag"] != true || m["reason"] != "w=3" || m["scope"] != "replay/static" {
+		t.Fatalf("decision line fields wrong: %v", m)
+	}
+	m = nil // Unmarshal merges into a non-nil map; start fresh
+	if err := json.Unmarshal([]byte(lines[1]), &m); err != nil {
+		t.Fatalf("line 1 not JSON: %v\n%s", err, lines[1])
+	}
+	// Request -1 means "no request": the causal fields are omitted.
+	if _, ok := m["request"]; ok {
+		t.Fatalf("pool_scale line should omit request: %v", m)
+	}
+	if m["kind"] != "pool_scale" || m["value"] != float64(4) || m["aux"] != float64(3) {
+		t.Fatalf("pool_scale line fields wrong: %v", m)
+	}
+}
+
+func TestNDJSONQuoting(t *testing.T) {
+	var sb strings.Builder
+	w := NewNDJSONWriter(&sb)
+	w.Emit(Event{Kind: KindSwap, Request: -1, Reason: `quote " back \ newline` + "\n"})
+	var m map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(sb.String())), &m); err != nil {
+		t.Fatalf("escaped line not JSON: %v\n%s", err, sb.String())
+	}
+	if m["reason"] != `quote " back \ newline`+"\n" {
+		t.Fatalf("reason round-trip wrong: %q", m["reason"])
+	}
+}
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		f.Emit(ev(time.Duration(i), KindAdmit, i))
+	}
+	got := f.Events()
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(got))
+	}
+	for i, e := range got {
+		if e.Request != 6+i {
+			t.Fatalf("ring[%d].Request = %d, want %d (last 4 in order)", i, e.Request, 6+i)
+		}
+	}
+	// Partially filled ring returns only what was emitted.
+	p := NewFlightRecorder(8)
+	p.Emit(ev(0, KindAdmit, 0))
+	p.Emit(ev(1, KindAdmit, 1))
+	if got := p.Events(); len(got) != 2 || got[0].Request != 0 || got[1].Request != 1 {
+		t.Fatalf("partial ring = %v", got)
+	}
+}
+
+func TestFlightRecorderDumpOnMissBoundary(t *testing.T) {
+	f := NewFlightRecorder(3)
+	f.Emit(ev(1, KindAdmit, 9))
+	f.Emit(ev(2, KindDecision, 9))
+	f.Emit(ev(3, KindComplete, 9))
+	f.Emit(ev(4, KindSLOMiss, 9)) // ring has wrapped: [decision, complete, slo_miss]
+	dumps := f.Dumps()
+	if len(dumps) != 1 {
+		t.Fatalf("got %d dumps, want 1", len(dumps))
+	}
+	d := dumps[0]
+	if len(d) != 3 {
+		t.Fatalf("dump holds %d events, want full ring of 3", len(d))
+	}
+	if d[0].Kind != KindDecision || d[1].Kind != KindComplete || d[2].Kind != KindSLOMiss {
+		t.Fatalf("dump boundary wrong: %v %v %v (miss must be last)", d[0].Kind, d[1].Kind, d[2].Kind)
+	}
+	// Dumps are snapshots: later traffic must not mutate them.
+	f.Emit(ev(5, KindAdmit, 10))
+	if dumps[0][2].Kind != KindSLOMiss {
+		t.Fatal("dump mutated by later traffic")
+	}
+	if f.Misses() != 1 {
+		t.Fatalf("Misses = %d, want 1", f.Misses())
+	}
+}
+
+func TestFlightRecorderDumpCap(t *testing.T) {
+	f := NewFlightRecorder(2)
+	f.MaxDumps = 3
+	for i := 0; i < 5; i++ {
+		f.Emit(ev(time.Duration(i), KindSLOMiss, i))
+	}
+	if len(f.Dumps()) != 3 {
+		t.Fatalf("got %d dumps, want cap of 3", len(f.Dumps()))
+	}
+	if f.Misses() != 5 {
+		t.Fatalf("Misses = %d, want 5 (counted past the cap)", f.Misses())
+	}
+}
+
+func TestWithScopeAndMulti(t *testing.T) {
+	var a, b Collector
+	tr := WithScope(Multi(&a, &b, nil), "fleet/closed")
+	tr.Emit(ev(1, KindAdmit, 0))
+	for _, c := range []*Collector{&a, &b} {
+		got := c.Events()
+		if len(got) != 1 || got[0].Scope != "fleet/closed" {
+			t.Fatalf("collector saw %v, want 1 scoped event", got)
+		}
+	}
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Fatal("Multi of no live sinks must collapse to nil (zero-cost off)")
+	}
+	if WithScope(nil, "x") != nil {
+		t.Fatal("WithScope(nil) must stay nil")
+	}
+}
+
+func TestTimelineSummary(t *testing.T) {
+	tl := NewTimeline(time.Second)
+	tl.Emit(Event{At: 100 * time.Millisecond, Kind: KindAdmit, Scope: "replay/static", Request: 0})
+	tl.Emit(Event{At: 200 * time.Millisecond, Kind: KindAdmit, Scope: "replay/static", Request: 1})
+	tl.Emit(Event{At: 1500 * time.Millisecond, Kind: KindSLOMiss, Scope: "replay/static", Request: 0})
+	s := tl.Summary()
+	if !strings.Contains(s, "== replay/static") || !strings.Contains(s, "admit=2") || !strings.Contains(s, "slo_miss=1") {
+		t.Fatalf("summary missing expected rows:\n%s", s)
+	}
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` line per family, families and
+// series in sorted order, histograms as cumulative `_bucket`/`_sum`/
+// `_count` series. The rendering reads the same atomic state Snapshot
+// does, so /v1/prometheus and the NDJSON /v1/metrics frames agree by
+// construction.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	entries := r.sortedEntries()
+	// Group into families: entries are sorted by key, which leads with
+	// the name, so families are contiguous runs.
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].name != entries[j].name {
+			return entries[i].name < entries[j].name
+		}
+		return entries[i].key < entries[j].key
+	})
+	lastName := ""
+	for _, e := range entries {
+		if e.name != lastName {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.kind); err != nil {
+				return err
+			}
+			lastName = e.name
+		}
+		switch e.kind {
+		case counterKind:
+			if err := writeSample(w, e.name, e.labels, "", "", e.c.Value()); err != nil {
+				return err
+			}
+		case gaugeKind:
+			if err := writeSample(w, e.name, e.labels, "", "", e.g.Value()); err != nil {
+				return err
+			}
+		case histogramKind:
+			var cum int64
+			for i := range e.h.counts {
+				cum += e.h.counts[i].Load()
+				le := "+Inf"
+				if i < len(e.h.bounds) {
+					le = fmt.Sprintf("%d", e.h.bounds[i])
+				}
+				if err := writeSample(w, e.name+"_bucket", e.labels, "le", le, cum); err != nil {
+					return err
+				}
+			}
+			if err := writeSample(w, e.name+"_sum", e.labels, "", "", e.h.Sum()); err != nil {
+				return err
+			}
+			if err := writeSample(w, e.name+"_count", e.labels, "", "", cum); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSample writes one `name{labels} value` line; extraKey/extraVal
+// append a trailing label (histogram `le`) without mutating the entry.
+func writeSample(w io.Writer, name string, labels []Label, extraKey, extraVal string, value int64) error {
+	buf := make([]byte, 0, 128)
+	buf = append(buf, name...)
+	if len(labels) > 0 || extraKey != "" {
+		buf = append(buf, '{')
+		for i, l := range labels {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendPromLabel(buf, l.Key, l.Value)
+		}
+		if extraKey != "" {
+			if len(labels) > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendPromLabel(buf, extraKey, extraVal)
+		}
+		buf = append(buf, '}')
+	}
+	buf = append(buf, ' ')
+	buf = fmt.Appendf(buf, "%d", value)
+	buf = append(buf, '\n')
+	_, err := w.Write(buf)
+	return err
+}
+
+func appendPromLabel(buf []byte, key, val string) []byte {
+	buf = append(buf, key...)
+	buf = append(buf, '=', '"')
+	for i := 0; i < len(val); i++ {
+		switch c := val[i]; c {
+		case '\\', '"':
+			buf = append(buf, '\\', c)
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return append(buf, '"')
+}

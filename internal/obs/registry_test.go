@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryHandlesAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("janus_decisions_total", "tenant", "ia")
+	c.Inc()
+	c.Add(2)
+	// Same name+labels (any order) resolves to the same handle.
+	if r.Counter("janus_decisions_total", "tenant", "ia") != c {
+		t.Fatal("re-registration returned a different handle")
+	}
+	g := r.Gauge("janus_park_depth")
+	g.Set(7)
+	h := r.Histogram("janus_node_latency_ms", []int64{10, 100}, "tenant", "ia", "function", "f1")
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d points, want 3", len(snap))
+	}
+	// Sorted by (name, labels).
+	if snap[0].Name != "janus_decisions_total" || snap[0].Value != 3 {
+		t.Fatalf("point 0 = %+v", snap[0])
+	}
+	if snap[1].Name != "janus_node_latency_ms" {
+		t.Fatalf("point 1 = %+v", snap[1])
+	}
+	if snap[1].Count != 3 || snap[1].Sum != 5055 {
+		t.Fatalf("histogram count/sum = %d/%d, want 3/5055", snap[1].Count, snap[1].Sum)
+	}
+	// Buckets are cumulative: le=10 has 1, le=100 has 2, +Inf has 3.
+	want := []Bucket{{LE: "10", Count: 1}, {LE: "100", Count: 2}, {LE: "+Inf", Count: 3}}
+	for i, b := range snap[1].Buckets {
+		if b != want[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, b, want[i])
+		}
+	}
+	if snap[2].Name != "janus_park_depth" || snap[2].Value != 7 {
+		t.Fatalf("point 2 = %+v", snap[2])
+	}
+}
+
+func TestRegistrySnapshotDeterministic(t *testing.T) {
+	build := func(order []string) []Point {
+		r := NewRegistry()
+		for _, tn := range order {
+			r.Counter("c", "tenant", tn).Inc()
+		}
+		return r.Snapshot()
+	}
+	a := build([]string{"x", "y", "z"})
+	b := build([]string{"z", "x", "y"})
+	for i := range a {
+		if a[i].Labels["tenant"] != b[i].Labels["tenant"] || a[i].Value != b[i].Value {
+			t.Fatalf("snapshot order depends on registration order: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("janusd_decisions_total", "tenant", "ia", "outcome", "hit").Add(4)
+	r.Counter("janusd_decisions_total", "tenant", "ia", "outcome", "miss").Add(1)
+	r.Gauge("janusd_build_info", "version", `v1.0"x`).Set(1)
+	h := r.Histogram("janusd_decide_latency_us", []int64{100, 1000}, "tenant", "ia")
+	h.Observe(50)
+	h.Observe(5000)
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE janusd_decisions_total counter\n",
+		`janusd_decisions_total{outcome="hit",tenant="ia"} 4` + "\n",
+		`janusd_decisions_total{outcome="miss",tenant="ia"} 1` + "\n",
+		"# TYPE janusd_build_info gauge\n",
+		`janusd_build_info{version="v1.0\"x"} 1` + "\n",
+		"# TYPE janusd_decide_latency_us histogram\n",
+		`janusd_decide_latency_us_bucket{tenant="ia",le="100"} 1` + "\n",
+		`janusd_decide_latency_us_bucket{tenant="ia",le="1000"} 1` + "\n",
+		`janusd_decide_latency_us_bucket{tenant="ia",le="+Inf"} 2` + "\n",
+		`janusd_decide_latency_us_sum{tenant="ia"} 5050` + "\n",
+		`janusd_decide_latency_us_count{tenant="ia"} 2` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus text missing %q:\n%s", want, out)
+		}
+	}
+	// Each # TYPE line appears exactly once per family.
+	if strings.Count(out, "# TYPE janusd_decisions_total ") != 1 {
+		t.Fatalf("duplicate TYPE lines:\n%s", out)
+	}
+}
+
+func TestHistogramObserveBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []int64{10, 20}, "k", "v")
+	h.Observe(10) // on the bound: lands in le=10
+	h.Observe(11)
+	h.Observe(21)
+	snap := r.Snapshot()
+	got := snap[0].Buckets
+	if got[0].Count != 1 || got[1].Count != 2 || got[2].Count != 3 {
+		t.Fatalf("cumulative buckets = %v", got)
+	}
+}

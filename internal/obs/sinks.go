@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// WithScope returns a tracer that stamps every event's Scope before
+// forwarding to next. The experiment suite uses it to tell concurrent
+// configuration runs apart on one shared sink ("replay/autoscaler+regen").
+// Events pass by value, so the stamp never aliases between runs.
+func WithScope(next Tracer, scope string) Tracer {
+	if next == nil {
+		return nil
+	}
+	return scopedTracer{next: next, scope: scope}
+}
+
+type scopedTracer struct {
+	next  Tracer
+	scope string
+}
+
+func (s scopedTracer) Emit(ev Event) {
+	ev.Scope = s.scope
+	s.next.Emit(ev)
+}
+
+// Multi fans one event out to several sinks; nil sinks are dropped. It
+// returns nil when nothing remains, so callers can attach the result
+// directly and keep the zero-cost-off guarantee.
+func Multi(sinks ...Tracer) Tracer {
+	kept := make([]Tracer, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return multiTracer(kept)
+}
+
+type multiTracer []Tracer
+
+func (m multiTracer) Emit(ev Event) {
+	for _, t := range m {
+		t.Emit(ev)
+	}
+}
+
+// NDJSONWriter streams events to w, one JSON object per line, in emit
+// order. It is goroutine-safe: concurrent experiment runs sharing one
+// writer interleave whole lines, never bytes (within a single run the
+// order is the engine's deterministic virtual-time order; across
+// concurrent runs the interleaving follows scheduling — run janusbench
+// with -parallelism 1 for a fully reproducible file).
+type NDJSONWriter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewNDJSONWriter wraps w. The caller keeps ownership of w (and closes
+// it, if it is a file) after the run.
+func NewNDJSONWriter(w io.Writer) *NDJSONWriter {
+	return &NDJSONWriter{w: w, buf: make([]byte, 0, 256)}
+}
+
+// Emit writes one line. Write errors are sticky and reported by Err;
+// Emit never panics mid-run.
+func (n *NDJSONWriter) Emit(ev Event) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.err != nil {
+		return
+	}
+	n.buf = appendJSON(n.buf[:0], ev)
+	n.buf = append(n.buf, '\n')
+	if _, err := n.w.Write(n.buf); err != nil {
+		n.err = err
+	}
+}
+
+// Err returns the first write error, if any.
+func (n *NDJSONWriter) Err() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.err
+}
+
+// FlightRecorder keeps the last N events in a pre-allocated ring and,
+// whenever a KindSLOMiss arrives, snapshots the ring — the miss and the
+// up-to-N-1 events leading into it — into a bounded dump list. The ring
+// write path allocates nothing (guarded by benchmark), so a recorder
+// can fly on paper-scale runs; only the rare miss pays for its dump.
+//
+// A FlightRecorder is intentionally not goroutine-safe: it records one
+// run. Attach one per run, or put a shared goroutine-safe sink (NDJSON,
+// Collector) behind the suite fan-out instead.
+type FlightRecorder struct {
+	buf    []Event
+	pos    int // next write slot
+	filled bool
+	misses int
+	dumps  [][]Event
+
+	// MaxDumps bounds retained dumps (default 16); further misses are
+	// still counted by Misses but not snapshotted.
+	MaxDumps int
+}
+
+// NewFlightRecorder returns a recorder holding the last size events
+// (minimum 1).
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size < 1 {
+		size = 1
+	}
+	return &FlightRecorder{buf: make([]Event, size), MaxDumps: 16}
+}
+
+// Emit records the event, snapshotting the ring on an SLO miss.
+func (f *FlightRecorder) Emit(ev Event) {
+	f.buf[f.pos] = ev
+	f.pos++
+	if f.pos == len(f.buf) {
+		f.pos = 0
+		f.filled = true
+	}
+	if ev.Kind == KindSLOMiss {
+		f.misses++
+		if len(f.dumps) < f.MaxDumps {
+			f.dumps = append(f.dumps, f.Events())
+		}
+	}
+}
+
+// Events returns the ring's current contents, oldest first. The slice
+// is a copy.
+func (f *FlightRecorder) Events() []Event {
+	if !f.filled {
+		return append([]Event(nil), f.buf[:f.pos]...)
+	}
+	out := make([]Event, 0, len(f.buf))
+	out = append(out, f.buf[f.pos:]...)
+	return append(out, f.buf[:f.pos]...)
+}
+
+// Dumps returns one ring snapshot per recorded SLO miss (each ends with
+// its miss event), capped at MaxDumps.
+func (f *FlightRecorder) Dumps() [][]Event { return f.dumps }
+
+// Misses returns the total SLO-miss events seen, including ones past
+// the dump cap.
+func (f *FlightRecorder) Misses() int { return f.misses }
+
+// Collector retains every event, for tests. Goroutine-safe.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit appends the event.
+func (c *Collector) Emit(ev Event) {
+	c.mu.Lock()
+	c.events = append(c.events, ev)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of everything collected so far.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// Timeline aggregates events into fixed virtual-time buckets per scope
+// and renders a per-phase summary — the cheap "what happened when" view
+// janusbench prints after a traced run. Goroutine-safe.
+type Timeline struct {
+	mu      sync.Mutex
+	bucket  time.Duration
+	byScope map[string]map[int64]*[kindCount]int64
+}
+
+// NewTimeline aggregates at the given bucket width (minimum 1ns;
+// time.Second reads well for replay/fleet schedules).
+func NewTimeline(bucket time.Duration) *Timeline {
+	if bucket <= 0 {
+		bucket = time.Second
+	}
+	return &Timeline{bucket: bucket, byScope: make(map[string]map[int64]*[kindCount]int64)}
+}
+
+// Emit counts the event into its (scope, bucket) cell.
+func (t *Timeline) Emit(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	buckets := t.byScope[ev.Scope]
+	if buckets == nil {
+		buckets = make(map[int64]*[kindCount]int64)
+		t.byScope[ev.Scope] = buckets
+	}
+	b := int64(ev.At / t.bucket)
+	cell := buckets[b]
+	if cell == nil {
+		cell = new([kindCount]int64)
+		buckets[b] = cell
+	}
+	cell[ev.Kind]++
+}
+
+// Summary renders the timeline: scopes sorted, one line per non-empty
+// bucket with non-zero kind counts.
+func (t *Timeline) Summary() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	scopes := make([]string, 0, len(t.byScope))
+	for s := range t.byScope {
+		scopes = append(scopes, s)
+	}
+	sort.Strings(scopes)
+	var sb strings.Builder
+	for _, scope := range scopes {
+		name := scope
+		if name == "" {
+			name = "(unscoped)"
+		}
+		fmt.Fprintf(&sb, "== %s\n", name)
+		buckets := t.byScope[scope]
+		ids := make([]int64, 0, len(buckets))
+		for b := range buckets {
+			ids = append(ids, b)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, b := range ids {
+			cell := buckets[b]
+			fmt.Fprintf(&sb, "  t=[%v,%v)", time.Duration(b)*t.bucket, time.Duration(b+1)*t.bucket)
+			for k := Kind(0); k < kindCount; k++ {
+				if cell[k] != 0 {
+					fmt.Fprintf(&sb, " %s=%d", k, cell[k])
+				}
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"janus/internal/cluster"
+	"janus/internal/obs"
 	"janus/internal/workflow"
 )
 
@@ -217,6 +218,18 @@ func (st *runState) launchGroupDyn(rs *reqState, group int) {
 	if !hit {
 		rs.acc.Misses++
 	}
+	if st.tracer != nil {
+		ev := reqEvent(rs, now, obs.KindDecision)
+		ev.Group = group
+		ev.Value = int64(mc)
+		ev.Aux = int64(remaining)
+		ev.Flag = hit
+		ev.Reason = st.groupShape(rs, group)
+		st.tracer.Emit(ev)
+	}
+	if rs.tn.om != nil {
+		rs.tn.om.decision(hit)
+	}
 	for b := range rs.plan.groups[group] {
 		flat := dp.base[group] + b
 		if rs.dyn.dead[flat] {
@@ -275,6 +288,9 @@ func (st *runState) startNodeDyn(rs *reqState, group, member, replica, mc int, h
 	if err != nil {
 		if retried {
 			st.park.restore(st.retrySlot, st.retryPos)
+			if st.om != nil {
+				st.om.parkDepth.Set(int64(st.park.live))
+			}
 			return
 		}
 		rs.acc.Parked++
@@ -282,6 +298,19 @@ func (st *runState) startNodeDyn(rs *reqState, group, member, replica, mc int, h
 			st.window.queued[fn]++
 		}
 		st.park.park(st.slotOf(fn), parkedNode{rs: rs, group: int32(group), member: int32(member), replica: int32(replica), mc: int32(mc), hit: hit, fn: fn})
+		if st.tracer != nil {
+			ev := reqEvent(rs, st.engine.Now(), obs.KindPark)
+			ev.Group, ev.Member, ev.Replica = group, member, replica
+			ev.Function = fn
+			ev.Value = int64(mc)
+			st.tracer.Emit(ev)
+		}
+		if rs.tn.om != nil {
+			rs.tn.om.parked.Inc()
+		}
+		if st.om != nil {
+			st.om.parkDepth.Set(int64(st.park.live))
+		}
 		return
 	}
 	if st.window != nil {
@@ -291,6 +320,23 @@ func (st *runState) startNodeDyn(rs *reqState, group, member, replica, mc int, h
 		st.window.acquires[fn]++
 		if cold {
 			st.window.cold[fn]++
+		}
+	}
+	if st.tracer != nil {
+		now := st.engine.Now()
+		ev := reqEvent(rs, now, obs.KindAcquire)
+		ev.Group, ev.Member, ev.Replica = group, member, replica
+		ev.Function = fn
+		ev.Value = int64(pod.Millicores())
+		ev.Aux = int64(pod.NodeID)
+		ev.Flag = cold
+		st.tracer.Emit(ev)
+		if cold {
+			cs := reqEvent(rs, now, obs.KindColdStart)
+			cs.Group, cs.Member, cs.Replica = group, member, replica
+			cs.Function = fn
+			cs.Value = int64(st.ex.cfg.ColdStartup)
+			st.tracer.Emit(cs)
 		}
 	}
 	st.executeDyn(rs, group, member, replica, pod, cold, hit)
@@ -341,6 +387,17 @@ func (st *runState) executeDyn(rs *reqState, group, member, replica int, pod *cl
 			Hit:        hit,
 		})
 		rs.acc.TotalMillicores += pod.Millicores()
+		if st.tracer != nil {
+			ev := reqEvent(rs, end, obs.KindRelease)
+			ev.Group, ev.Member, ev.Replica = group, member, replica
+			ev.Function = node.Function
+			ev.Value = int64(pod.Millicores())
+			ev.Aux = int64(pod.NodeID)
+			st.tracer.Emit(ev)
+		}
+		if rs.tn.om != nil {
+			rs.tn.om.observeNode(node.Function, latency)
+		}
 		if err := st.cluster.Release(pod); err != nil {
 			st.fail(err)
 			return
@@ -376,6 +433,18 @@ func (st *runState) replicaDone(rs *reqState, group, member, replica int, end ti
 		rs.acc.Decisions++
 		if !hit {
 			rs.acc.Misses++
+		}
+		if st.tracer != nil {
+			ev := reqEvent(rs, end, obs.KindDecision)
+			ev.Group = group
+			ev.Value = int64(mc)
+			ev.Aux = int64(remaining)
+			ev.Flag = hit
+			ev.Reason = st.groupShape(rs, group)
+			st.tracer.Emit(ev)
+		}
+		if rs.tn.om != nil {
+			rs.tn.om.decision(hit)
 		}
 		st.startNodeDyn(rs, group, member, replica, mc, hit, false)
 		return
@@ -468,6 +537,9 @@ func (st *runState) finishRequest(rs *reqState, end time.Duration) {
 	rs.tn.traces[rs.r.ID] = rs.acc
 	rs.tn.done++
 	st.done++
+	if st.tracer != nil || rs.tn.om != nil {
+		st.observeComplete(rs, end)
+	}
 }
 
 // fireTrigger delivers an external event to its await step: if the
@@ -477,6 +549,11 @@ func (st *runState) finishRequest(rs *reqState, end time.Duration) {
 func (st *runState) fireTrigger(rs *reqState, flat int, now time.Duration) {
 	if st.failed != nil {
 		return
+	}
+	if st.tracer != nil {
+		ev := reqEvent(rs, now, obs.KindTrigger)
+		ev.Reason = rs.plan.dyn.steps[flat]
+		st.tracer.Emit(ev)
 	}
 	rs.dyn.fired[flat] = true
 	if rs.dyn.dead[flat] || !rs.dyn.waitingTrig[flat] {

@@ -1,0 +1,146 @@
+package platform
+
+import (
+	"time"
+
+	"janus/internal/obs"
+)
+
+// This file is the serving plane's observability glue: the pre-registered
+// metric handles a run keeps when ExecutorConfig.Metrics is attached, and
+// the small helpers the emit sites share. Every site in the engine is
+// guarded by `st.tracer != nil` / `st.om != nil` (the replay window's
+// nil-guard idiom), so with nothing attached no Event is constructed and
+// nothing allocates — the zero-cost-when-off contract internal/obs
+// documents, pinned by the bench guard.
+
+// latencyBucketsMs are the fixed bounds of every latency histogram the
+// run registers (per-tenant end-to-end, per tenant×function node
+// latency), in milliseconds.
+var latencyBucketsMs = []int64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+
+// LatencyBucketsMs returns a copy of the fixed latency-histogram bounds,
+// for callers resolving the same histogram handles from a shared registry.
+func LatencyBucketsMs() []int64 {
+	return append([]int64(nil), latencyBucketsMs...)
+}
+
+// runObs holds the run-level registry handles: the park-depth gauge and
+// the per-function pool-occupancy gauges the replay control ticks feed.
+type runObs struct {
+	reg       *obs.Registry
+	parkDepth *obs.Gauge
+	poolBusy  map[string]*obs.Gauge
+	poolWarm  map[string]*obs.Gauge
+}
+
+func newRunObs(reg *obs.Registry) *runObs {
+	return &runObs{
+		reg:       reg,
+		parkDepth: reg.Gauge("janus_park_depth"),
+		poolBusy:  map[string]*obs.Gauge{},
+		poolWarm:  map[string]*obs.Gauge{},
+	}
+}
+
+// tenant registers (or resolves) one tenant's handle set.
+func (ro *runObs) tenant(name string) *tenantObs {
+	return &tenantObs{
+		reg:         ro.reg,
+		name:        name,
+		decisions:   ro.reg.Counter("janus_decisions_total", "tenant", name),
+		escalations: ro.reg.Counter("janus_escalations_total", "tenant", name),
+		parked:      ro.reg.Counter("janus_parked_total", "tenant", name),
+		completions: ro.reg.Counter("janus_requests_completed_total", "tenant", name),
+		sloMisses:   ro.reg.Counter("janus_slo_misses_total", "tenant", name),
+		e2e:         ro.reg.Histogram("janus_e2e_latency_ms", latencyBucketsMs, "tenant", name),
+		nodeLatency: map[string]*obs.Histogram{},
+	}
+}
+
+// observePools samples the per-function pool occupancy into gauges at a
+// replay control tick (pool occupancy is a control-loop observable; runs
+// without a control loop leave the gauges at zero). Handles register
+// lazily on first sight of a function — one registry round-trip per
+// function per run, then map lookups.
+func (ro *runObs) observePools(stats []ReplayFunctionStats) {
+	for i := range stats {
+		fs := &stats[i]
+		busy := ro.poolBusy[fs.Function]
+		if busy == nil {
+			busy = ro.reg.Gauge("janus_pool_busy", "function", fs.Function)
+			ro.poolBusy[fs.Function] = busy
+			ro.poolWarm[fs.Function] = ro.reg.Gauge("janus_pool_warm", "function", fs.Function)
+		}
+		busy.Set(int64(fs.Busy))
+		ro.poolWarm[fs.Function].Set(int64(fs.Warm))
+	}
+}
+
+// tenantObs is one tenant's pre-registered handle set, resolved once in
+// prepareRun so the serving path pays plain integer ops (plus one map
+// lookup for the per-function histogram).
+type tenantObs struct {
+	reg         *obs.Registry
+	name        string
+	decisions   *obs.Counter
+	escalations *obs.Counter
+	parked      *obs.Counter
+	completions *obs.Counter
+	sloMisses   *obs.Counter
+	e2e         *obs.Histogram
+	nodeLatency map[string]*obs.Histogram
+}
+
+// decision counts one allocation decision; a hints-table miss is the
+// escalation the bilateral loop reacts to.
+func (t *tenantObs) decision(hit bool) {
+	t.decisions.Inc()
+	if !hit {
+		t.escalations.Inc()
+	}
+}
+
+// observeNode records one executed node's latency into the tenant's
+// per-function histogram, registering the handle on first use.
+func (t *tenantObs) observeNode(fn string, latency time.Duration) {
+	h := t.nodeLatency[fn]
+	if h == nil {
+		h = t.reg.Histogram("janus_node_latency_ms", latencyBucketsMs, "function", fn, "tenant", t.name)
+		t.nodeLatency[fn] = h
+	}
+	h.Observe(latency.Milliseconds())
+}
+
+// reqEvent seeds an event with the causal-ID fields every
+// request-lifecycle event carries.
+func reqEvent(rs *reqState, at time.Duration, kind obs.Kind) obs.Event {
+	return obs.Event{At: at, Kind: kind, Tenant: rs.tn.name, Request: rs.r.ID}
+}
+
+// observeComplete emits the completion (and SLO-miss) events and updates
+// the tenant's completion metrics — the shared back half of the static
+// and dynamic completion sites. Callers guard with
+// `st.tracer != nil || rs.tn.om != nil`.
+func (st *runState) observeComplete(rs *reqState, end time.Duration) {
+	e2e, slo := rs.acc.E2E, rs.acc.SLO
+	if st.tracer != nil {
+		ev := reqEvent(rs, end, obs.KindComplete)
+		ev.Value = int64(e2e)
+		ev.Aux = int64(slo)
+		ev.Flag = e2e <= slo
+		st.tracer.Emit(ev)
+		if e2e > slo {
+			miss := reqEvent(rs, end, obs.KindSLOMiss)
+			miss.Value = int64(e2e - slo)
+			st.tracer.Emit(miss)
+		}
+	}
+	if om := rs.tn.om; om != nil {
+		om.completions.Inc()
+		if e2e > slo {
+			om.sloMisses.Inc()
+		}
+		om.e2e.Observe(e2e.Milliseconds())
+	}
+}

@@ -43,6 +43,7 @@ import (
 
 	"janus/internal/cluster"
 	"janus/internal/interfere"
+	"janus/internal/obs"
 	"janus/internal/perfmodel"
 	"janus/internal/rng"
 	"janus/internal/simclock"
@@ -430,6 +431,21 @@ type ExecutorConfig struct {
 	Interference *interfere.Model
 	// Seed drives live-interference jitter.
 	Seed uint64
+	// Tracer, when non-nil, receives the run's typed event stream on the
+	// virtual clock (package obs): admission, decisions, parks/wakes,
+	// acquires/releases, cold starts, completions, SLO misses, and the
+	// replay loop's pool-scale actions, every request-lifecycle event
+	// carrying its causal Tenant+Request ID. Tracers only read engine
+	// state — attaching one leaves the run byte-identical — and nil (the
+	// default) reduces every emit site to one pointer check: no events,
+	// no allocations.
+	Tracer obs.Tracer
+	// Metrics, when non-nil, is the registry the run pre-registers its
+	// counter/gauge/histogram handles in (per-tenant decisions,
+	// escalations, parks, completions, SLO misses, latency histograms;
+	// park-depth and pool-occupancy gauges). Like Tracer, nil costs
+	// nothing; attached, the hot path pays plain atomic integer ops.
+	Metrics *obs.Registry
 }
 
 // DefaultExecutorConfig returns the configuration used by the paper-shaped
@@ -538,6 +554,9 @@ type tenantRun struct {
 	memoable  MemoizableAllocator
 	memo      map[memoKey]memoVal
 	memoEpoch int64
+	// om holds the tenant's pre-registered metric handles; nil when no
+	// registry is attached (obs.go).
+	om *tenantObs
 }
 
 type runState struct {
@@ -585,6 +604,12 @@ type runState struct {
 	// window accumulates the per-function observations a replay run's
 	// control ticks consume; nil outside RunReplay.
 	window *replayWindow
+	// tracer receives the run's event stream; nil (the common case)
+	// disables every emit site at the cost of one pointer check.
+	tracer obs.Tracer
+	// om holds the run-level registry handles (park depth, pool
+	// occupancy); nil when no registry is attached.
+	om *runObs
 }
 
 // parkedNode is one pod acquisition waiting on cluster capacity: the
@@ -768,6 +793,10 @@ func (e *Executor) prepareRun(tenants []TenantWorkload, triggers []Trigger) (*ru
 		stream:  rng.New(e.cfg.Seed).Split("executor"),
 		plans:   make(map[*workflow.Workflow]*dagPlan),
 		total:   total,
+		tracer:  e.cfg.Tracer,
+	}
+	if e.cfg.Metrics != nil {
+		st.om = newRunObs(e.cfg.Metrics)
 	}
 	st.park.init()
 	// Validate every request against the plan the engine will actually
@@ -827,6 +856,9 @@ func (e *Executor) prepareRun(tenants []TenantWorkload, triggers []Trigger) (*ru
 	ri, po, so := 0, 0, 0
 	for _, tw := range tenants {
 		tn := &tenantRun{name: tw.Tenant, alloc: tw.Allocator, traces: make([]Trace, len(tw.Requests))}
+		if st.om != nil {
+			tn.om = st.om.tenant(tw.Tenant)
+		}
 		if m, ok := tw.Allocator.(MemoizableAllocator); ok {
 			tn.memoable = m
 			tn.memo = make(map[memoKey]memoVal)
@@ -938,6 +970,11 @@ func (st *runState) armTriggers(triggers []Trigger, byTenant map[string]map[int]
 func (st *runState) startRequestAt(rs *reqState, now time.Duration) {
 	rs.arrival = now
 	rs.acc.Arrival = now
+	if st.tracer != nil {
+		ev := reqEvent(rs, now, obs.KindTrigger)
+		ev.Reason = "start"
+		st.tracer.Emit(ev)
+	}
 	st.startRequest(rs)
 }
 
@@ -970,6 +1007,11 @@ func (st *runState) collect() (map[string][]Trace, error) {
 func (st *runState) startRequest(rs *reqState) {
 	if st.failed != nil {
 		return
+	}
+	if st.tracer != nil {
+		ev := reqEvent(rs, st.engine.Now(), obs.KindAdmit)
+		ev.Value = int64(rs.r.Workflow.SLO())
+		st.tracer.Emit(ev)
 	}
 	for g := range rs.pending {
 		if rs.pending[g] == 0 {
@@ -1006,6 +1048,17 @@ func (st *runState) startGroup(rs *reqState, group int) {
 	rs.acc.Decisions++
 	if !hit {
 		rs.acc.Misses++
+	}
+	if st.tracer != nil {
+		ev := reqEvent(rs, now, obs.KindDecision)
+		ev.Group = group
+		ev.Value = int64(mc)
+		ev.Aux = int64(remaining)
+		ev.Flag = hit
+		st.tracer.Emit(ev)
+	}
+	if rs.tn.om != nil {
+		rs.tn.om.decision(hit)
 	}
 	for b := range rs.plan.groups[group] {
 		st.startNode(rs, group, b, mc, hit, false)
@@ -1059,6 +1112,9 @@ func (st *runState) startNode(rs *reqState, group, member, mc int, hit, retried 
 			// A woken entry that still cannot fit re-parks at its
 			// original position, keeping its place in FIFO order.
 			st.park.restore(st.retrySlot, st.retryPos)
+			if st.om != nil {
+				st.om.parkDepth.Set(int64(st.park.live))
+			}
 			return
 		}
 		rs.acc.Parked++
@@ -1066,6 +1122,19 @@ func (st *runState) startNode(rs *reqState, group, member, mc int, hit, retried 
 			st.window.queued[fn]++
 		}
 		st.park.park(st.slotOf(fn), parkedNode{rs: rs, group: int32(group), member: int32(member), mc: int32(mc), hit: hit, fn: fn})
+		if st.tracer != nil {
+			ev := reqEvent(rs, st.engine.Now(), obs.KindPark)
+			ev.Group, ev.Member = group, member
+			ev.Function = fn
+			ev.Value = int64(mc)
+			st.tracer.Emit(ev)
+		}
+		if rs.tn.om != nil {
+			rs.tn.om.parked.Inc()
+		}
+		if st.om != nil {
+			st.om.parkDepth.Set(int64(st.park.live))
+		}
 		return
 	}
 	if st.window != nil {
@@ -1075,6 +1144,23 @@ func (st *runState) startNode(rs *reqState, group, member, mc int, hit, retried 
 		st.window.acquires[fn]++
 		if cold {
 			st.window.cold[fn]++
+		}
+	}
+	if st.tracer != nil {
+		now := st.engine.Now()
+		ev := reqEvent(rs, now, obs.KindAcquire)
+		ev.Group, ev.Member = group, member
+		ev.Function = fn
+		ev.Value = int64(pod.Millicores())
+		ev.Aux = int64(pod.NodeID)
+		ev.Flag = cold
+		st.tracer.Emit(ev)
+		if cold {
+			cs := reqEvent(rs, now, obs.KindColdStart)
+			cs.Group, cs.Member = group, member
+			cs.Function = fn
+			cs.Value = int64(st.ex.cfg.ColdStartup)
+			st.tracer.Emit(cs)
 		}
 	}
 	st.execute(rs, group, member, pod, cold, hit)
@@ -1116,6 +1202,17 @@ func (st *runState) execute(rs *reqState, group, member int, pod *cluster.Pod, c
 			Hit:        hit,
 		})
 		rs.acc.TotalMillicores += pod.Millicores()
+		if st.tracer != nil {
+			ev := reqEvent(rs, end, obs.KindRelease)
+			ev.Group, ev.Member = group, member
+			ev.Function = node.Function
+			ev.Value = int64(pod.Millicores())
+			ev.Aux = int64(pod.NodeID)
+			st.tracer.Emit(ev)
+		}
+		if rs.tn.om != nil {
+			rs.tn.om.observeNode(node.Function, latency)
+		}
 		if err := st.cluster.Release(pod); err != nil {
 			st.fail(err)
 			return
@@ -1137,6 +1234,9 @@ func (st *runState) nodeDone(rs *reqState, step string, end time.Duration) {
 		rs.tn.traces[rs.r.ID] = rs.acc
 		rs.tn.done++
 		st.done++
+		if st.tracer != nil || rs.tn.om != nil {
+			st.observeComplete(rs, end)
+		}
 		return
 	}
 	for _, dg := range rs.plan.dependents[step] {
@@ -1207,6 +1307,16 @@ func (st *runState) wake() {
 		p := st.park.take(slot, pos)
 		cursor = seq + 1
 		st.retrySlot, st.retryPos = slot, pos
+		if st.tracer != nil {
+			ev := reqEvent(p.rs, st.engine.Now(), obs.KindWake)
+			ev.Group, ev.Member, ev.Replica = int(p.group), int(p.member), int(p.replica)
+			ev.Function = p.fn
+			ev.Value = int64(p.mc)
+			st.tracer.Emit(ev)
+		}
+		if st.om != nil {
+			st.om.parkDepth.Set(int64(st.park.live))
+		}
 		if p.rs.dyn != nil {
 			st.startNodeDyn(p.rs, int(p.group), int(p.member), int(p.replica), int(p.mc), p.hit, true)
 		} else {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"janus/internal/cluster"
+	"janus/internal/obs"
 )
 
 // This file is the serving plane's replay entry point: RunMixed's
@@ -182,6 +183,9 @@ func (e *Executor) RunReplay(tenants []TenantWorkload, cfg ReplayConfig) (map[st
 		}
 		metrics.PodSeconds += float64(pods) * cfg.Interval.Seconds()
 		stats := st.window.snapshot(st.cluster)
+		if st.om != nil {
+			st.om.observePools(stats)
+		}
 		shedAny := false
 		if cfg.Controller != nil {
 			targets := cfg.Controller.Targets(now, stats)
@@ -193,6 +197,10 @@ func (e *Executor) RunReplay(tenants []TenantWorkload, cfg ReplayConfig) (map[st
 				if err := st.cluster.SetPoolTarget(fs.Function, tgt); err != nil {
 					st.fail(err)
 					return
+				}
+				if st.tracer != nil {
+					st.tracer.Emit(obs.Event{At: now, Kind: obs.KindPoolScale, Request: -1,
+						Function: fs.Function, Value: int64(tgt), Aux: int64(fs.Target)})
 				}
 				if tgt > fs.Target {
 					st.orderWarmPods(fs.Function, tgt, inflight)

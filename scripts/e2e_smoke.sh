@@ -21,8 +21,8 @@ trap cleanup EXIT
 
 fail() { echo "FAIL: $*" >&2; exit 1; }
 
-echo "== build janusd + janusctl"
-go build -o "$bin/janusd" ./cmd/janusd
+echo "== build janusd + janusctl (version-stamped)"
+go build -ldflags "-X main.version=e2e-smoke" -o "$bin/janusd" ./cmd/janusd
 go build -o "$bin/janusctl" ./cmd/janusctl
 
 echo "== synthesize bundles for both tenants (reduced sample counts)"
@@ -37,7 +37,7 @@ go run ./scripts/mkcatalog -ia "$workdir/ia-bundle.json" -va "$workdir/va-bundle
 "$bin/janusctl" catalog validate -f "$workdir/catalog.json"
 
 echo "== boot janusd with the catalog"
-"$bin/janusd" -addr 127.0.0.1:0 -catalog "$workdir/catalog.json" >"$workdir/janusd.log" 2>&1 &
+"$bin/janusd" -addr 127.0.0.1:0 -catalog "$workdir/catalog.json" -log-requests >"$workdir/janusd.log" 2>&1 &
 janusd_pid=$!
 base=""
 for _ in $(seq 1 100); do
@@ -50,6 +50,7 @@ done
 echo "   janusd at $base (pid $janusd_pid)"
 
 curl -fsS "$base/v1/healthz" | grep -q '"generation":1' || fail "healthz generation != 1"
+curl -fsS "$base/v1/healthz" | grep -q '"version":"e2e-smoke"' || fail "healthz lacks the ldflags build stamp"
 
 decide() { # decide KEY WORKFLOW -> http status on stdout, body in $workdir/resp
   curl -s -o "$workdir/resp" -w '%{http_code}' -X POST "$base/v1/decide" \
@@ -110,6 +111,20 @@ echo "== metrics stream"
 curl -fsS -H 'X-API-Key: admin-secret' "$base/v1/metrics?n=2&interval_ms=50" >"$workdir/metrics.ndjson"
 [[ $(wc -l <"$workdir/metrics.ndjson") == 2 ]] || fail "metrics stream frame count"
 grep -q '"tenant":"acme"' "$workdir/metrics.ndjson" || fail "metrics stream lacks tenant counters"
+
+echo "== prometheus exposition"
+curl -fsS -H 'X-API-Key: admin-secret' "$base/v1/prometheus" >"$workdir/prom.txt"
+grep -q '# TYPE janusd_decisions_total counter' "$workdir/prom.txt" || fail "prometheus lacks the decisions counter"
+grep -Eq 'janusd_decisions_total\{outcome="(hit|miss)",tenant="acme",workflow="ia"\}' "$workdir/prom.txt" || fail "prometheus lacks acme's decide counter"
+grep -q 'janusd_build_info{version="e2e-smoke"} 1' "$workdir/prom.txt" || fail "prometheus lacks the build-info gauge"
+"$bin/janusctl" metrics -server "$base" -key admin-secret -prom | grep -q 'janusd_http_requests_total' \
+  || fail "janusctl metrics -prom lacks the http counter"
+[[ $(curl -s -o /dev/null -w '%{http_code}' -H 'X-API-Key: acme-key' "$base/v1/prometheus") == 401 ]] \
+  || fail "tenant key reached /v1/prometheus"
+
+echo "== access log"
+grep -q 'method=POST path=/v1/decide tenant=acme status=200' "$workdir/janusd.log" \
+  || fail "-log-requests produced no access-log line for acme's decide"
 
 echo "== drain shutdown"
 kill -TERM "$janusd_pid"
